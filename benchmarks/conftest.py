@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper via the
+experiment modules in :mod:`repro.experiments` and then checks the
+qualitative shape the paper reports.  ``BENCH_SCALE`` trades fidelity
+against wall-clock time; raise it (e.g. to 1.0) for larger workloads.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Allow running the benchmarks from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Suite scale used by every benchmark (overridable via the environment).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

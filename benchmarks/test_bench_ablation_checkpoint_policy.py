@@ -1,0 +1,24 @@
+"""Benchmark: checkpoint-placement policy ablation (the paper's future-work knob)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_checkpoint_policy_ablation
+
+
+def test_bench_checkpoint_policy_ablation(benchmark):
+    experiment = run_once(benchmark, run_checkpoint_policy_ablation, scale=BENCH_SCALE)
+    print("\n" + experiment.report())
+
+    policies = {row["policy"]: row for row in experiment.rows}
+    assert set(policies) == {"paper", "every_n", "branch_only", "store_only"}
+
+    paper_ipc = policies["paper"]["ipc"]
+    # Every alternative policy still produces a working machine within a
+    # reasonable band of the paper heuristic on this suite.
+    for name, row in policies.items():
+        assert row["ipc"] > 0.5 * paper_ipc, name
+
+    # Placement density differs across policies (that is the point of the
+    # ablation): every-N takes the most checkpoints, branch-only the fewest
+    # or equal.
+    assert policies["every_n"]["checkpoints_created"] >= policies["branch_only"]["checkpoints_created"]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 1 (IPC vs. in-flight instructions and latency)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure01
+
+
+def test_bench_figure01(benchmark):
+    experiment = run_once(benchmark, run_figure01, scale=BENCH_SCALE, quick=True)
+    print("\n" + experiment.report())
+
+    # Paper shape 1: with a small window, memory latency is devastating.
+    small_perfect = experiment.value("ipc", window=128, latency="perfect")
+    small_slow = experiment.value("ipc", window=128, latency="1000")
+    assert small_perfect > 2.5 * small_slow
+
+    # Paper shape 2: a larger window recovers a large part of the loss.
+    large_slow = experiment.value("ipc", window=2048, latency="1000")
+    assert large_slow > 1.5 * small_slow
+
+    # Perfect-L2 performance is essentially window-insensitive for this suite.
+    large_perfect = experiment.value("ipc", window=2048, latency="perfect")
+    assert abs(large_perfect - small_perfect) / large_perfect < 0.25

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 7 (live vs. in-flight instruction distribution)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure07
+
+
+def test_bench_figure07(benchmark):
+    experiment = run_once(
+        benchmark, run_figure07, scale=BENCH_SCALE, window=2048, memory_latency=500
+    )
+    print("\n" + experiment.report())
+
+    mean_row = experiment.find_row(percentile="mean")
+    assert mean_row is not None
+
+    # Paper shape: most in-flight instructions are NOT live — they have
+    # already executed (or are blocked) and only wait to commit.
+    assert mean_row["live"] < 0.6 * mean_row["in_flight"]
+
+    # The in-flight percentiles are non-decreasing and reach several hundred
+    # instructions for a 2048-entry window at 500-cycle latency.
+    p50 = experiment.value("in_flight", percentile="50%")
+    p90 = experiment.value("in_flight", percentile="90%")
+    assert p90 >= p50
+    assert p90 > 200

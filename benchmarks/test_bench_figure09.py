@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 9 (the paper's main performance result)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure09
+
+
+def test_bench_figure09(benchmark):
+    experiment = run_once(benchmark, run_figure09, scale=BENCH_SCALE, quick=True)
+    print("\n" + experiment.report())
+
+    base128 = experiment.value("ipc", config="baseline-128")
+    limit = experiment.value("ipc", config="baseline-4096")
+    smallest = experiment.value("ipc", config="COoO-32/SLIQ-512")
+    largest = experiment.value("ipc", config="COoO-128/SLIQ-2048")
+
+    # Paper shape: the unbuildable 4096-entry baseline is far above the
+    # buildable 128-entry one on memory-bound FP code.
+    assert limit > 2 * base128
+
+    # Every COoO point beats the buildable baseline by a large margin
+    # (the paper reports ~110% for the smallest configuration).
+    assert smallest > 1.8 * base128
+
+    # The largest COoO point lands close to the unbuildable limit
+    # (the paper reports a ~10% gap).
+    assert largest > 0.85 * limit
+
+    # Bigger COoO configurations are at least as fast as smaller ones.
+    assert largest >= smallest

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 11 (average in-flight instructions)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure11
+
+
+def test_bench_figure11(benchmark):
+    experiment = run_once(benchmark, run_figure11, scale=BENCH_SCALE, quick=True)
+    print("\n" + experiment.report())
+
+    base128 = experiment.value("in_flight", config="baseline-128")
+    base4096 = experiment.value("in_flight", config="baseline-4096")
+    smallest = experiment.value("in_flight", config="COoO-32/SLIQ-512")
+    largest = experiment.value("in_flight", config="COoO-128/SLIQ-2048")
+
+    # The baseline window is bounded by its ROB.
+    assert base128 <= 128
+
+    # Paper shape: with only 8 checkpoints the COoO machine sustains far
+    # more in-flight instructions than the buildable baseline, in the
+    # hundreds-to-thousands range, growing with the SLIQ size.
+    assert smallest > 3 * base128
+    assert largest >= smallest
+    assert largest > 500
+
+    # The unbuildable baseline also reaches a huge window (sanity check).
+    assert base4096 > 5 * base128

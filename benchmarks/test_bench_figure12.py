@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 12 (pseudo-ROB retirement breakdown)."""
+
+import pytest
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure12
+
+
+def test_bench_figure12(benchmark):
+    experiment = run_once(benchmark, run_figure12, scale=BENCH_SCALE, quick=True)
+    print("\n" + experiment.report())
+
+    categories = (
+        "moved",
+        "finished",
+        "short_latency",
+        "finished_load",
+        "long_latency_load",
+        "store",
+    )
+    for row in experiment.rows:
+        # Every retirement falls in exactly one category.
+        assert sum(row[c] for c in categories) == pytest.approx(100.0, abs=1.0)
+
+        # Paper shape: moved instructions are a minority (they only need
+        # cheap SLIQ storage), long-latency loads are a small slice of all
+        # instructions, and stores roughly match the workloads' store ratio.
+        assert 3.0 <= row["moved"] <= 60.0
+        assert 2.0 <= row["long_latency_load"] <= 35.0
+        assert row["finished"] + row["finished_load"] + row["short_latency"] >= 25.0
+        assert 3.0 <= row["store"] <= 25.0

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 13 (sensitivity to the number of checkpoints)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure13
+
+
+def test_bench_figure13(benchmark):
+    experiment = run_once(
+        benchmark, run_figure13, scale=BENCH_SCALE, checkpoints=(4, 8, 32)
+    )
+    print("\n" + experiment.report())
+
+    limit = experiment.value("ipc", config="limit-4096")
+    four = experiment.value("ipc", config="COoO-4ckpt")
+    eight = experiment.value("ipc", config="COoO-8ckpt")
+    many = experiment.value("ipc", config="COoO-32ckpt")
+
+    # Paper shape: more checkpoints help (finer-grained resource recycling
+    # and shorter rollback distance), with diminishing returns; even a
+    # handful of checkpoints lands within a modest factor of the
+    # unbuildable 4096-entry-ROB limit machine.
+    assert eight >= four * 0.98
+    assert many >= eight * 0.98
+    assert many >= 0.80 * limit
+    assert four >= 0.45 * limit

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 14 (COoO + SLIQ + late register allocation)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import run_figure14
+
+
+def test_bench_figure14(benchmark):
+    experiment = run_once(
+        benchmark,
+        run_figure14,
+        scale=BENCH_SCALE,
+        latencies=(100, 1000),
+        virtual_tags=(512, 2048),
+        physical_registers=(256, 512),
+    )
+    print("\n" + experiment.report())
+
+    for latency in (100, 1000):
+        base = experiment.value("ipc", latency=latency, config="baseline-128")
+        limit = experiment.value("ipc", latency=latency, config="limit-4096")
+        few_tags = experiment.value("ipc", latency=latency, config="COoO-vt512-p256")
+        many_tags = experiment.value("ipc", latency=latency, config="COoO-vt2048-p512")
+
+        # Paper shape: every combined configuration sits between the
+        # buildable baseline and the everything-up-sized limit machine.
+        assert few_tags >= 0.9 * base
+        assert many_tags <= 1.1 * limit
+
+        # More virtual tags (a larger virtual window) never hurt.
+        assert many_tags >= few_tags
+
+    # The benefit of the combined techniques over the baseline stays large as
+    # memory latency grows.  (In the paper the gain *increases* with latency;
+    # our synthetic kernels are so memory-bound that even a 100-cycle memory
+    # already overwhelms the 128-entry baseline, so we only require that the
+    # gain does not collapse at 1000 cycles.)
+    gain_100 = experiment.value("ipc", latency=100, config="COoO-vt2048-p512") / experiment.value(
+        "ipc", latency=100, config="baseline-128"
+    )
+    gain_1000 = experiment.value("ipc", latency=1000, config="COoO-vt2048-p512") / experiment.value(
+        "ipc", latency=1000, config="baseline-128"
+    )
+    assert gain_1000 > 1.5
+    assert gain_1000 > 0.7 * gain_100

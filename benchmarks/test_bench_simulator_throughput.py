@@ -1,0 +1,29 @@
+"""Benchmarks of raw simulator throughput (simulated instructions per second).
+
+Not a paper figure: these benchmarks track the cost of simulating each
+machine so that regressions in the simulator itself (as opposed to the
+modelled machines) are visible in the pytest-benchmark output.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro import cooo_config, scaled_baseline, simulate
+from repro.workloads import daxpy
+
+TRACE = daxpy(elements=300)
+
+
+@pytest.mark.parametrize(
+    "name,config",
+    [
+        ("baseline-128", scaled_baseline(window=128, memory_latency=500)),
+        ("baseline-4096", scaled_baseline(window=4096, memory_latency=500)),
+        ("cooo-64-1024", cooo_config(iq_size=64, sliq_size=1024, memory_latency=500)),
+    ],
+)
+def test_bench_simulation_throughput(benchmark, name, config):
+    result = run_once(benchmark, simulate, config, TRACE)
+    assert result.committed_instructions == len(TRACE)
+    print(f"\n{name}: {result.committed_instructions} instructions in {result.cycles} cycles "
+          f"(IPC {result.ipc:.3f})")

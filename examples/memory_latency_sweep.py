@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Memory-latency tolerance study (the motivation behind Figure 1).
+
+Sweeps the main-memory latency from a perfect L2 to 1000 cycles for three
+machines and for two very different workloads:
+
+* a streaming floating-point kernel (daxpy) — the regime the paper
+  targets, where a large window hides almost any latency;
+* a pointer-chasing integer kernel — the regime where no window size
+  helps because every load depends on the previous one.
+
+The output shows how the Commit Out-of-Order machine tracks the
+unbuildable big-window baseline on the FP code while, as the paper notes,
+neither machine can do much for serial pointer chasing.
+"""
+
+from repro import cooo_config, scaled_baseline, simulate
+from repro.analysis import format_table
+from repro.workloads import daxpy, pointer_chase
+
+
+def run_sweep(trace, latencies):
+    rows = []
+    for latency in latencies:
+        perfect = latency == "perfect"
+        memory_latency = 0 if perfect else latency
+        machines = {
+            "baseline-128": scaled_baseline(
+                window=128, memory_latency=memory_latency, perfect_l2=perfect
+            ),
+            "baseline-4096": scaled_baseline(
+                window=4096, memory_latency=memory_latency, perfect_l2=perfect
+            ),
+            "COoO-64/SLIQ-1024": cooo_config(
+                iq_size=64, sliq_size=1024, memory_latency=memory_latency, perfect_l2=perfect
+            ),
+        }
+        row = {"memory latency": latency}
+        for name, config in machines.items():
+            row[name] = round(simulate(config, trace).ipc, 3)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    latencies = ["perfect", 100, 500, 1000]
+
+    fp_trace = daxpy(elements=400)
+    print(f"=== streaming FP kernel ({fp_trace.name}, {len(fp_trace)} instructions) ===")
+    print(format_table(run_sweep(fp_trace, latencies)))
+    print()
+
+    int_trace = pointer_chase(hops=150)
+    print(f"=== pointer chasing ({int_trace.name}, {len(int_trace)} instructions) ===")
+    print(format_table(run_sweep(int_trace, latencies)))
+    print()
+    print(
+        "Note how the window (and the COoO mechanisms) recover the FP kernel's\n"
+        "performance as latency grows, while pointer chasing stays latency-bound\n"
+        "on every machine — exactly the contrast the paper draws in its introduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

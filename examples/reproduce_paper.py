@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section.
+
+Runs the full experiment registry (Figures 1, 7, 9, 10, 11, 12, 13, 14 and
+the checkpoint-policy ablation) and prints each experiment's table.  With
+the default quick grids and suite scale this takes a few minutes of pure
+Python simulation; pass ``--full`` for the complete parameter grids and
+``--scale`` to grow the workloads.
+
+Usage::
+
+    python examples/reproduce_paper.py                 # quick grids
+    python examples/reproduce_paper.py --full --scale 1.0
+    python examples/reproduce_paper.py --only figure09 figure13
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, available_experiments
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="suite scale (default: the harness default)")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full parameter grids instead of the quick ones")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help=f"subset of experiments to run (from: {', '.join(available_experiments())})")
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else available_experiments()
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        runner = EXPERIMENTS[name]
+        kwargs = {}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.full and "quick" in runner.__code__.co_varnames:
+            kwargs["quick"] = False
+        started = time.time()
+        experiment = runner(**kwargs)
+        elapsed = time.time() - started
+        print(experiment.report())
+        print(f"({name} regenerated in {elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

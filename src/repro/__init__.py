@@ -1,0 +1,95 @@
+"""repro — a reproduction of "Out-of-Order Commit Processors" (HPCA 2004).
+
+The package provides a cycle-level superscalar simulator with two
+machines — a conventional ROB baseline and the paper's checkpoint-based
+out-of-order-commit machine with Slow Lane Instruction Queuing — plus the
+synthetic SPEC2000fp-like workloads and the experiment harness that
+regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import cooo_config, scaled_baseline, simulate, spec2000fp_like
+
+    traces = spec2000fp_like(scale=0.3)
+    baseline = scaled_baseline(window=128, memory_latency=500)
+    cooo = cooo_config(iq_size=64, sliq_size=1024, memory_latency=500)
+    for name, trace in traces.items():
+        print(name, simulate(baseline, trace).ipc, simulate(cooo, trace).ipc)
+"""
+
+from .common.config import (
+    BranchConfig,
+    CacheConfig,
+    CheckpointConfig,
+    CoreConfig,
+    FunctionalUnitConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    RegisterAllocationConfig,
+    SLIQConfig,
+    cooo_config,
+    scaled_baseline,
+    table1_baseline,
+)
+from .common.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DeadlockError,
+    RenameError,
+    ReproError,
+    SimulationError,
+    StructuralHazardError,
+    TraceError,
+)
+from .common.stats import StatsRegistry
+from .core.pipeline import BaselinePipeline, OoOCommitPipeline, build_pipeline
+from .core.processor import Processor, average_ipc, simulate
+from .core.result import SimulationResult
+from .isa.instruction import DynInst, InstState, Instruction, RetireClass
+from .isa.opcodes import OpClass
+from .trace.trace import Trace, TraceCursor
+from .workloads.suite import get_suite, integer_suite, spec2000fp_like
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchConfig",
+    "CacheConfig",
+    "CheckpointConfig",
+    "CoreConfig",
+    "FunctionalUnitConfig",
+    "MemoryConfig",
+    "ProcessorConfig",
+    "RegisterAllocationConfig",
+    "SLIQConfig",
+    "cooo_config",
+    "scaled_baseline",
+    "table1_baseline",
+    "CheckpointError",
+    "ConfigurationError",
+    "DeadlockError",
+    "RenameError",
+    "ReproError",
+    "SimulationError",
+    "StructuralHazardError",
+    "TraceError",
+    "StatsRegistry",
+    "BaselinePipeline",
+    "OoOCommitPipeline",
+    "build_pipeline",
+    "Processor",
+    "average_ipc",
+    "simulate",
+    "SimulationResult",
+    "DynInst",
+    "InstState",
+    "Instruction",
+    "RetireClass",
+    "OpClass",
+    "Trace",
+    "TraceCursor",
+    "get_suite",
+    "integer_suite",
+    "spec2000fp_like",
+    "__version__",
+]

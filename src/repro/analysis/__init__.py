@@ -1,0 +1,36 @@
+"""Post-processing of simulation results: occupancy, breakdowns, reports."""
+
+from .breakdown import (
+    FIGURE12_ORDER,
+    RetirementBreakdown,
+    average_breakdown,
+    retirement_breakdown,
+)
+from .occupancy import (
+    FIGURE7_PERCENTILES,
+    OccupancyProfile,
+    average_profiles,
+    mean_in_flight,
+    occupancy_profile,
+    weighted_mean,
+    weighted_percentile,
+)
+from .report import format_bar_chart, format_stacked_percentages, format_table, indent
+
+__all__ = [
+    "FIGURE12_ORDER",
+    "RetirementBreakdown",
+    "average_breakdown",
+    "retirement_breakdown",
+    "FIGURE7_PERCENTILES",
+    "OccupancyProfile",
+    "average_profiles",
+    "mean_in_flight",
+    "occupancy_profile",
+    "weighted_mean",
+    "weighted_percentile",
+    "format_bar_chart",
+    "format_stacked_percentages",
+    "format_table",
+    "indent",
+]

@@ -1,0 +1,58 @@
+"""Pseudo-ROB retirement breakdown (Figure 12 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..isa.instruction import RetireClass
+from ..core.result import SimulationResult
+
+#: Figure 12 stacks the categories bottom-to-top in this order.
+FIGURE12_ORDER = (
+    RetireClass.MOVED,
+    RetireClass.FINISHED,
+    RetireClass.SHORT_LATENCY,
+    RetireClass.FINISHED_LOAD,
+    RetireClass.LONG_LATENCY_LOAD,
+    RetireClass.STORE,
+)
+
+
+@dataclass
+class RetirementBreakdown:
+    """Fractions of each pseudo-ROB retirement class for one or more runs."""
+
+    workload: str
+    fractions: Dict[RetireClass, float]
+
+    def fraction(self, retire_class: RetireClass) -> float:
+        return self.fractions.get(retire_class, 0.0)
+
+    def as_percentages(self) -> Dict[str, float]:
+        """Human friendly view keyed by category name, values in percent."""
+        return {rc.value: round(self.fraction(rc) * 100.0, 2) for rc in FIGURE12_ORDER}
+
+    @property
+    def total(self) -> float:
+        return sum(self.fractions.values())
+
+
+def retirement_breakdown(result: SimulationResult) -> RetirementBreakdown:
+    """Breakdown of one run (requires the cooo machine's pseudo-ROB stats)."""
+    raw = result.pseudo_rob_breakdown()
+    fractions: Dict[RetireClass, float] = {}
+    for retire_class in RetireClass:
+        fractions[retire_class] = float(raw.get(retire_class.value, 0.0))
+    return RetirementBreakdown(workload=result.workload, fractions=fractions)
+
+
+def average_breakdown(results: Sequence[SimulationResult]) -> RetirementBreakdown:
+    """Average the breakdown over a suite of workloads (one Figure-12 bar)."""
+    if not results:
+        raise ValueError("need at least one result")
+    breakdowns = [retirement_breakdown(result) for result in results]
+    averaged: Dict[RetireClass, float] = {}
+    for retire_class in RetireClass:
+        averaged[retire_class] = sum(b.fraction(retire_class) for b in breakdowns) / len(breakdowns)
+    return RetirementBreakdown(workload="average", fractions=averaged)

@@ -1,0 +1,89 @@
+"""Plain-text reporting: aligned tables and ASCII bar charts.
+
+The experiment harness prints its results through these helpers so the
+benchmark output looks like the rows/series the paper reports, without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        # Union of keys across rows, in order of first appearance, so rows
+        # with extra summary columns still display them.
+        seen: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(str(column)), max((len(row[index]) for row in rendered), default=0))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Render labelled values as horizontal ASCII bars."""
+    if not values:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(values.values())
+    peak = peak if peak > 0 else 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar_length = int(round(width * value / peak)) if peak else 0
+        bar = "#" * max(0, bar_length)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def format_stacked_percentages(
+    stacks: Mapping[str, Mapping[str, float]],
+    categories: Sequence[str],
+) -> str:
+    """Render stacked-percentage data (Figure 12 style) as a table."""
+    rows = []
+    for label, stack in stacks.items():
+        row: Dict[str, object] = {"config": label}
+        for category in categories:
+            row[category] = f"{stack.get(category, 0.0):.1f}%"
+        rows.append(row)
+    return format_table(rows, columns=["config", *categories])
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of ``text`` (used when nesting reports)."""
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,40 @@
+"""Branch prediction: gshare, bimodal, static predictors and a BTB."""
+
+from ..common.config import BranchConfig
+from ..common.stats import StatsRegistry
+from .btb import BranchTargetBuffer
+from .gshare import GSharePredictor
+from .predictor import (
+    BimodalPredictor,
+    BranchPredictor,
+    PerfectPredictor,
+    StaticNotTakenPredictor,
+    StaticTakenPredictor,
+)
+
+
+def build_predictor(config: BranchConfig, stats: StatsRegistry) -> BranchPredictor:
+    """Factory mapping ``BranchConfig.kind`` to a predictor instance."""
+    if config.perfect:
+        return PerfectPredictor(config, stats)
+    if config.kind == "gshare":
+        return GSharePredictor(config, stats)
+    if config.kind == "bimodal":
+        return BimodalPredictor(config, stats)
+    if config.kind == "static_taken":
+        return StaticTakenPredictor(config, stats)
+    if config.kind == "static_not_taken":
+        return StaticNotTakenPredictor(config, stats)
+    raise ValueError(f"unknown branch predictor kind {config.kind!r}")
+
+
+__all__ = [
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "GSharePredictor",
+    "BimodalPredictor",
+    "PerfectPredictor",
+    "StaticTakenPredictor",
+    "StaticNotTakenPredictor",
+    "build_predictor",
+]

@@ -1,0 +1,49 @@
+"""A direct-mapped branch target buffer.
+
+The trace already knows every branch target, so the BTB only influences
+performance through *misses*: a taken branch whose target is not in the
+BTB is treated as a misprediction by the front end (it cannot redirect
+fetch to an unknown target).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import BranchConfig
+from ..common.stats import StatsRegistry
+
+
+class BranchTargetBuffer:
+    """Direct-mapped tagged target buffer."""
+
+    def __init__(self, config: BranchConfig, stats: StatsRegistry) -> None:
+        self._entries = config.btb_entries
+        self._mask = self._entries - 1
+        self._tags = [None] * self._entries  # type: list[Optional[int]]
+        self._targets = [0] * self._entries
+        self._hits = stats.counter("btb.hits")
+        self._misses = stats.counter("btb.misses")
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target of the branch at ``pc`` or None on a BTB miss."""
+        index = self._index(pc)
+        if self._tags[index] == pc:
+            self._hits.add()
+            return self._targets[index]
+        self._misses.add()
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install (or refresh) the target of a resolved taken branch."""
+        index = self._index(pc)
+        self._tags[index] = pc
+        self._targets[index] = target
+
+    def invalidate(self) -> None:
+        """Flush the whole buffer (used by tests)."""
+        self._tags = [None] * self._entries
+        self._targets = [0] * self._entries

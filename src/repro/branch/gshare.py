@@ -1,0 +1,75 @@
+"""The gshare global-history predictor used by Table 1 (16K entries)."""
+
+from __future__ import annotations
+
+from ..common.config import BranchConfig
+from ..common.stats import StatsRegistry
+from .predictor import BranchPredictor
+
+
+class GSharePredictor(BranchPredictor):
+    """gshare: global history XOR pc indexes a table of 2-bit counters.
+
+    The global history register is updated speculatively at prediction
+    time and repaired on a misprediction (the pipeline calls
+    :meth:`repair_history` with the history snapshot it saved when the
+    branch was predicted).
+    """
+
+    def __init__(self, config: BranchConfig, stats: StatsRegistry) -> None:
+        super().__init__(config, stats)
+        self._entries = config.history_entries
+        self._index_mask = self._entries - 1
+        self._history_bits = max(1, self._entries.bit_length() - 1)
+        self._history_mask = (1 << self._history_bits) - 1
+        self._counters = [2] * self._entries  # initialised weakly taken
+        self._history = 0
+
+    # -- history management -------------------------------------------------
+    @property
+    def history(self) -> int:
+        """Current (speculative) global history register."""
+        return self._history
+
+    def repair_history(self, history: int) -> None:
+        """Restore the history register after a squash.
+
+        ``history`` should be the value captured *after* the mispredicted
+        branch's own (corrected) outcome was shifted in.
+        """
+        self._history = history & self._history_mask
+
+    def snapshot_history(self) -> int:
+        """History value to stash alongside a predicted branch."""
+        return self._history
+
+    # -- prediction -----------------------------------------------------------
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        index = self._index(pc, self._history)
+        prediction = self._counters[index] >= 2
+        # Speculative history update with the predicted direction.
+        self._history = ((self._history << 1) | int(prediction)) & self._history_mask
+        return prediction
+
+    def update(self, pc: int, taken: bool, history: int = None) -> None:  # type: ignore[assignment]
+        """Train the counter that produced the prediction.
+
+        ``history`` is the snapshot taken at prediction time; when omitted
+        the current history is used (good enough for tests that train the
+        predictor in isolation).
+        """
+        used_history = self._history if history is None else history
+        index = self._index(pc, used_history)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(3, counter + 1)
+        else:
+            self._counters[index] = max(0, counter - 1)
+
+    def correct_history(self, history_before: int, taken: bool) -> None:
+        """Rebuild history after a misprediction of a branch predicted with
+        ``history_before``: shift in the *actual* outcome."""
+        self._history = ((history_before << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three subcommands cover the common workflows:
+
+``simulate``
+    Run one machine configuration over one workload (or a whole suite) and
+    print the per-run statistics.
+
+``experiment``
+    Regenerate one of the paper's figures (or the checkpoint-policy
+    ablation) and print its table.
+
+``list``
+    Show the available workloads, suites and experiments.
+
+Examples::
+
+    python -m repro simulate --machine cooo --workload daxpy --memory-latency 1000
+    python -m repro simulate --machine baseline --window 128 --suite spec2000fp_like
+    python -m repro experiment figure09 --scale 0.5
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis.report import format_table
+from .common.config import ProcessorConfig, cooo_config, scaled_baseline
+from .core.processor import Processor
+from .core.result import SimulationResult
+from .experiments.registry import EXPERIMENTS, available_experiments
+from .trace.trace import Trace
+from .workloads import integer, numerical
+from .workloads.suite import SUITES, get_suite
+
+#: Individual workload generators exposed on the command line.
+WORKLOADS: Dict[str, Callable[[int], Trace]] = {
+    "daxpy": lambda n: numerical.daxpy(elements=n),
+    "triad": lambda n: numerical.stream_triad(elements=n),
+    "stencil3": lambda n: numerical.stencil3(elements=n),
+    "reduction": lambda n: numerical.reduction(elements=n),
+    "gather": lambda n: numerical.random_gather(elements=n),
+    "matvec": lambda n: numerical.matvec(rows=max(2, n // 32), cols=32),
+    "blocked": lambda n: numerical.blocked_daxpy(elements=n),
+    "fp_compute": lambda n: numerical.fp_compute_bound(iterations=n),
+    "pointer_chase": lambda n: integer.pointer_chase(hops=n),
+    "branchy_int": lambda n: integer.branchy_integer(iterations=n),
+    "mixed": lambda n: integer.mixed_int_fp(iterations=n),
+}
+
+
+def build_machine(args: argparse.Namespace) -> ProcessorConfig:
+    """Translate CLI arguments into a ProcessorConfig."""
+    if args.machine == "baseline":
+        return scaled_baseline(
+            window=args.window,
+            memory_latency=args.memory_latency,
+            perfect_l2=args.perfect_l2,
+        )
+    return cooo_config(
+        iq_size=args.iq_size,
+        sliq_size=args.sliq_size,
+        checkpoints=args.checkpoints,
+        memory_latency=args.memory_latency,
+        reinsert_delay=args.reinsert_delay,
+        perfect_l2=args.perfect_l2,
+        virtual_tags=args.virtual_tags,
+        physical_registers=args.physical_registers
+        if args.physical_registers is not None
+        else 4096,
+        late_allocation=args.late_allocation,
+    )
+
+
+def _result_row(name: str, result: SimulationResult) -> Dict[str, object]:
+    return {
+        "workload": name,
+        "ipc": round(result.ipc, 4),
+        "cycles": result.cycles,
+        "instructions": result.committed_instructions,
+        "in_flight": round(result.mean_in_flight, 1),
+        "branch_acc": round(result.branch_accuracy, 4),
+        "l2_miss%": round(100 * result.l2_load_miss_fraction, 2),
+    }
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = build_machine(args)
+    if args.suite:
+        traces = get_suite(args.suite).build(args.scale)
+    elif args.workload:
+        traces = {args.workload: WORKLOADS[args.workload](args.size)}
+    else:
+        print("error: provide --workload or --suite", file=sys.stderr)
+        return 2
+    processor = Processor(config)
+    rows: List[Dict[str, object]] = []
+    results = {}
+    for name, trace in traces.items():
+        result = processor.run(trace)
+        results[name] = result
+        rows.append(_result_row(name, result))
+    print(f"machine: {config.name or config.mode}")
+    print(format_table(rows))
+    if len(rows) > 1:
+        mean_ipc = sum(row["ipc"] for row in rows) / len(rows)  # type: ignore[arg-type]
+        print(f"\nsuite average IPC: {mean_ipc:.4f}")
+    if args.json:
+        payload = {
+            "machine": config.describe(),
+            "results": {name: result.summary_row() for name, result in results.items()},
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name not in EXPERIMENTS:
+        print(
+            f"error: unknown experiment {args.name!r}; available: "
+            f"{', '.join(available_experiments())}",
+            file=sys.stderr,
+        )
+        return 2
+    runner = EXPERIMENTS[args.name]
+    kwargs: Dict[str, object] = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.full and "quick" in runner.__code__.co_varnames:
+        kwargs["quick"] = False
+    experiment = runner(**kwargs)
+    print(experiment.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "experiment": experiment.experiment,
+                    "description": experiment.description,
+                    "rows": experiment.rows,
+                    "notes": experiment.notes,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in sorted(WORKLOADS):
+        print(f"  {name}")
+    print("suites:")
+    for name, suite in SUITES.items():
+        print(f"  {name}: {', '.join(suite.names())}")
+    print("experiments:")
+    for name in available_experiments():
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Out-of-Order Commit Processors' (HPCA 2004)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    simulate = subparsers.add_parser("simulate", help="run one machine over one workload or suite")
+    simulate.add_argument("--machine", choices=("baseline", "cooo"), default="cooo")
+    simulate.add_argument("--workload", choices=sorted(WORKLOADS), default=None)
+    simulate.add_argument("--suite", choices=sorted(SUITES), default=None)
+    simulate.add_argument("--size", type=int, default=1000,
+                          help="workload size parameter (elements/iterations)")
+    simulate.add_argument("--scale", type=float, default=0.5, help="suite scale")
+    simulate.add_argument("--memory-latency", type=int, default=1000)
+    simulate.add_argument("--perfect-l2", action="store_true")
+    simulate.add_argument("--window", type=int, default=128, help="baseline window size")
+    simulate.add_argument("--iq-size", type=int, default=128)
+    simulate.add_argument("--sliq-size", type=int, default=2048)
+    simulate.add_argument("--checkpoints", type=int, default=8)
+    simulate.add_argument("--reinsert-delay", type=int, default=4)
+    simulate.add_argument("--virtual-tags", type=int, default=None)
+    simulate.add_argument("--physical-registers", type=int, default=None)
+    simulate.add_argument("--late-allocation", action="store_true")
+    simulate.add_argument("--json", default=None, help="write results to this JSON file")
+    simulate.set_defaults(func=cmd_simulate)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate one paper figure")
+    experiment.add_argument("name", help="experiment name (see 'repro list')")
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--full", action="store_true", help="use the full parameter grid")
+    experiment.add_argument("--json", default=None, help="write the rows to this JSON file")
+    experiment.set_defaults(func=cmd_experiment)
+
+    listing = subparsers.add_parser("list", help="list workloads, suites and experiments")
+    listing.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,398 @@
+"""Configuration objects for the simulated machines.
+
+The classes here mirror Table 1 of the paper plus the knobs that the
+evaluation sweeps (ROB size, issue-queue size, SLIQ size, number of
+checkpoints, memory latency, and so on).  Every class is an immutable-ish
+dataclass with a :meth:`validate` method; :func:`table1_baseline` builds
+the exact configuration of Table 1 and the ``scaled_baseline`` /
+``cooo_config`` helpers build the families of machines used by the
+figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from .errors import ConfigurationError
+
+
+def _positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def _non_negative(name: str, value: int) -> None:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+
+
+def _power_of_two(name: str, value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of a single cache level.
+
+    Parameters mirror Table 1: size in bytes, associativity, line size in
+    bytes and the access latency in cycles.
+    """
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    latency: int
+    name: str = "cache"
+
+    def validate(self) -> None:
+        _positive(f"{self.name}.size_bytes", self.size_bytes)
+        _positive(f"{self.name}.assoc", self.assoc)
+        _power_of_two(f"{self.name}.line_bytes", self.line_bytes)
+        _non_negative(f"{self.name}.latency", self.latency)
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} is not a multiple of "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+        _power_of_two(f"{self.name}.num_sets", self.num_sets)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by size, associativity and line size."""
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass
+class MemoryConfig:
+    """The full memory hierarchy: IL1, DL1, unified L2 and main memory."""
+
+    il1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, 32, 2, name="il1")
+    )
+    dl1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 4, 32, 2, name="dl1")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(512 * 1024, 4, 64, 10, name="l2")
+    )
+    memory_latency: int = 1000
+    memory_ports: int = 2
+    perfect_l2: bool = False
+    perfect_dl1: bool = False
+    prefetcher: str = "none"
+    prefetch_degree: int = 2
+
+    def validate(self) -> None:
+        self.il1.validate()
+        self.dl1.validate()
+        self.l2.validate()
+        _non_negative("memory_latency", self.memory_latency)
+        _positive("memory_ports", self.memory_ports)
+        if self.prefetcher not in ("none", "next_line", "stride"):
+            raise ConfigurationError(f"unknown prefetcher {self.prefetcher!r}")
+        _positive("prefetch_degree", self.prefetch_degree)
+
+
+@dataclass
+class BranchConfig:
+    """Branch-predictor configuration (16K-history gshare in Table 1)."""
+
+    kind: str = "gshare"
+    history_entries: int = 16 * 1024
+    penalty: int = 10
+    btb_entries: int = 4096
+    perfect: bool = False
+
+    def validate(self) -> None:
+        if self.kind not in ("gshare", "static_taken", "static_not_taken", "bimodal"):
+            raise ConfigurationError(f"unknown branch predictor kind {self.kind!r}")
+        _power_of_two("branch.history_entries", self.history_entries)
+        _power_of_two("branch.btb_entries", self.btb_entries)
+        _non_negative("branch.penalty", self.penalty)
+
+
+@dataclass
+class FunctionalUnitConfig:
+    """Counts and latencies of the execution resources (Table 1)."""
+
+    int_alu_count: int = 4
+    int_alu_latency: int = 1
+    int_mul_count: int = 2
+    int_mul_latency: int = 3
+    int_div_latency: int = 20
+    fp_count: int = 4
+    fp_latency: int = 2
+    fp_div_latency: int = 20
+    agen_latency: int = 1
+
+    def validate(self) -> None:
+        for name in ("int_alu_count", "int_mul_count", "fp_count"):
+            _positive(f"fu.{name}", getattr(self, name))
+        for name in (
+            "int_alu_latency",
+            "int_mul_latency",
+            "int_div_latency",
+            "fp_latency",
+            "fp_div_latency",
+            "agen_latency",
+        ):
+            _positive(f"fu.{name}", getattr(self, name))
+
+
+@dataclass
+class CoreConfig:
+    """Window sizes and widths of the out-of-order core."""
+
+    fetch_width: int = 4
+    commit_width: int = 4
+    issue_width: int = 4
+    rob_size: int = 4096
+    int_queue_size: int = 4096
+    fp_queue_size: int = 4096
+    lsq_size: int = 4096
+    physical_registers: int = 4096
+    fu: FunctionalUnitConfig = field(default_factory=FunctionalUnitConfig)
+
+    def validate(self) -> None:
+        for name in (
+            "fetch_width",
+            "commit_width",
+            "issue_width",
+            "rob_size",
+            "int_queue_size",
+            "fp_queue_size",
+            "lsq_size",
+            "physical_registers",
+        ):
+            _positive(f"core.{name}", getattr(self, name))
+        self.fu.validate()
+
+
+@dataclass
+class CheckpointConfig:
+    """Checkpoint-table parameters for the out-of-order-commit machine."""
+
+    table_size: int = 8
+    branch_threshold: int = 64
+    instruction_threshold: int = 512
+    store_threshold: int = 64
+    policy: str = "paper"
+
+    def validate(self) -> None:
+        _positive("checkpoint.table_size", self.table_size)
+        _positive("checkpoint.branch_threshold", self.branch_threshold)
+        _positive("checkpoint.instruction_threshold", self.instruction_threshold)
+        _positive("checkpoint.store_threshold", self.store_threshold)
+        if self.policy not in ("paper", "every_n", "branch_only", "store_only"):
+            raise ConfigurationError(f"unknown checkpoint policy {self.policy!r}")
+        if self.instruction_threshold < self.branch_threshold:
+            raise ConfigurationError(
+                "checkpoint.instruction_threshold must be >= branch_threshold"
+            )
+
+
+@dataclass
+class SLIQConfig:
+    """Pseudo-ROB + Slow Lane Instruction Queue parameters."""
+
+    enabled: bool = True
+    size: int = 2048
+    pseudo_rob_size: int = 128
+    reinsert_width: int = 4
+    reinsert_delay: int = 4
+
+    def validate(self) -> None:
+        _positive("sliq.size", self.size)
+        _positive("sliq.pseudo_rob_size", self.pseudo_rob_size)
+        _positive("sliq.reinsert_width", self.reinsert_width)
+        _non_negative("sliq.reinsert_delay", self.reinsert_delay)
+
+
+@dataclass
+class RegisterAllocationConfig:
+    """Late (virtual-tag) register allocation used by Figure 14.
+
+    When ``late_allocation`` is false (the default) physical registers are
+    allocated at rename, as in a conventional machine.  When true, rename
+    hands out a *virtual tag* and the physical register is only claimed
+    when the producing instruction writes back; ``virtual_tags`` then
+    limits the number of in-flight destinations.
+    """
+
+    late_allocation: bool = False
+    virtual_tags: int = 4096
+
+    def validate(self) -> None:
+        _positive("regalloc.virtual_tags", self.virtual_tags)
+
+
+@dataclass
+class ProcessorConfig:
+    """Complete description of one simulated machine.
+
+    ``mode`` selects between the conventional ROB machine (``"baseline"``)
+    and the paper's checkpoint-based machine (``"cooo"``).
+    """
+
+    mode: str = "baseline"
+    core: CoreConfig = field(default_factory=CoreConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    branch: BranchConfig = field(default_factory=BranchConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    sliq: SLIQConfig = field(default_factory=SLIQConfig)
+    regalloc: RegisterAllocationConfig = field(default_factory=RegisterAllocationConfig)
+    deadlock_cycles: int = 2_000_000
+    name: str = ""
+
+    def validate(self) -> "ProcessorConfig":
+        if self.mode not in ("baseline", "cooo"):
+            raise ConfigurationError(f"unknown processor mode {self.mode!r}")
+        self.core.validate()
+        self.memory.validate()
+        self.branch.validate()
+        self.checkpoint.validate()
+        self.sliq.validate()
+        self.regalloc.validate()
+        _positive("deadlock_cycles", self.deadlock_cycles)
+        if self.mode == "cooo" and not self.sliq.enabled:
+            # Allowed (checkpointing without SLIQ), nothing to check.
+            pass
+        if self.regalloc.late_allocation and self.mode != "cooo":
+            raise ConfigurationError(
+                "late register allocation is only modelled for the cooo machine"
+            )
+        return self
+
+    def describe(self) -> Dict[str, object]:
+        """Flat dictionary view, convenient for result tables."""
+        return {
+            "name": self.name or self.mode,
+            "mode": self.mode,
+            "rob_size": self.core.rob_size,
+            "iq_size": self.core.int_queue_size,
+            "lsq_size": self.core.lsq_size,
+            "physical_registers": self.core.physical_registers,
+            "checkpoints": self.checkpoint.table_size,
+            "sliq_size": self.sliq.size if self.sliq.enabled else 0,
+            "pseudo_rob_size": self.sliq.pseudo_rob_size if self.sliq.enabled else 0,
+            "memory_latency": self.memory.memory_latency,
+            "perfect_l2": self.memory.perfect_l2,
+            "virtual_tags": self.regalloc.virtual_tags,
+            "late_allocation": self.regalloc.late_allocation,
+        }
+
+    def copy(self, **changes: object) -> "ProcessorConfig":
+        """Return a deep copy with top-level fields replaced."""
+        cfg = dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+        return _deep_copy_config(cfg)
+
+
+def _deep_copy_config(cfg: ProcessorConfig) -> ProcessorConfig:
+    return ProcessorConfig(
+        mode=cfg.mode,
+        core=replace(cfg.core, fu=replace(cfg.core.fu)),
+        memory=replace(
+            cfg.memory,
+            il1=replace(cfg.memory.il1),
+            dl1=replace(cfg.memory.dl1),
+            l2=replace(cfg.memory.l2),
+        ),
+        branch=replace(cfg.branch),
+        checkpoint=replace(cfg.checkpoint),
+        sliq=replace(cfg.sliq),
+        regalloc=replace(cfg.regalloc),
+        deadlock_cycles=cfg.deadlock_cycles,
+        name=cfg.name,
+    )
+
+
+def table1_baseline(memory_latency: int = 1000, perfect_l2: bool = False) -> ProcessorConfig:
+    """The baseline machine of Table 1 (4096-entry everything)."""
+    cfg = ProcessorConfig(
+        mode="baseline",
+        core=CoreConfig(),
+        memory=MemoryConfig(memory_latency=memory_latency, perfect_l2=perfect_l2),
+        branch=BranchConfig(),
+        name=f"table1-baseline-lat{memory_latency}" + ("-perfectL2" if perfect_l2 else ""),
+    )
+    return cfg.validate()
+
+
+def scaled_baseline(
+    window: int,
+    memory_latency: int = 1000,
+    perfect_l2: bool = False,
+    physical_registers: Optional[int] = None,
+) -> ProcessorConfig:
+    """Baseline with ROB, queues, LSQ and registers scaled to ``window``.
+
+    This is the family of machines behind Figure 1 and the reference lines
+    of Figures 9 and 11.
+    """
+    _positive("window", window)
+    # Scale the register file with the window but keep the 64 architectural
+    # mappings on top, so the ROB/queues (not renaming) are the limiter.
+    regs = physical_registers if physical_registers is not None else window + 64
+    cfg = ProcessorConfig(
+        mode="baseline",
+        core=CoreConfig(
+            rob_size=window,
+            int_queue_size=window,
+            fp_queue_size=window,
+            lsq_size=window,
+            physical_registers=regs,
+        ),
+        memory=MemoryConfig(memory_latency=memory_latency, perfect_l2=perfect_l2),
+        name=f"baseline-{window}-lat{memory_latency}" + ("-perfectL2" if perfect_l2 else ""),
+    )
+    return cfg.validate()
+
+
+def cooo_config(
+    iq_size: int = 128,
+    sliq_size: int = 2048,
+    checkpoints: int = 8,
+    memory_latency: int = 1000,
+    pseudo_rob_size: Optional[int] = None,
+    reinsert_delay: int = 4,
+    physical_registers: int = 4096,
+    lsq_size: int = 4096,
+    virtual_tags: Optional[int] = None,
+    late_allocation: bool = False,
+    perfect_l2: bool = False,
+) -> ProcessorConfig:
+    """The paper's Commit Out-of-Order machine.
+
+    ``iq_size`` is both the general-purpose issue queue size and the
+    pseudo-ROB size (the paper always sets them equal); ``sliq_size`` is
+    the secondary buffer; ``checkpoints`` is the checkpoint-table size.
+    """
+    _positive("iq_size", iq_size)
+    prob = pseudo_rob_size if pseudo_rob_size is not None else iq_size
+    cfg = ProcessorConfig(
+        mode="cooo",
+        core=CoreConfig(
+            rob_size=4096,  # unused by the cooo machine but kept for symmetry
+            int_queue_size=iq_size,
+            fp_queue_size=iq_size,
+            lsq_size=lsq_size,
+            physical_registers=physical_registers,
+        ),
+        memory=MemoryConfig(memory_latency=memory_latency, perfect_l2=perfect_l2),
+        checkpoint=CheckpointConfig(table_size=checkpoints),
+        sliq=SLIQConfig(
+            enabled=True,
+            size=sliq_size,
+            pseudo_rob_size=prob,
+            reinsert_delay=reinsert_delay,
+        ),
+        regalloc=RegisterAllocationConfig(
+            late_allocation=late_allocation,
+            virtual_tags=virtual_tags if virtual_tags is not None else 4096,
+        ),
+        name=f"cooo-iq{iq_size}-sliq{sliq_size}-ckpt{checkpoints}-lat{memory_latency}",
+    )
+    return cfg.validate()

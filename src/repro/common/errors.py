@@ -1,0 +1,43 @@
+"""Exception hierarchy for the simulator.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers embedding the simulator can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class TraceError(ReproError):
+    """Raised when a trace is malformed or a cursor is misused."""
+
+
+class StructuralHazardError(ReproError):
+    """Raised when a hardware structure is asked to exceed its capacity.
+
+    The pipeline normally checks for free entries before allocating, so
+    this error indicates a simulator bug rather than a modelled stall.
+    """
+
+
+class RenameError(ReproError):
+    """Raised on inconsistent register-renaming state."""
+
+
+class CheckpointError(ReproError):
+    """Raised on inconsistent checkpoint-table state."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation cannot make forward progress."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when no instruction commits for an implausible number of cycles."""

@@ -1,0 +1,270 @@
+"""Statistics collection for the simulator.
+
+Every hardware model registers its counters, histograms and samplers in a
+shared :class:`StatsRegistry`.  The registry is deliberately simple — a
+flat namespace of named statistics — so the experiment harness can dump
+everything into result tables without knowing which module produced which
+number.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing (or explicitly settable) scalar statistic."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: float = 1) -> None:
+        """Increment the counter by ``amount`` (default 1)."""
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite the counter value."""
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningMean:
+    """Streaming mean/min/max over sampled values (e.g. per-cycle occupancy)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def sample(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunningMean({self.name}: mean={self.mean:.3f}, n={self.count})"
+
+
+class Histogram:
+    """A bucketed histogram keyed by integer (or string) bucket labels."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[object, float] = {}
+
+    def add(self, bucket: object, amount: float = 1) -> None:
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + amount
+
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def fraction(self, bucket: object) -> float:
+        """Fraction of all observations falling in ``bucket``."""
+        total = self.total()
+        if total == 0:
+            return 0.0
+        return self.buckets.get(bucket, 0) / total
+
+    def as_dict(self) -> Dict[object, float]:
+        return dict(self.buckets)
+
+    def reset(self) -> None:
+        self.buckets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}: {self.buckets})"
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence.
+
+    ``fraction`` is in [0, 1].  An empty sequence returns 0.0.
+    """
+    if not sorted_values:
+        return 0.0
+    if fraction <= 0:
+        return sorted_values[0]
+    if fraction >= 1:
+        return sorted_values[-1]
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    interpolated = sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+    # Clamp against floating-point rounding so the result always lies
+    # between the two bracketing samples.
+    return min(max(interpolated, sorted_values[lower]), sorted_values[upper])
+
+
+class WeightedDistribution:
+    """A distribution of values weighted by how many cycles each was observed.
+
+    Used for the Figure 7 style "X% of the time the window held fewer than
+    N instructions" percentile curves.
+    """
+
+    __slots__ = ("name", "_weights")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._weights: Dict[int, int] = {}
+
+    def sample(self, value: int, weight: int = 1) -> None:
+        self._weights[value] = self._weights.get(value, 0) + weight
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self._weights.values())
+
+    def percentile(self, fraction: float) -> int:
+        """Smallest value v such that at least ``fraction`` of the weight is <= v."""
+        total = self.total_weight
+        if total == 0:
+            return 0
+        target = fraction * total
+        cumulative = 0
+        for value in sorted(self._weights):
+            cumulative += self._weights[value]
+            if cumulative >= target:
+                return value
+        return max(self._weights)
+
+    def mean(self) -> float:
+        total = self.total_weight
+        if total == 0:
+            return 0.0
+        return sum(v * w for v, w in self._weights.items()) / total
+
+    def reset(self) -> None:
+        self._weights.clear()
+
+
+class StatsRegistry:
+    """Flat namespace of statistics shared by all hardware models."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._means: Dict[str, RunningMean] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._distributions: Dict[str, WeightedDistribution] = {}
+
+    # -- creation -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def running_mean(self, name: str) -> RunningMean:
+        if name not in self._means:
+            self._means[name] = RunningMean(name)
+        return self._means[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def distribution(self, name: str) -> WeightedDistribution:
+        if name not in self._distributions:
+            self._distributions[name] = WeightedDistribution(name)
+        return self._distributions[name]
+
+    # -- access -------------------------------------------------------
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Value of counter ``name`` or ``default`` if it was never created."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def mean(self, name: str, default: float = 0.0) -> float:
+        mean = self._means.get(name)
+        return mean.mean if mean is not None else default
+
+    def counters(self) -> Mapping[str, Counter]:
+        return dict(self._counters)
+
+    def histograms(self) -> Mapping[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serialise everything into plain Python values."""
+        data: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            data[name] = counter.value
+        for name, mean in self._means.items():
+            data[name + ".mean"] = mean.mean
+            data[name + ".max"] = mean.max
+        for name, histogram in self._histograms.items():
+            data[name] = histogram.as_dict()
+        for name, dist in self._distributions.items():
+            data[name] = {
+                "weights": {int(k): v for k, v in dist._weights.items()},
+                "mean": dist.mean(),
+            }
+        return data
+
+    def reset(self) -> None:
+        for group in (self._counters, self._means, self._histograms, self._distributions):
+            for stat in group.values():
+                stat.reset()
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe division helper used all over the reporting code."""
+    return numerator / denominator if denominator else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; zero or negative inputs fall back to arithmetic mean."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        return sum(values) / len(values)
+    log_sum = sum(math.log(v) for v in values)
+    return math.exp(log_sum / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)

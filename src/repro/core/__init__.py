@@ -1,0 +1,46 @@
+"""The out-of-order core models: both machines and all their structures."""
+
+from .cam_rename import CAMRenamer, RenameSnapshot
+from .checkpoint import Checkpoint, CheckpointPolicy, CheckpointTable
+from .frontend import FetchUnit
+from .fu import ExecutionUnits, FunctionalUnitPool
+from .iq import InstructionQueue, WakeupNetwork
+from .lsq import LoadStoreQueue
+from .pipeline import BaselinePipeline, OoOCommitPipeline, PipelineBase, build_pipeline
+from .processor import Processor, average_ipc, simulate
+from .pseudo_rob import PseudoROB
+from .regfile import PhysicalPool, PhysicalRegisterFile
+from .rename_map import MapTableRenamer
+from .result import SimulationResult, build_result
+from .rob import ReorderBuffer
+from .sliq import LongLatencyTracker, SlowLaneQueue
+
+__all__ = [
+    "CAMRenamer",
+    "RenameSnapshot",
+    "Checkpoint",
+    "CheckpointPolicy",
+    "CheckpointTable",
+    "FetchUnit",
+    "ExecutionUnits",
+    "FunctionalUnitPool",
+    "InstructionQueue",
+    "WakeupNetwork",
+    "LoadStoreQueue",
+    "BaselinePipeline",
+    "OoOCommitPipeline",
+    "PipelineBase",
+    "build_pipeline",
+    "Processor",
+    "average_ipc",
+    "simulate",
+    "PseudoROB",
+    "PhysicalPool",
+    "PhysicalRegisterFile",
+    "MapTableRenamer",
+    "SimulationResult",
+    "build_result",
+    "ReorderBuffer",
+    "LongLatencyTracker",
+    "SlowLaneQueue",
+]

@@ -1,0 +1,170 @@
+"""The fetch engine: trace cursor, branch prediction and fetch redirects.
+
+Because the simulator is trace-driven it cannot synthesise wrong-path
+instructions.  Instead, when the front end fetches a branch whose
+prediction disagrees with the trace outcome (or a taken branch that misses
+in the BTB), it marks the branch mispredicted and *keeps fetching* the
+following (correct-path) instructions as stand-ins for the wrong path:
+they occupy the window, consume bandwidth and are squashed when the branch
+resolves, at which point the cursor is rewound and fetch restarts after
+the redirect penalty.  This reproduces the first-order cost of a
+misprediction — recovery distance and pipeline refill — which is exactly
+what distinguishes pseudo-ROB recovery from checkpoint rollback in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..branch import BranchTargetBuffer, GSharePredictor, build_predictor
+from ..common.config import BranchConfig, MemoryConfig
+from ..common.stats import StatsRegistry
+from ..isa.instruction import Instruction
+from ..memory.hierarchy import CacheHierarchy
+from ..trace.trace import Trace, TraceCursor
+
+
+@dataclass
+class FetchedInstruction:
+    """One instruction handed to the pipeline by the front end."""
+
+    trace_index: int
+    instr: Instruction
+    predicted_taken: Optional[bool]
+    mispredicted: bool
+
+
+class FetchUnit:
+    """Fetches instructions from a replayable trace through the I-cache."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        branch_config: BranchConfig,
+        hierarchy: CacheHierarchy,
+        stats: StatsRegistry,
+        fetch_width: int,
+    ) -> None:
+        self.cursor = TraceCursor(trace)
+        self.config = branch_config
+        self.hierarchy = hierarchy
+        self.fetch_width = fetch_width
+        self.predictor = build_predictor(branch_config, stats)
+        self.btb = BranchTargetBuffer(branch_config, stats)
+        self._stall_branch_seq: Optional[int] = None
+        self._resume_cycle = 0
+        self._fetched = stats.counter("fetch.instructions")
+        self._stall_cycles = stats.counter("fetch.mispredict_stall_cycles")
+        self._redirects = stats.counter("fetch.redirects")
+
+    # -- status -----------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor.exhausted
+
+    @property
+    def stalled(self) -> bool:
+        return self._stall_branch_seq is not None
+
+    def can_fetch(self, cycle: int) -> bool:
+        """True if the front end may fetch this cycle."""
+        if self.exhausted or self.stalled:
+            return False
+        return cycle >= self._resume_cycle
+
+    # -- fetching ------------------------------------------------------------------
+    def fetch_block(self, cycle: int) -> List[FetchedInstruction]:
+        """Fetch up to ``fetch_width`` instructions starting at ``cycle``.
+
+        The block ends early at a taken branch (one redirect per cycle).
+        Mispredicted branches do not stop fetch: the following correct-path
+        instructions stand in for the wrong path until the branch resolves
+        and the pipeline squashes them (see the module docstring).
+        """
+        block: List[FetchedInstruction] = []
+        if not self.can_fetch(cycle):
+            if self.stalled:
+                self._stall_cycles.add()
+            return block
+        first = self.cursor.peek()
+        if first is not None:
+            icache_latency = self.hierarchy.inst_access(first.pc, cycle)
+            if icache_latency > self.hierarchy.config.il1.latency:
+                # An instruction-cache miss simply delays the next fetch.
+                self._resume_cycle = cycle + icache_latency
+        while len(block) < self.fetch_width:
+            instr = self.cursor.peek()
+            if instr is None:
+                break
+            trace_index = self.cursor.position
+            self.cursor.fetch()
+            self._fetched.add()
+            predicted: Optional[bool] = None
+            mispredicted = False
+            if instr.is_branch:
+                predicted, mispredicted = self._handle_branch(instr)
+            block.append(FetchedInstruction(trace_index, instr, predicted, mispredicted))
+            if instr.is_branch and instr.branch_taken:
+                self._redirects.add()
+                break
+        return block
+
+    def _handle_branch(self, instr: Instruction) -> tuple:
+        """Predict one branch, train the tables and detect a misprediction."""
+        if self.config.perfect:
+            return instr.branch_taken, False
+        history = None
+        if isinstance(self.predictor, GSharePredictor):
+            history = self.predictor.snapshot_history()
+        predicted = self.predictor.predict(instr.pc)
+        actual = instr.branch_taken
+        target_known = True
+        if actual:
+            target_known = self.btb.lookup(instr.pc) is not None
+            self.btb.update(instr.pc, instr.branch_target or 0)
+        mispredicted = predicted != actual or (actual and not target_known)
+        self.predictor.record_outcome(predicted, actual)
+        if isinstance(self.predictor, GSharePredictor):
+            self.predictor.update(instr.pc, actual, history)
+            if mispredicted:
+                self.predictor.correct_history(history, actual)
+        else:
+            self.predictor.update(instr.pc, actual)
+        return predicted, mispredicted
+
+    # -- redirects and stalls --------------------------------------------------------------
+    def redirect(self, trace_index: int, resume_cycle: int) -> None:
+        """Rewind fetch to ``trace_index`` and restart at ``resume_cycle``.
+
+        Used both for misprediction recovery (resume right after the
+        resolved branch) and for checkpoint rollback (resume at the
+        checkpointed instruction).
+        """
+        self.cursor.rewind_to(trace_index)
+        self._stall_branch_seq = None
+        self._resume_cycle = max(self._resume_cycle, resume_cycle)
+
+    def stall_for_branch(self, seq: int) -> None:
+        """Stop fetching until the branch with dynamic sequence ``seq`` resolves.
+
+        Kept for stall-based front-end experiments and unit tests; the
+        default pipelines use :meth:`redirect`-based recovery instead.
+        """
+        self._stall_branch_seq = seq
+
+    def branch_resolved(self, seq: int, cycle: int) -> None:
+        """The back end resolved the mispredicted branch ``seq``."""
+        if self._stall_branch_seq == seq:
+            self._stall_branch_seq = None
+            self._resume_cycle = max(self._resume_cycle, cycle + self.config.penalty)
+
+    def clear_stall(self, resume_cycle: int) -> None:
+        """Forget any pending stall (used by checkpoint rollback)."""
+        self._stall_branch_seq = None
+        self._resume_cycle = max(self._resume_cycle, resume_cycle)
+
+    def rewind(self, trace_index: int) -> None:
+        """Move the fetch cursor back for checkpoint-rollback re-execution."""
+        self.cursor.rewind_to(trace_index)

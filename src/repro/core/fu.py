@@ -1,0 +1,75 @@
+"""Functional-unit pools (Table 1: 4 int ALUs, 2 int mul/div, 4 FP, 2 memory ports)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.config import FunctionalUnitConfig
+from ..common.stats import StatsRegistry
+from ..isa.opcodes import FU_FOR_OP, FUType, OpClass, execution_latency, is_pipelined
+
+
+class FunctionalUnitPool:
+    """A pool of identical units; unpipelined operations hold a unit busy."""
+
+    def __init__(self, name: str, count: int, stats: StatsRegistry) -> None:
+        self.name = name
+        self.count = count
+        self._busy_until: List[int] = [0] * count
+        self._issues = stats.counter(f"fu.{name}.issues")
+        self._structural_stalls = stats.counter(f"fu.{name}.structural_stalls")
+
+    def try_issue(self, cycle: int, occupancy_cycles: int) -> bool:
+        """Claim a unit for ``occupancy_cycles`` starting at ``cycle``.
+
+        ``occupancy_cycles`` is 1 for fully pipelined operations and the
+        full latency for unpipelined ones (the dividers).
+        """
+        for index in range(self.count):
+            if self._busy_until[index] <= cycle:
+                self._busy_until[index] = cycle + occupancy_cycles
+                self._issues.add()
+                return True
+        self._structural_stalls.add()
+        return False
+
+    def busy_units(self, cycle: int) -> int:
+        """How many units are still occupied at ``cycle`` (diagnostics)."""
+        return sum(1 for until in self._busy_until if until > cycle)
+
+
+class ExecutionUnits:
+    """All pools of the machine plus the latency lookup."""
+
+    def __init__(
+        self,
+        fu_config: FunctionalUnitConfig,
+        memory_ports: int,
+        stats: StatsRegistry,
+    ) -> None:
+        fu_config.validate()
+        self.fu_config = fu_config
+        self._pools: Dict[FUType, FunctionalUnitPool] = {
+            FUType.INT_ALU: FunctionalUnitPool("int_alu", fu_config.int_alu_count, stats),
+            FUType.INT_MULDIV: FunctionalUnitPool("int_muldiv", fu_config.int_mul_count, stats),
+            FUType.FP: FunctionalUnitPool("fp", fu_config.fp_count, stats),
+            FUType.MEM_PORT: FunctionalUnitPool("mem_port", memory_ports, stats),
+        }
+
+    def pool_for(self, op: OpClass) -> FUType:
+        return FU_FOR_OP[op]
+
+    def latency(self, op: OpClass) -> int:
+        """Execution latency of ``op`` excluding any cache/memory time."""
+        return execution_latency(op, self.fu_config)
+
+    def try_issue(self, op: OpClass, cycle: int) -> bool:
+        """Reserve a unit for ``op`` issuing at ``cycle``; False on a structural hazard."""
+        fu_type = FU_FOR_OP[op]
+        if fu_type is FUType.NONE:
+            return True
+        occupancy = 1 if is_pipelined(op) else self.latency(op)
+        return self._pools[fu_type].try_issue(cycle, occupancy)
+
+    def pool(self, fu_type: FUType) -> FunctionalUnitPool:
+        return self._pools[fu_type]

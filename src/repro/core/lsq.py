@@ -1,0 +1,108 @@
+"""The load/store queue.
+
+Per the paper, the LSQ is modelled "pseudo-perfect": it is sized large
+enough (4096 entries in Table 1) to never be the bottleneck, but the
+mechanics are still implemented — entries are allocated at dispatch in
+program order, loads forward from older resident stores to the same word,
+and stores keep their entry until they drain to the cache at (checkpoint)
+commit, which is exactly why the paper needs the 64-store checkpoint
+threshold to avoid deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common.errors import StructuralHazardError
+from ..common.stats import StatsRegistry
+from ..isa.instruction import DynInst
+
+
+def _word_address(addr: int) -> int:
+    """Addresses are compared at 8-byte-word granularity for forwarding."""
+    return addr >> 3
+
+
+class LoadStoreQueue:
+    """Tracks in-flight memory instructions and store-to-load forwarding."""
+
+    def __init__(self, capacity: int, stats: StatsRegistry) -> None:
+        if capacity <= 0:
+            raise StructuralHazardError("LSQ capacity must be positive")
+        self.capacity = capacity
+        self._occupancy = 0
+        self._stores_by_word: Dict[int, List[DynInst]] = {}
+        self._inserts = stats.counter("lsq.inserts")
+        self._forwards = stats.counter("lsq.store_forwards")
+        self._full_stalls = stats.counter("lsq.full_stalls")
+        self._occupancy_mean = stats.running_mean("lsq.occupancy")
+
+    # -- capacity --------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    @property
+    def is_full(self) -> bool:
+        return self._occupancy >= self.capacity
+
+    def free_entries(self) -> int:
+        return self.capacity - self._occupancy
+
+    def note_full_stall(self) -> None:
+        self._full_stalls.add()
+
+    def sample_occupancy(self) -> None:
+        self._occupancy_mean.sample(self._occupancy)
+
+    # -- allocation ---------------------------------------------------------------------
+    def allocate(self, inst: DynInst) -> None:
+        """Give ``inst`` (a load or store) an LSQ entry at dispatch."""
+        if not inst.is_memory:
+            raise StructuralHazardError("only memory instructions occupy the LSQ")
+        if self.is_full:
+            raise StructuralHazardError("LSQ overflow")
+        inst.lsq_index = inst.seq
+        self._occupancy += 1
+        self._inserts.add()
+        if inst.is_store:
+            word = _word_address(inst.instr.mem_addr or 0)
+            self._stores_by_word.setdefault(word, []).append(inst)
+
+    def release(self, inst: DynInst) -> None:
+        """Free the entry (at commit / store drain / squash)."""
+        if inst.lsq_index is None:
+            return
+        inst.lsq_index = None
+        self._occupancy -= 1
+        if self._occupancy < 0:
+            raise StructuralHazardError("LSQ occupancy underflow")
+        if inst.is_store:
+            word = _word_address(inst.instr.mem_addr or 0)
+            stores = self._stores_by_word.get(word)
+            if stores and inst in stores:
+                stores.remove(inst)
+                if not stores:
+                    del self._stores_by_word[word]
+
+    # -- forwarding ----------------------------------------------------------------------
+    def forwarding_store(self, load: DynInst) -> Optional[DynInst]:
+        """Youngest older resident store writing the load's word, if any."""
+        word = _word_address(load.instr.mem_addr or 0)
+        stores = self._stores_by_word.get(word)
+        if not stores:
+            return None
+        for store in reversed(stores):
+            if store.squashed or store.lsq_index is None:
+                continue
+            if store.seq < load.seq:
+                self._forwards.add()
+                return store
+        return None
+
+    # -- squash --------------------------------------------------------------------------
+    def remove_squashed(self, squashed: List[DynInst]) -> None:
+        """Release the entries of squashed memory instructions."""
+        for inst in squashed:
+            if inst.is_memory and inst.lsq_index is not None:
+                self.release(inst)

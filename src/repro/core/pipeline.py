@@ -1,0 +1,933 @@
+"""The cycle-level pipelines: conventional baseline and out-of-order commit.
+
+:class:`PipelineBase` owns everything the two machines share — fetch,
+rename bookkeeping, issue queues, execution units, the memory hierarchy,
+write-back and the occupancy statistics.  The two subclasses implement the
+parts the paper changes:
+
+* :class:`BaselinePipeline` — dispatch allocates a ROB entry; commit
+  retires in order from the ROB head (Table 1's machine).
+* :class:`OoOCommitPipeline` — dispatch associates instructions with
+  checkpoints, inserts them into the pseudo-ROB and (through pseudo-ROB
+  retirement) the SLIQ; commit retires whole checkpoints whose pending
+  counters reached zero, draining their stores and freeing their Future
+  Free registers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..common.config import ProcessorConfig
+from ..common.errors import DeadlockError, SimulationError
+from ..common.stats import StatsRegistry
+from ..isa.instruction import DynInst, InstState, RetireClass
+from ..isa.opcodes import OpClass, is_fp
+from ..memory.hierarchy import CacheHierarchy
+from ..trace.trace import Trace
+from .cam_rename import CAMRenamer
+from .checkpoint import Checkpoint, CheckpointPolicy, CheckpointTable
+from .frontend import FetchUnit
+from .fu import ExecutionUnits
+from .iq import InstructionQueue, WakeupNetwork
+from .lsq import LoadStoreQueue
+from .pseudo_rob import PseudoROB
+from .regfile import PhysicalPool, PhysicalRegisterFile
+from .rename_map import MapTableRenamer
+from .result import SimulationResult, build_result
+from .rob import ReorderBuffer
+from .sliq import LongLatencyTracker, SlowLaneQueue
+
+
+class PipelineBase:
+    """Shared machinery of both simulated machines."""
+
+    mode = "base"
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.trace = trace
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.cycle = 0
+        self.hierarchy = CacheHierarchy(config.memory, self.stats)
+        self.regfile = PhysicalRegisterFile(self._register_identifier_count(), self.stats)
+        self.wakeup = WakeupNetwork()
+        self.int_queue = InstructionQueue("iq.int", config.core.int_queue_size, self.stats)
+        self.fp_queue = InstructionQueue("iq.fp", config.core.fp_queue_size, self.stats)
+        self.lsq = LoadStoreQueue(config.core.lsq_size, self.stats)
+        self.units = ExecutionUnits(config.core.fu, config.memory.memory_ports, self.stats)
+        self.frontend = FetchUnit(
+            trace, config.branch, self.hierarchy, self.stats, config.core.fetch_width
+        )
+        self.fetch_buffer: Deque[DynInst] = deque()
+        self._writeback_heap: List[Tuple[int, int, DynInst]] = []
+        self._next_seq = 0
+        self.committed = 0
+        self.fetched = 0
+        self._last_commit_cycle = 0
+
+        # Occupancy and liveness accounting (Figures 7 and 11).
+        self._in_flight = 0
+        self._live = 0
+        self._live_fp_long = 0
+        self._live_fp_short = 0
+        self._long_pregs: Set[int] = set()
+        self._in_flight_mean = self.stats.running_mean("occupancy.in_flight")
+        self._live_mean = self.stats.running_mean("occupancy.live")
+        self._live_fp_long_mean = self.stats.running_mean("occupancy.live_fp_long")
+        self._live_fp_short_mean = self.stats.running_mean("occupancy.live_fp_short")
+        self._in_flight_dist = self.stats.distribution("occupancy.in_flight_dist")
+        self._live_dist = self.stats.distribution("occupancy.live_dist")
+        self._exceptions_delivered = self.stats.counter("exceptions.delivered")
+        self._dispatch_stalls = self.stats.counter("dispatch.stall_cycles")
+        self._committed_counter = self.stats.counter("commit.instructions")
+
+    # -- subclass hooks ---------------------------------------------------------
+    def _register_identifier_count(self) -> int:
+        """How many renameable identifiers the regfile provides."""
+        return self.config.core.physical_registers
+
+    def _dispatch_stage(self) -> None:
+        raise NotImplementedError
+
+    def _commit_stage(self) -> None:
+        raise NotImplementedError
+
+    def _on_complete(self, inst: DynInst) -> None:
+        """Mode-specific actions at write-back."""
+
+    def _resolve_branch(self, inst: DynInst) -> None:
+        """Mode-specific misprediction recovery."""
+        raise NotImplementedError
+
+    def _handle_exception(self, inst: DynInst) -> None:
+        """Mode-specific exception handling at completion time."""
+
+    def _extra_cycle_work(self) -> None:
+        """Hook run once per cycle after the standard stages."""
+
+    # -- squash bookkeeping shared by both machines ------------------------------
+    def _squash_bookkeeping(self, inst: DynInst) -> None:
+        """Release everything a squashed instruction occupies (except renaming)."""
+        was_dispatched = inst.dispatch_cycle is not None
+        was_live = was_dispatched and inst.issue_cycle is None
+        if inst.in_iq:
+            queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
+            queue.remove(inst)
+        if inst.is_memory and inst.lsq_index is not None:
+            self.lsq.release(inst)
+        if was_live:
+            self._leave_live(inst)
+        if was_dispatched:
+            self._leave_window(inst)
+        if inst.phys_dest is not None:
+            self._long_pregs.discard(inst.phys_dest)
+        inst.mark_squashed()
+
+    # -- top-level driver ---------------------------------------------------------
+    @property
+    def total_instructions(self) -> int:
+        return len(self.trace)
+
+    def finished(self) -> bool:
+        return self.committed >= self.total_instructions
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Simulate until every trace instruction committed."""
+        limit = max_cycles if max_cycles is not None else float("inf")
+        while not self.finished():
+            if self.cycle >= limit:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles} with "
+                    f"{self.committed}/{self.total_instructions} committed"
+                )
+            self.step()
+            if self.cycle - self._last_commit_cycle > self.config.deadlock_cycles:
+                raise DeadlockError(self._deadlock_report())
+        return build_result(
+            self.config,
+            self.trace.name,
+            self.cycle,
+            self.committed,
+            self.fetched,
+            self.stats,
+        )
+
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        self._commit_stage()
+        self._writeback_stage()
+        self._issue_stage()
+        self._dispatch_stage()
+        self._fetch_stage()
+        self._extra_cycle_work()
+        self._sample_occupancy()
+
+    # -- fetch ------------------------------------------------------------------------
+    def _fetch_stage(self) -> None:
+        if len(self.fetch_buffer) >= 2 * self.config.core.fetch_width:
+            return
+        for fetched in self.frontend.fetch_block(self.cycle):
+            inst = DynInst(seq=self._next_seq, trace_index=fetched.trace_index, instr=fetched.instr)
+            self._next_seq += 1
+            self.fetched += 1
+            inst.fetch_cycle = self.cycle
+            inst.predicted_taken = fetched.predicted_taken
+            inst.mispredicted = fetched.mispredicted
+            self.fetch_buffer.append(inst)
+
+    # -- dispatch helpers shared by both machines -----------------------------------------
+    def _queue_for(self, inst: DynInst) -> InstructionQueue:
+        return self.fp_queue if is_fp(inst.op) else self.int_queue
+
+    def _enter_window(self, inst: DynInst) -> None:
+        """Common accounting when an instruction is dispatched."""
+        inst.state = InstState.DISPATCHED
+        inst.dispatch_cycle = self.cycle
+        self._in_flight += 1
+        self._live += 1
+        blocked_long = any(p in self._long_pregs for p in inst.phys_srcs)
+        if blocked_long and inst.phys_dest is not None:
+            self._long_pregs.add(inst.phys_dest)
+        live_class = None
+        if is_fp(inst.op):
+            live_class = "fp_long" if blocked_long else "fp_short"
+            if blocked_long:
+                self._live_fp_long += 1
+            else:
+                self._live_fp_short += 1
+        inst.live_class = live_class  # type: ignore[attr-defined]
+
+    def _leave_live(self, inst: DynInst) -> None:
+        """An instruction stopped being 'live' (it issued or was squashed un-issued)."""
+        self._live -= 1
+        live_class = getattr(inst, "live_class", None)
+        if live_class == "fp_long":
+            self._live_fp_long -= 1
+        elif live_class == "fp_short":
+            self._live_fp_short -= 1
+        inst.live_class = None  # type: ignore[attr-defined]
+
+    def _leave_window(self, inst: DynInst) -> None:
+        """An instruction left the window (committed or squashed after dispatch)."""
+        self._in_flight -= 1
+
+    # -- issue --------------------------------------------------------------------------
+    def _issue_stage(self) -> None:
+        width = self.config.core.issue_width
+        issued = 0
+        candidates: List[DynInst] = []
+        for queue in (self.int_queue, self.fp_queue):
+            for _ in range(width):
+                inst = queue.pop_ready()
+                if inst is None:
+                    break
+                candidates.append(inst)
+        candidates.sort(key=lambda entry: entry.seq)
+        for inst in candidates:
+            if issued < width and self._try_issue(inst):
+                issued += 1
+            else:
+                inst.iq.unpop(inst)  # type: ignore[attr-defined]
+
+    def _try_issue(self, inst: DynInst) -> bool:
+        if not self.units.try_issue(inst.op, self.cycle):
+            return False
+        queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
+        queue.remove(inst)
+        queue.record_issue()
+        inst.state = InstState.EXECUTING
+        inst.issue_cycle = self.cycle
+        self._leave_live(inst)
+        completion = self.cycle + self._execution_time(inst)
+        heapq.heappush(self._writeback_heap, (completion, inst.seq, inst))
+        return True
+
+    def _execution_time(self, inst: DynInst) -> int:
+        """Cycles from issue to completion, including any memory access."""
+        base = self.units.latency(inst.op)
+        if inst.is_load:
+            forwarding_store = self.lsq.forwarding_store(inst)
+            if forwarding_store is not None:
+                return base + 1
+            access = self.hierarchy.data_access(
+                inst.instr.mem_addr or 0, False, self.cycle, pc=inst.instr.pc
+            )
+            inst.l2_miss = access.l2_miss
+            inst.dl1_miss = access.dl1_miss
+            if access.l2_miss:
+                inst.long_latency = True
+                if inst.phys_dest is not None:
+                    self._long_pregs.add(inst.phys_dest)
+            return base + access.latency
+        if inst.is_store:
+            # Address generation only; the write happens when the store drains.
+            return base
+        return base
+
+    # -- write-back --------------------------------------------------------------------------
+    def _writeback_stage(self) -> None:
+        while self._writeback_heap and self._writeback_heap[0][0] <= self.cycle:
+            _, _, inst = heapq.heappop(self._writeback_heap)
+            if inst.squashed:
+                continue
+            if not self._complete_instruction(inst):
+                # Structural stall (late register allocation): retry next cycle.
+                heapq.heappush(self._writeback_heap, (self.cycle + 1, inst.seq, inst))
+
+    def _complete_instruction(self, inst: DynInst) -> bool:
+        """Finish one instruction; False requests a retry next cycle."""
+        if not self._claim_writeback_resources(inst):
+            return False
+        inst.state = InstState.DONE
+        inst.complete_cycle = self.cycle
+        if inst.phys_dest is not None:
+            self.regfile.set_ready(inst.phys_dest)
+            self._long_pregs.discard(inst.phys_dest)
+            for waiter in self.wakeup.notify_ready(inst.phys_dest):
+                waiter.iq.mark_ready(waiter)  # type: ignore[attr-defined]
+        self._on_complete(inst)
+        if inst.is_branch and inst.mispredicted:
+            self._resolve_branch(inst)
+        if inst.instr.raises_exception:
+            self._handle_exception(inst)
+        return True
+
+    def _claim_writeback_resources(self, inst: DynInst) -> bool:
+        """Hook for the late-allocation model (claims a physical register)."""
+        return True
+
+    # -- occupancy sampling ------------------------------------------------------------------------
+    def _sample_occupancy(self) -> None:
+        self._in_flight_mean.sample(self._in_flight)
+        self._live_mean.sample(self._live)
+        self._live_fp_long_mean.sample(self._live_fp_long)
+        self._live_fp_short_mean.sample(self._live_fp_short)
+        self._in_flight_dist.sample(self._in_flight)
+        self._live_dist.sample(self._live)
+        self.int_queue.sample_occupancy()
+        self.fp_queue.sample_occupancy()
+        self.lsq.sample_occupancy()
+
+    # -- bookkeeping --------------------------------------------------------------------------------
+    def _note_commit(self, count: int = 1) -> None:
+        self.committed += count
+        self._committed_counter.add(count)
+        self._last_commit_cycle = self.cycle
+
+    def _deadlock_report(self) -> str:
+        return (
+            f"{self.mode} pipeline made no commit progress for "
+            f"{self.config.deadlock_cycles} cycles at cycle {self.cycle}: "
+            f"committed={self.committed}/{self.total_instructions}, "
+            f"in_flight={self._in_flight}, int_iq={self.int_queue.occupancy}, "
+            f"fp_iq={self.fp_queue.occupancy}, lsq={self.lsq.occupancy}, "
+            f"fetch_buffer={len(self.fetch_buffer)}, "
+            f"frontend_stalled={self.frontend.stalled}"
+        )
+
+
+class BaselinePipeline(PipelineBase):
+    """The conventional machine of Table 1: ROB + in-order commit."""
+
+    mode = "baseline"
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        super().__init__(config, trace, stats)
+        self.renamer = MapTableRenamer(self.regfile, self.stats)
+        self.rob = ReorderBuffer(config.core.rob_size, self.stats)
+        self._rob_occupancy_mean = self.stats.running_mean("rob.occupancy")
+        self._branch_recoveries = self.stats.counter("branch.recoveries")
+        self._squashed_counter = self.stats.counter("squash.instructions")
+
+    # -- dispatch -----------------------------------------------------------------------
+    def _dispatch_stage(self) -> None:
+        width = self.config.core.fetch_width
+        dispatched = 0
+        while self.fetch_buffer and dispatched < width:
+            inst = self.fetch_buffer[0]
+            queue = self._queue_for(inst)
+            if self.rob.is_full:
+                self.rob.note_full_stall()
+                self._dispatch_stalls.add()
+                return
+            if queue.is_full:
+                queue.note_full_stall()
+                self._dispatch_stalls.add()
+                return
+            if inst.is_memory and self.lsq.is_full:
+                self.lsq.note_full_stall()
+                self._dispatch_stalls.add()
+                return
+            if not self.renamer.can_rename(inst):
+                self._dispatch_stalls.add()
+                return
+            self.fetch_buffer.popleft()
+            self.renamer.rename(inst)
+            self.rob.insert(inst)
+            if inst.is_memory:
+                self.lsq.allocate(inst)
+            queue.insert(inst, self.regfile, self.wakeup)
+            self._enter_window(inst)
+            dispatched += 1
+
+    # -- commit ---------------------------------------------------------------------------
+    def _commit_stage(self) -> None:
+        for inst in self.rob.committable(self.config.core.commit_width):
+            self.rob.commit_head()
+            if inst.is_store:
+                self.hierarchy.data_access(
+                    inst.instr.mem_addr or 0, True, self.cycle, pc=inst.instr.pc
+                )
+                inst.store_drained = True
+            if inst.is_memory:
+                self.lsq.release(inst)
+            self.renamer.release_on_commit(inst)
+            if inst.instr.raises_exception:
+                self._exceptions_delivered.add()
+            inst.state = InstState.COMMITTED
+            inst.commit_cycle = self.cycle
+            self._leave_window(inst)
+            self._note_commit()
+
+    # -- misprediction recovery ------------------------------------------------------
+    def _resolve_branch(self, branch: DynInst) -> None:
+        """Squash everything younger than the branch and redirect fetch."""
+        self._branch_recoveries.add()
+        buffered = list(self.fetch_buffer)
+        self.fetch_buffer.clear()
+        for inst in reversed(buffered):
+            self._squash_bookkeeping(inst)
+            self._squashed_counter.add()
+        for inst in self.rob.squash_younger_than(branch.seq):  # youngest first
+            self.renamer.undo_rename(inst)
+            self._squash_bookkeeping(inst)
+            self._squashed_counter.add()
+        self.frontend.redirect(
+            branch.trace_index + 1, self.cycle + self.config.branch.penalty
+        )
+
+    def _extra_cycle_work(self) -> None:
+        self._rob_occupancy_mean.sample(self.rob.occupancy)
+
+
+class OoOCommitPipeline(PipelineBase):
+    """The paper's machine: checkpointed out-of-order commit plus SLIQ."""
+
+    mode = "cooo"
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        super().__init__(config, trace, stats)
+        self.renamer = CAMRenamer(self.regfile, self.stats)
+        self.checkpoints = CheckpointTable(config.checkpoint.table_size, self.stats)
+        self.policy = CheckpointPolicy(config.checkpoint)
+        self.pseudo_rob = PseudoROB(config.sliq.pseudo_rob_size, self.stats)
+        self.sliq = (
+            SlowLaneQueue(config.sliq, self.stats, ready_fn=self.regfile.is_ready)
+            if config.sliq.enabled
+            else None
+        )
+        self.tracker = LongLatencyTracker()
+        self._draining: Optional[Checkpoint] = None
+        self._drain_position = 0
+        self._careful_indices: Set[int] = set()
+        self._phys_pool: Optional[PhysicalPool] = None
+        self._claimed_tags: Set[int] = set()
+        if config.regalloc.late_allocation:
+            from ..isa.registers import NUM_LOGICAL_REGS
+
+            self._phys_pool = PhysicalPool(
+                config.core.physical_registers, self.stats, initially_claimed=NUM_LOGICAL_REGS
+            )
+        self._pseudo_rob_recoveries = self.stats.counter("branch.pseudo_rob_recoveries")
+        self._checkpoint_recoveries = self.stats.counter("branch.checkpoint_recoveries")
+        self._exception_rollbacks = self.stats.counter("exceptions.rollbacks")
+        self._squashed_counter = self.stats.counter("squash.instructions")
+
+    # -- configuration hooks ------------------------------------------------------------
+    def _register_identifier_count(self) -> int:
+        if self.config.regalloc.late_allocation:
+            return self.config.regalloc.virtual_tags
+        return self.config.core.physical_registers
+
+    # -- dispatch --------------------------------------------------------------------------
+    def _dispatch_stage(self) -> None:
+        width = self.config.core.fetch_width
+        dispatched = 0
+        self._dispatched_in_cycle = 0
+        while self.fetch_buffer and dispatched < width:
+            inst = self.fetch_buffer[0]
+            if not self._ensure_checkpoint(inst):
+                self._dispatch_stalls.add()
+                return
+            if not self._ensure_pseudo_rob_space():
+                self._dispatch_stalls.add()
+                return
+            queue = self._queue_for(inst)
+            if queue.is_full:
+                queue.note_full_stall()
+                self._dispatch_stalls.add()
+                return
+            if inst.is_memory and self.lsq.is_full:
+                self.lsq.note_full_stall()
+                self._dispatch_stalls.add()
+                return
+            if not self.renamer.can_rename(inst):
+                self._dispatch_stalls.add()
+                return
+            self.fetch_buffer.popleft()
+            self.renamer.rename(inst)
+            if inst.is_memory:
+                self.lsq.allocate(inst)
+            queue.insert(inst, self.regfile, self.wakeup)
+            self.pseudo_rob.insert(inst)
+            youngest = self.checkpoints.youngest()
+            assert youngest is not None
+            youngest.associate(inst)
+            self.policy.account(inst)
+            self._enter_window(inst)
+            dispatched += 1
+            self._dispatched_in_cycle = dispatched
+
+    def _ensure_checkpoint(self, inst: DynInst) -> bool:
+        """Create a checkpoint before ``inst`` if the policy (or safety) requires one.
+
+        A full checkpoint table does *not* stall dispatch: the machine
+        simply keeps associating instructions with the youngest checkpoint
+        (its window grows past the thresholds) until the oldest checkpoint
+        commits and frees an entry.  This is what lets the paper's machine
+        keep thousands of instructions in flight with an 8-entry table.
+        Only the initial checkpoint (there must always be one) is mandatory.
+        """
+        need = self.checkpoints.is_empty or self.policy.should_checkpoint(inst)
+        if inst.trace_index in self._careful_indices:
+            # Careful re-execution after an exception: a checkpoint right
+            # before the excepting instruction gives a precise state.
+            need = True
+        if not need:
+            return True
+        if self.checkpoints.is_full:
+            self.checkpoints.note_full_stall()
+            return not self.checkpoints.is_empty
+        snapshot = self.renamer.take_snapshot()
+        harvested = self.renamer.harvest_future_free()
+        self.checkpoints.create(
+            resume_index=inst.trace_index,
+            resume_seq=inst.seq,
+            snapshot=snapshot,
+            harvested_future_free=harvested,
+            cycle=self.cycle,
+        )
+        self.policy.checkpoint_taken()
+        return True
+
+    def _ensure_pseudo_rob_space(self) -> bool:
+        """Retire the oldest pseudo-ROB entries until there is room for one more."""
+        while self.pseudo_rob.is_full:
+            if not self._retire_from_pseudo_rob():
+                return False
+        return True
+
+    # -- pseudo-ROB retirement and SLIQ classification --------------------------------------------
+    def _retire_from_pseudo_rob(self) -> bool:
+        """Classify and retire the oldest pseudo-ROB entry; False if blocked."""
+        inst = self.pseudo_rob.oldest()
+        if inst is None:
+            return True
+        retire_class, move_root = self._classify_retirement(inst)
+        if move_root is not None:
+            if self.sliq is None or self.sliq.is_full:
+                if self.sliq is not None:
+                    self.sliq.note_full_stall()
+                # Without SLIQ space the instruction simply stays in the
+                # issue queue; it is retired as short-latency instead.
+                retire_class, move_root = RetireClass.SHORT_LATENCY, None
+            elif not inst.in_iq:
+                # Raced with issue: it is executing, nothing to move.
+                retire_class, move_root = RetireClass.SHORT_LATENCY, None
+        self.pseudo_rob.retire_oldest()
+        self.pseudo_rob.record_classification(retire_class)
+        inst.retire_class = retire_class
+        if move_root is not None and self.sliq is not None:
+            queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
+            queue.remove(inst)
+            self.sliq.insert(inst, move_root, self.cycle)
+        return True
+
+    def _classify_retirement(self, inst: DynInst) -> Tuple[RetireClass, Optional[int]]:
+        """Figure-12 classification of a pseudo-ROB retiree.
+
+        Returns the retirement class and, for dependent instructions, the
+        physical register of the root long-latency load whose completion
+        should wake them from the SLIQ.
+        """
+        if inst.squashed:
+            return RetireClass.FINISHED, None
+        if inst.is_store:
+            # Stores keep their own Figure-12 category, but a store whose
+            # data depends on a long-latency chain is still moved out of the
+            # issue queue (it would otherwise clog it until the chain
+            # resolves and could block SLIQ re-insertions entirely).
+            if inst.state is InstState.DISPATCHED:
+                root = self.tracker.dependence_root(inst)
+                if root is not None:
+                    return RetireClass.STORE, root
+            return RetireClass.STORE, None
+        if inst.is_load:
+            if inst.state is InstState.DONE or inst.state is InstState.COMMITTED:
+                self.tracker.clear_redefinition(inst)
+                return RetireClass.FINISHED_LOAD, None
+            if inst.state is InstState.EXECUTING:
+                if inst.l2_miss:
+                    self.tracker.clear_redefinition(inst)
+                    self.tracker.mark_long_latency_load(inst)
+                    return RetireClass.LONG_LATENCY_LOAD, None
+                self.tracker.clear_redefinition(inst)
+                return RetireClass.FINISHED_LOAD, None
+            root = self.tracker.dependence_root(inst)
+            if root is not None:
+                self.tracker.mark_dependent(inst, root)
+                return RetireClass.MOVED, root
+            if self.hierarchy.would_miss_l2(inst.instr.mem_addr or 0, self.cycle):
+                self.tracker.clear_redefinition(inst)
+                self.tracker.mark_long_latency_load(inst)
+                # Mark the load itself long-latency so its completion wakes
+                # any SLIQ entries filed under its destination register even
+                # if the access ends up merging with an earlier miss.
+                inst.long_latency = True
+                return RetireClass.LONG_LATENCY_LOAD, None
+            self.tracker.clear_redefinition(inst)
+            return RetireClass.FINISHED_LOAD, None
+        # Non-memory instructions.
+        if inst.state in (InstState.DONE, InstState.COMMITTED):
+            self.tracker.clear_redefinition(inst)
+            return RetireClass.FINISHED, None
+        if inst.state is InstState.EXECUTING:
+            self.tracker.clear_redefinition(inst)
+            return RetireClass.SHORT_LATENCY, None
+        root = self.tracker.dependence_root(inst)
+        if root is not None:
+            self.tracker.mark_dependent(inst, root)
+            return RetireClass.MOVED, root
+        self.tracker.clear_redefinition(inst)
+        return RetireClass.SHORT_LATENCY, None
+
+    # -- write-back hooks -----------------------------------------------------------------------------
+    def _claim_writeback_resources(self, inst: DynInst) -> bool:
+        if self._phys_pool is None or inst.phys_dest is None:
+            return True
+        if getattr(inst, "claimed_phys", False):
+            return True
+        if not self._phys_pool.try_claim():
+            # Registers are released when redefining instructions complete,
+            # and completions themselves need registers — so an exhausted
+            # pool could deadlock the oldest window.  Instructions of the
+            # oldest checkpoint therefore always obtain a register (the
+            # reserve real late-allocation designs keep for the oldest,
+            # non-speculative instructions).
+            oldest = self.checkpoints.oldest()
+            if oldest is None or inst.checkpoint_id != oldest.uid:
+                return False
+            self._phys_pool.force_claim()
+            self.stats.counter("prf.late_alloc_forced_claims").add()
+        inst.claimed_phys = True  # type: ignore[attr-defined]
+        self._claimed_tags.add(inst.phys_dest)
+        return True
+
+    def _release_claimed_tag(self, tag: Optional[int]) -> None:
+        """Early register recycling of the Figure-14 (ephemeral registers) model."""
+        if self._phys_pool is None or tag is None:
+            return
+        if tag in self._claimed_tags:
+            self._claimed_tags.discard(tag)
+            self._phys_pool.release()
+
+    def _on_complete(self, inst: DynInst) -> None:
+        checkpoint = self.checkpoints.find(inst.checkpoint_id) if inst.checkpoint_id is not None else None
+        if checkpoint is not None:
+            checkpoint.instruction_finished()
+        if self._phys_pool is not None:
+            # Late allocation with early recycling: when a redefinition has
+            # produced its own value, the displaced value's register dies.
+            self._release_claimed_tag(inst.old_phys_dest)
+        if inst.phys_dest is not None:
+            if self.sliq is not None and self.sliq.has_waiters(inst.phys_dest):
+                self.sliq.notify_ready(inst.phys_dest)
+            if inst.is_load and inst.long_latency:
+                self.tracker.clear_root(inst.phys_dest)
+        if inst.is_memory and not inst.is_store:
+            # Loads release their LSQ entry at completion; stores hold
+            # theirs until their checkpoint commits and they drain.
+            self.lsq.release(inst)
+
+    def _resolve_branch(self, inst: DynInst) -> None:
+        if self.pseudo_rob.contains(inst):
+            # Cheap recovery: the pseudo-ROB still holds the branch, so
+            # only strictly-younger instructions have to be unwound.
+            self._pseudo_rob_recoveries.add()
+            self._recover_via_pseudo_rob(inst)
+            return
+        self._checkpoint_recoveries.add()
+        checkpoint = self.checkpoints.find(inst.checkpoint_id) if inst.checkpoint_id is not None else None
+        if checkpoint is None:
+            # The checkpoint already committed (should not happen for an
+            # uncommitted branch); fall back to a plain fetch redirect.
+            self.frontend.redirect(
+                inst.trace_index + 1, self.cycle + self.config.branch.penalty
+            )
+            return
+        self._rollback_to(checkpoint)
+
+    def _recover_via_pseudo_rob(self, branch: DynInst) -> None:
+        """Walk-based recovery for a branch that is still in the pseudo-ROB.
+
+        Checkpoints opened after the branch are discarded; instructions
+        younger than the branch are squashed and their renamings undone in
+        reverse order; fetch restarts right after the branch.
+        """
+        seq = branch.seq
+        victims: List[DynInst] = []
+        for discarded in self.checkpoints.discard_younger_than_seq(seq):
+            victims.extend(discarded.instructions)
+        own = self.checkpoints.youngest()
+        own_victims: List[DynInst] = []
+        if own is not None:
+            own_victims = [inst for inst in own.instructions if inst.seq > seq]
+            victims.extend(own_victims)
+        victims.extend(self.fetch_buffer)
+        self.fetch_buffer.clear()
+        victims.sort(key=lambda entry: entry.seq, reverse=True)
+        for inst in victims:
+            if inst.dispatch_cycle is not None and inst.phys_dest is not None:
+                self.renamer.undo_rename(inst)
+                if inst.old_phys_dest is not None:
+                    self.checkpoints.remove_from_pending_free(inst.old_phys_dest)
+            self._squash(inst)
+        if own is not None:
+            for inst in own_victims:
+                own.disassociate(inst)
+        self.pseudo_rob.remove_squashed()
+        if self.sliq is not None:
+            self.sliq.remove_squashed()
+        self.tracker.reset()
+        self.frontend.redirect(
+            branch.trace_index + 1, self.cycle + self.config.branch.penalty
+        )
+
+    def _handle_exception(self, inst: DynInst) -> None:
+        if inst.trace_index in self._careful_indices:
+            # Second, careful pass: the state at the preceding checkpoint is
+            # precise; deliver the exception and continue.
+            self._careful_indices.discard(inst.trace_index)
+            self._exceptions_delivered.add()
+            return
+        checkpoint = self.checkpoints.find(inst.checkpoint_id) if inst.checkpoint_id is not None else None
+        if checkpoint is None:
+            self._exceptions_delivered.add()
+            return
+        self._careful_indices.add(inst.trace_index)
+        self._exception_rollbacks.add()
+        self._rollback_to(checkpoint)
+
+    # -- rollback --------------------------------------------------------------------------------------------
+    def _rollback_to(self, checkpoint: Checkpoint) -> None:
+        """Restore the machine to ``checkpoint`` and replay from there."""
+        if self._draining is checkpoint:
+            raise SimulationError("cannot roll back to a checkpoint that is committing")
+        discarded = self.checkpoints.discard_younger_than(checkpoint)
+        victims: List[DynInst] = []
+        for dead_checkpoint in discarded:
+            victims.extend(dead_checkpoint.instructions)
+        victims.extend(checkpoint.instructions)
+        victims.extend(self.fetch_buffer)
+        self.fetch_buffer.clear()
+        for inst in victims:
+            self._squash(inst)
+        self.pseudo_rob.remove_squashed()
+        if self.sliq is not None:
+            self.sliq.remove_squashed()
+            self.sliq.reset_wakeups()
+        self.tracker.reset()
+        reserved = self.checkpoints.reserved_registers(up_to=checkpoint)
+        self.renamer.restore(checkpoint.snapshot, reserved)
+        checkpoint.reset_window()
+        self.policy.reset()
+        self.frontend.redirect(
+            checkpoint.resume_index, self.cycle + self.config.branch.penalty
+        )
+
+    def _squash(self, inst: DynInst) -> None:
+        if inst.state is InstState.COMMITTED:
+            raise SimulationError(f"attempted to squash committed instruction seq={inst.seq}")
+        if getattr(inst, "claimed_phys", False) and self._phys_pool is not None:
+            self._release_claimed_tag(inst.phys_dest)
+            inst.claimed_phys = False  # type: ignore[attr-defined]
+        self._squash_bookkeeping(inst)
+        self._squashed_counter.add()
+
+    # -- commit ----------------------------------------------------------------------------------------------
+    def _commit_stage(self) -> None:
+        if self._draining is not None:
+            self._drain_stores()
+            return
+        oldest = self.checkpoints.oldest()
+        if oldest is None or not oldest.ready_to_commit:
+            return
+        if not oldest.closed:
+            if not self._end_of_trace():
+                return
+            # Close the final window: harvest its pending frees now.
+            oldest.to_free |= self.renamer.harvest_future_free()
+            oldest.closed = True
+        self._draining = oldest
+        self._drain_position = 0
+        self._drain_stores()
+
+    def _end_of_trace(self) -> bool:
+        return self.frontend.exhausted and not self.fetch_buffer
+
+    def _drain_stores(self) -> None:
+        checkpoint = self._draining
+        assert checkpoint is not None
+        drained = 0
+        while (
+            self._drain_position < len(checkpoint.stores)
+            and drained < self.config.core.commit_width
+        ):
+            store = checkpoint.stores[self._drain_position]
+            self._drain_position += 1
+            if store.squashed:
+                continue
+            self.hierarchy.data_access(
+                store.instr.mem_addr or 0, True, self.cycle, pc=store.instr.pc
+            )
+            self.lsq.release(store)
+            store.store_drained = True
+            drained += 1
+        if self._drain_position >= len(checkpoint.stores):
+            self._finalize_checkpoint(checkpoint)
+
+    def _finalize_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """All stores drained: free registers, retire the whole window."""
+        if self._phys_pool is not None:
+            # Safety net: anything not already recycled early dies here.
+            for tag in checkpoint.to_free:
+                self._release_claimed_tag(tag)
+        self.renamer.free_registers(checkpoint.to_free)
+        for inst in checkpoint.instructions:
+            if inst.squashed:
+                continue
+            inst.state = InstState.COMMITTED
+            inst.commit_cycle = self.cycle
+            if inst.instr.raises_exception:
+                # Exceptions were delivered at the careful-mode completion;
+                # nothing more to do here.
+                pass
+            self._leave_window(inst)
+        committed_now = checkpoint.instruction_count
+        popped = self.checkpoints.pop_oldest()
+        assert popped is checkpoint
+        self._draining = None
+        self._drain_position = 0
+        if committed_now:
+            self._note_commit(committed_now)
+
+    # -- per-cycle extras -----------------------------------------------------------------------------------------
+    def _extra_cycle_work(self) -> None:
+        if self.sliq is not None:
+            self.sliq.step(self._reinsert_from_sliq, self.cycle)
+            self.sliq.sample_occupancy()
+        # Pseudo-ROB retirement is normally driven by dispatch needing room,
+        # but when dispatch is stalled (full issue queue, full LSQ) the
+        # oldest entries must still drain so that dependent instructions
+        # clogging the issue queues can move to the SLIQ and make room for
+        # re-insertions — otherwise the machine can deadlock.
+        if (
+            getattr(self, "_dispatched_in_cycle", 0) == 0
+            and (self.int_queue.is_full or self.fp_queue.is_full)
+        ):
+            for _ in range(self.config.core.fetch_width):
+                if self.pseudo_rob.is_empty or not self._retire_from_pseudo_rob():
+                    break
+        self.pseudo_rob.sample_occupancy()
+        self.checkpoints.sample_occupancy()
+
+    def _reinsert_from_sliq(self, inst: DynInst):
+        """Callback used by the SLIQ re-insertion engine.
+
+        Returns True when the instruction re-enters its issue queue, False
+        when that queue is full, or a physical register id when the
+        instruction still depends on another parked producer and should be
+        re-filed under it instead of occupying an issue-queue slot.
+        """
+        if inst.squashed or inst.state is not InstState.DISPATCHED:
+            return True
+        if self.sliq is not None:
+            for preg in inst.phys_srcs:
+                if not self.regfile.is_ready(preg) and self.sliq.is_parked_dest(preg):
+                    return preg
+        queue = self._queue_for(inst)
+        if queue.is_full and not self._make_room_in_queue(queue):
+            queue.note_full_stall()
+            return False
+        inst.sliq_exit_cycle = self.cycle
+        queue.insert(inst, self.regfile, self.wakeup)
+        return True
+
+    def _make_room_in_queue(self, queue: InstructionQueue) -> bool:
+        """Evict a waiting issue-queue entry into the SLIQ to unblock re-insertion.
+
+        When the re-insertion stream is blocked by a full issue queue, the
+        youngest resident that is still waiting on operands is spilled to
+        the SLIQ (filed under one of its unready sources).  This mirrors
+        the pseudo-ROB move datapath and guarantees forward progress: the
+        entries blocking the stream are by construction younger than the
+        stream head.
+        """
+        if self.sliq is None:
+            return False
+        waiting = queue.waiting_residents()
+        if not waiting:
+            return False
+        victim = max(waiting, key=lambda entry: entry.seq)
+        pending = [p for p in victim.phys_srcs if not self.regfile.is_ready(p)]
+        if not pending:
+            return False
+        queue.remove(victim)
+        # The caller immediately removes one entry from the re-insertion
+        # stream, so the SLIQ occupancy only overshoots transiently.
+        self.sliq.insert(victim, pending[0], self.cycle, force=True)
+        self.stats.counter("sliq.pressure_evictions").add()
+        return True
+
+
+def build_pipeline(
+    config: ProcessorConfig,
+    trace: Trace,
+    stats: Optional[StatsRegistry] = None,
+) -> PipelineBase:
+    """Factory selecting the machine implied by ``config.mode``."""
+    if config.mode == "baseline":
+        return BaselinePipeline(config, trace, stats)
+    if config.mode == "cooo":
+        return OoOCommitPipeline(config, trace, stats)
+    raise SimulationError(f"unknown processor mode {config.mode!r}")

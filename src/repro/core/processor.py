@@ -1,0 +1,54 @@
+"""The user-facing simulator facade.
+
+:class:`Processor` ties a :class:`~repro.common.config.ProcessorConfig`
+to a trace and runs it to completion; :func:`simulate` is the one-call
+convenience wrapper most examples and experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..common.config import ProcessorConfig
+from ..common.stats import StatsRegistry, arithmetic_mean
+from ..trace.trace import Trace
+from .pipeline import PipelineBase, build_pipeline
+from .result import SimulationResult
+
+
+class Processor:
+    """One configured machine, ready to run traces."""
+
+    def __init__(self, config: ProcessorConfig) -> None:
+        self.config = config.validate()
+
+    def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Simulate ``trace`` to completion on a fresh pipeline instance."""
+        pipeline = self.pipeline(trace)
+        return pipeline.run(max_cycles=max_cycles)
+
+    def pipeline(self, trace: Trace, stats: Optional[StatsRegistry] = None) -> PipelineBase:
+        """Build (but do not run) the pipeline — useful for step-by-step tests."""
+        return build_pipeline(self.config, trace, stats)
+
+    def run_suite(
+        self,
+        traces: Mapping[str, Trace],
+        max_cycles: Optional[int] = None,
+    ) -> Dict[str, SimulationResult]:
+        """Run every trace of a suite; results are keyed by workload name."""
+        return {name: self.run(trace, max_cycles=max_cycles) for name, trace in traces.items()}
+
+
+def simulate(
+    config: ProcessorConfig,
+    trace: Trace,
+    max_cycles: Optional[int] = None,
+) -> SimulationResult:
+    """Run one trace on one configuration and return the result."""
+    return Processor(config).run(trace, max_cycles=max_cycles)
+
+
+def average_ipc(results: Iterable[SimulationResult]) -> float:
+    """Arithmetic-mean IPC across a suite (the paper averages SPEC2000fp)."""
+    return arithmetic_mean(result.ipc for result in results)

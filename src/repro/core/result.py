@@ -1,0 +1,120 @@
+"""Simulation results: the numbers every experiment consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..common.config import ProcessorConfig
+from ..common.stats import StatsRegistry, ratio
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run (one config × one trace)."""
+
+    config_name: str
+    mode: str
+    workload: str
+    cycles: int
+    committed_instructions: int
+    fetched_instructions: int
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle — the paper's figure of merit."""
+        return ratio(self.committed_instructions, self.cycles)
+
+    @property
+    def replay_overhead(self) -> float:
+        """Fetched / committed: > 1 means rollback re-execution happened."""
+        return ratio(self.fetched_instructions, self.committed_instructions)
+
+    # -- common derived metrics -------------------------------------------------
+    def stat(self, name: str, default: float = 0.0) -> float:
+        value = self.stats.get(name, default)
+        return float(value) if isinstance(value, (int, float)) else default
+
+    @property
+    def l2_miss_loads(self) -> float:
+        return self.stat("mem.l2_miss_loads")
+
+    @property
+    def l2_load_miss_fraction(self) -> float:
+        return ratio(self.stat("mem.l2_miss_loads"), self.stat("mem.loads"))
+
+    @property
+    def branch_accuracy(self) -> float:
+        predictions = self.stat("branch.predictions")
+        if not predictions:
+            return 1.0
+        return 1.0 - self.stat("branch.mispredictions") / predictions
+
+    @property
+    def mean_in_flight(self) -> float:
+        return self.stat("occupancy.in_flight.mean")
+
+    @property
+    def mean_live(self) -> float:
+        return self.stat("occupancy.live.mean")
+
+    @property
+    def mean_live_fp_long(self) -> float:
+        return self.stat("occupancy.live_fp_long.mean")
+
+    @property
+    def mean_live_fp_short(self) -> float:
+        return self.stat("occupancy.live_fp_short.mean")
+
+    @property
+    def checkpoints_created(self) -> float:
+        return self.stat("checkpoint.created")
+
+    @property
+    def checkpoint_rollbacks(self) -> float:
+        return self.stat("checkpoint.rollbacks")
+
+    def pseudo_rob_breakdown(self) -> Dict[str, float]:
+        """Fractions of each retirement class (Figure 12)."""
+        histogram = self.stats.get("pseudo_rob.retire_class", {})
+        if not isinstance(histogram, dict):
+            return {}
+        total = sum(histogram.values())
+        if not total:
+            return {}
+        return {str(key): value / total for key, value in histogram.items()}
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat row used by the experiment report tables."""
+        return {
+            "config": self.config_name,
+            "mode": self.mode,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.committed_instructions,
+            "ipc": round(self.ipc, 4),
+            "in_flight": round(self.mean_in_flight, 1),
+            "branch_accuracy": round(self.branch_accuracy, 4),
+            "l2_load_miss_fraction": round(self.l2_load_miss_fraction, 4),
+        }
+
+
+def build_result(
+    config: ProcessorConfig,
+    workload: str,
+    cycles: int,
+    committed: int,
+    fetched: int,
+    stats: StatsRegistry,
+) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a finished pipeline."""
+    return SimulationResult(
+        config_name=config.name or config.mode,
+        mode=config.mode,
+        workload=workload,
+        cycles=cycles,
+        committed_instructions=committed,
+        fetched_instructions=fetched,
+        stats=stats.snapshot(),
+    )

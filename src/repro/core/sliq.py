@@ -1,0 +1,289 @@
+"""Slow Lane Instruction Queuing: dependence tracking and the SLIQ buffer.
+
+Two cooperating pieces implement the paper's Section 3:
+
+* :class:`LongLatencyTracker` — the 32-bit-per-register-file dependence
+  mask.  When a long-latency load is detected at pseudo-ROB retirement its
+  destination *logical* register is marked; later retirees that read a
+  marked register are dependent and mark their own destination in turn;
+  an independent retiree that redefines a marked register clears the mark.
+  Each marked register remembers the *root* load's destination physical
+  register, which is the wake-up tag the SLIQ entry is filed under.
+
+* :class:`SlowLaneQueue` — the large, cheap, in-order secondary buffer.
+  Dependent instructions are moved here from the issue queue, filed under
+  the physical register whose readiness should wake them.  When that
+  register is written, the matching entries are gathered (in order) into a
+  re-insertion stream that flows back into the issue queue at
+  ``reinsert_width`` instructions per cycle after a ``reinsert_delay``
+  start-up penalty — the two knobs swept by Figure 10.  A woken
+  instruction that turns out to still depend on another parked producer is
+  *re-filed* under that producer instead of occupying an issue-queue slot
+  (the same policy the WIB design uses), which keeps the tiny issue queues
+  free for instructions that can actually execute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Union
+
+from ..common.config import SLIQConfig
+from ..common.errors import StructuralHazardError
+from ..common.stats import StatsRegistry
+from ..isa.instruction import DynInst
+
+#: The re-insertion callback returns True (accepted into an issue queue),
+#: False (stall: try again next cycle), or a physical-register id meaning
+#: "re-file this entry in the SLIQ keyed on that register".
+ReinsertResult = Union[bool, int]
+
+
+class LongLatencyTracker:
+    """The logical-register dependence mask of the SLIQ mechanism."""
+
+    def __init__(self) -> None:
+        # logical register -> physical register of the root long-latency load
+        self._mask: Dict[int, int] = {}
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def marked_registers(self) -> Set[int]:
+        return set(self._mask)
+
+    def is_marked(self, logical: int) -> bool:
+        return logical in self._mask
+
+    def dependence_root(self, inst: DynInst) -> Optional[int]:
+        """Root wake-up register if ``inst`` reads any marked register."""
+        for src in inst.srcs:
+            root = self._mask.get(src)
+            if root is not None:
+                return root
+        return None
+
+    # -- updates -------------------------------------------------------------------
+    def mark_long_latency_load(self, inst: DynInst) -> None:
+        """A load that missed in L2 was retired from the pseudo-ROB."""
+        if inst.dest is not None and inst.phys_dest is not None:
+            self._mask[inst.dest] = inst.phys_dest
+
+    def mark_dependent(self, inst: DynInst, root: int) -> None:
+        """A dependent instruction propagates the mark to its destination."""
+        if inst.dest is not None:
+            self._mask[inst.dest] = root
+
+    def clear_redefinition(self, inst: DynInst) -> None:
+        """An independent instruction redefining a marked register clears it."""
+        if inst.dest is not None:
+            self._mask.pop(inst.dest, None)
+
+    def clear_root(self, root_preg: int) -> None:
+        """Drop every mark whose root load (physical register) completed."""
+        stale = [logical for logical, root in self._mask.items() if root == root_preg]
+        for logical in stale:
+            del self._mask[logical]
+
+    def reset(self) -> None:
+        self._mask.clear()
+
+
+class SlowLaneQueue:
+    """The SLIQ buffer plus its paced re-insertion engine."""
+
+    def __init__(
+        self,
+        config: SLIQConfig,
+        stats: StatsRegistry,
+        ready_fn: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.capacity = config.size
+        self._ready_fn = ready_fn
+        self._entries: Deque[DynInst] = deque()
+        self._reinsert_stream: Deque[DynInst] = deque()
+        self._waiting_keys: Dict[int, int] = {}
+        self._parked_dests: Dict[int, int] = {}
+        self._startup_delay = 0
+        self._inserts = stats.counter("sliq.inserts")
+        self._refiles = stats.counter("sliq.refiles")
+        self._reinserts = stats.counter("sliq.reinserts")
+        self._full_stalls = stats.counter("sliq.full_stalls")
+        self._occupancy_mean = stats.running_mean("sliq.occupancy")
+        self._wakeups = stats.counter("sliq.wakeup_events")
+
+    # -- capacity ---------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries) + len(self._reinsert_stream)
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self.occupancy == 0
+
+    def note_full_stall(self) -> None:
+        self._full_stalls.add()
+
+    def sample_occupancy(self) -> None:
+        self._occupancy_mean.sample(self.occupancy)
+
+    # -- queries used by the pipeline ----------------------------------------------------
+    def has_waiters(self, preg: int) -> bool:
+        """True if some SLIQ entry is filed under ``preg``."""
+        return preg in self._waiting_keys
+
+    def is_parked_dest(self, preg: int) -> bool:
+        """True if the producer of ``preg`` is currently parked in the SLIQ."""
+        return preg in self._parked_dests
+
+    # -- bookkeeping helpers ---------------------------------------------------------------
+    def _register(self, inst: DynInst, wakeup_preg: int, waiting: bool) -> None:
+        inst.in_sliq = True
+        inst.sliq_wakeup_preg = wakeup_preg  # type: ignore[attr-defined]
+        if inst.phys_dest is not None:
+            self._parked_dests[inst.phys_dest] = self._parked_dests.get(inst.phys_dest, 0) + 1
+        if waiting:
+            self._waiting_keys[wakeup_preg] = self._waiting_keys.get(wakeup_preg, 0) + 1
+
+    def _forget(self, inst: DynInst, waiting: bool) -> None:
+        inst.in_sliq = False
+        if inst.phys_dest is not None:
+            count = self._parked_dests.get(inst.phys_dest, 0) - 1
+            if count > 0:
+                self._parked_dests[inst.phys_dest] = count
+            else:
+                self._parked_dests.pop(inst.phys_dest, None)
+        if waiting:
+            preg = getattr(inst, "sliq_wakeup_preg", None)
+            if preg is not None:
+                count = self._waiting_keys.get(preg, 0) - 1
+                if count > 0:
+                    self._waiting_keys[preg] = count
+                else:
+                    self._waiting_keys.pop(preg, None)
+
+    # -- insertion ------------------------------------------------------------------------
+    def insert(self, inst: DynInst, wakeup_preg: int, cycle: int, force: bool = False) -> None:
+        """File a dependent instruction in the SLIQ under ``wakeup_preg``.
+
+        If the wake-up register is already ready (the root completed before
+        the dependent was moved) the instruction goes straight to the
+        re-insertion stream.  ``force`` permits a transient one-entry
+        overshoot and is used only by the issue-queue pressure eviction,
+        which immediately removes another entry from the stream.
+        """
+        if self.is_full and not force:
+            raise StructuralHazardError("SLIQ overflow")
+        if inst.sliq_enter_cycle is None:
+            inst.sliq_enter_cycle = cycle
+            self._inserts.add()
+        else:
+            self._refiles.add()
+        already_ready = self._ready_fn(wakeup_preg) if self._ready_fn is not None else False
+        if already_ready:
+            self._register(inst, wakeup_preg, waiting=False)
+            self._push_stream([inst])
+        else:
+            self._register(inst, wakeup_preg, waiting=True)
+            self._entries.append(inst)
+
+    # -- wakeup --------------------------------------------------------------------------
+    def notify_ready(self, preg: int) -> None:
+        """Register ``preg`` was written: wake every entry filed under it."""
+        if preg not in self._waiting_keys:
+            return
+        self._wakeups.add()
+        matched: List[DynInst] = []
+        kept: Deque[DynInst] = deque()
+        for inst in self._entries:
+            if getattr(inst, "sliq_wakeup_preg", None) == preg and not inst.squashed:
+                matched.append(inst)
+            elif getattr(inst, "sliq_wakeup_preg", None) == preg and inst.squashed:
+                self._forget(inst, waiting=True)
+            else:
+                kept.append(inst)
+        self._entries = kept
+        for inst in matched:
+            # They stay "parked" but are no longer waiting on a key.
+            count = self._waiting_keys.get(preg, 0) - 1
+            if count > 0:
+                self._waiting_keys[preg] = count
+            else:
+                self._waiting_keys.pop(preg, None)
+        self._push_stream(matched)
+
+    # Backwards-compatible alias used by older call sites and tests.
+    notify_root_complete = notify_ready
+
+    def _push_stream(self, insts: List[DynInst]) -> None:
+        if not insts:
+            return
+        was_idle = not self._reinsert_stream
+        self._reinsert_stream.extend(insts)
+        if was_idle:
+            self._startup_delay = self.config.reinsert_delay
+
+    # -- per-cycle re-insertion -------------------------------------------------------------
+    def step(self, reinsert_callback: Callable[[DynInst], ReinsertResult], cycle: int = 0) -> int:
+        """Advance the re-insertion engine by one cycle.
+
+        ``reinsert_callback(inst)`` returns True if the instruction was
+        accepted back into its issue queue, False if the queue is full
+        (stalls the stream), or a physical register id to re-file the entry
+        under (it still depends on a parked producer).  Returns the number
+        of instructions taken out of the stream this cycle.
+        """
+        if not self._reinsert_stream:
+            return 0
+        if self._startup_delay > 0:
+            self._startup_delay -= 1
+            return 0
+        processed = 0
+        while self._reinsert_stream and processed < self.config.reinsert_width:
+            inst = self._reinsert_stream[0]
+            if inst.squashed:
+                self._reinsert_stream.popleft()
+                self._forget(inst, waiting=False)
+                continue
+            result = reinsert_callback(inst)
+            if result is False:
+                break
+            self._reinsert_stream.popleft()
+            self._forget(inst, waiting=False)
+            processed += 1
+            if result is True:
+                self._reinserts.add()
+            else:
+                # Still dependent on a parked producer: re-file under it.
+                self.insert(inst, int(result), cycle)
+        return processed
+
+    # -- squash ---------------------------------------------------------------------------------
+    def remove_squashed(self) -> List[DynInst]:
+        """Drop squashed instructions from the buffer and the stream."""
+        removed = [inst for inst in self._entries if inst.squashed]
+        for inst in removed:
+            self._forget(inst, waiting=True)
+        stream_removed = [inst for inst in self._reinsert_stream if inst.squashed]
+        for inst in stream_removed:
+            self._forget(inst, waiting=False)
+        if removed:
+            self._entries = deque(inst for inst in self._entries if not inst.squashed)
+        if stream_removed:
+            self._reinsert_stream = deque(
+                inst for inst in self._reinsert_stream if not inst.squashed
+            )
+        removed.extend(stream_removed)
+        return removed
+
+    def reset_wakeups(self) -> None:
+        """Reset the re-insertion start-up delay (after a pipeline flush)."""
+        self._startup_delay = 0
+
+    def __len__(self) -> int:
+        return self.occupancy

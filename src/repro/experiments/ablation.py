@@ -1,0 +1,63 @@
+"""Checkpoint-placement policy ablation.
+
+The paper's Section 2 settles on a simple heuristic (first branch after 64
+instructions, a hard 512-instruction cap and a 64-store cap) and leaves a
+broader exploration to future work.  This experiment is that exploration:
+it compares the paper's policy against taking a checkpoint every N
+instructions, only at branches, or only driven by stores, at a fixed
+machine configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..common.config import cooo_config
+from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+
+POLICIES = ("paper", "every_n", "branch_only", "store_only")
+
+
+def run_checkpoint_policy_ablation(
+    scale: float = DEFAULT_SCALE,
+    memory_latency: int = 1000,
+    iq_size: int = 64,
+    sliq_size: int = 1024,
+    checkpoints: int = 8,
+    policies: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Compare checkpoint-taking policies on the same machine."""
+    policies = tuple(policies) if policies is not None else POLICIES
+    traces = suite_traces(scale, workloads=workloads)
+    experiment = ExperimentResult(
+        "ablation-checkpoint-policy",
+        "checkpoint placement policies (paper heuristic vs. alternatives)",
+    )
+    reference_ipc = None
+    for policy in policies:
+        config = cooo_config(
+            iq_size=iq_size,
+            sliq_size=sliq_size,
+            checkpoints=checkpoints,
+            memory_latency=memory_latency,
+        )
+        config.checkpoint = replace(config.checkpoint, policy=policy)
+        config.validate()
+        results = run_config(config, traces)
+        ipc = suite_ipc(results)
+        checkpoints_created = sum(r.checkpoints_created for r in results.values())
+        if policy == "paper":
+            reference_ipc = ipc
+        experiment.row(
+            policy=policy,
+            ipc=round(ipc, 4),
+            vs_paper=round(ipc / reference_ipc, 3) if reference_ipc else 1.0,
+            checkpoints_created=int(checkpoints_created),
+        )
+    experiment.notes.append(
+        "the paper heuristic balances rollback distance (branch placement) against"
+        " checkpoint-table pressure; alternatives trade one for the other"
+    )
+    return experiment

@@ -1,0 +1,93 @@
+"""Figure 9 — main performance result of the paper.
+
+IPC of the Commit Out-of-Order machine for issue queues of 32/64/128
+entries and SLIQs of 512/1024/2048 entries (8 checkpoints everywhere),
+compared against two baseline reference lines: a buildable 128-entry
+machine and an unbuildable 4096-entry machine.
+
+The paper's headline numbers: the largest COoO configuration is within
+~10% of the 4096-entry baseline and ~3x (a 204% improvement over) the
+128-entry baseline; even the smallest one beats the 128-entry baseline by
+~110%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..common.config import cooo_config, scaled_baseline
+from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+
+#: The nine (issue queue, SLIQ) combinations of the paper's bar groups.
+FULL_GRID: Tuple[Tuple[int, int], ...] = tuple(
+    (iq, sliq) for sliq in (512, 1024, 2048) for iq in (32, 64, 128)
+)
+#: The diagonal used by the quick benchmark run.
+QUICK_GRID: Tuple[Tuple[int, int], ...] = ((32, 512), (64, 1024), (128, 2048))
+
+BASELINE_WINDOWS = (128, 4096)
+
+
+def run_figure09(
+    scale: float = DEFAULT_SCALE,
+    memory_latency: int = 1000,
+    checkpoints: int = 8,
+    grid: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = True,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Regenerate the Figure 9 comparison.
+
+    Rows: one per COoO (iq, sliq) point plus the two baseline reference
+    lines, each with the suite-average IPC and its ratio to both baselines.
+    """
+    points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
+    traces = suite_traces(scale, workloads=workloads)
+    experiment = ExperimentResult(
+        "figure09",
+        "main result: COoO (8 checkpoints) vs. 128- and 4096-entry baselines",
+    )
+
+    baseline_ipc = {}
+    for window in BASELINE_WINDOWS:
+        results = run_config(
+            scaled_baseline(window=window, memory_latency=memory_latency), traces
+        )
+        baseline_ipc[window] = suite_ipc(results)
+        experiment.row(
+            config=f"baseline-{window}",
+            iq=window,
+            sliq=0,
+            ipc=round(baseline_ipc[window], 4),
+            vs_baseline128=1.0 if window == 128 else round(baseline_ipc[window] / baseline_ipc[128], 3),
+            vs_limit=round(baseline_ipc[window] / baseline_ipc.get(4096, baseline_ipc[window]), 3)
+            if 4096 in baseline_ipc
+            else 1.0,
+        )
+
+    for iq_size, sliq_size in points:
+        config = cooo_config(
+            iq_size=iq_size,
+            sliq_size=sliq_size,
+            checkpoints=checkpoints,
+            memory_latency=memory_latency,
+        )
+        results = run_config(config, traces)
+        ipc = suite_ipc(results)
+        experiment.row(
+            config=f"COoO-{iq_size}/SLIQ-{sliq_size}",
+            iq=iq_size,
+            sliq=sliq_size,
+            ipc=round(ipc, 4),
+            vs_baseline128=round(ipc / baseline_ipc[128], 3),
+            vs_limit=round(ipc / baseline_ipc[4096], 3),
+        )
+        for name, result in results.items():
+            experiment.per_workload.setdefault(name, {})[f"cooo_{iq_size}_{sliq_size}"] = round(
+                result.ipc, 4
+            )
+    experiment.notes.append(
+        "paper shape: every COoO point beats baseline-128 by >=2x; the largest point is"
+        " within ~10% of the unbuildable 4096-entry baseline"
+    )
+    return experiment

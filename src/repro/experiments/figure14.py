@@ -1,0 +1,94 @@
+"""Figure 14 — combining COoO/SLIQ with late register allocation.
+
+The paper combines its two mechanisms with "ephemeral registers" (virtual
+tags, late physical-register allocation, early recycling) and shows, for
+100/500/1000-cycle memory latencies, how IPC varies with the number of
+virtual tags (512/1024/2048) and physical registers (256/512), bounded
+below by the 128-entry baseline and above by the everything-up-sized limit
+machine.  The expected shape: more virtual tags and more physical
+registers help, the benefit grows with memory latency, and all points sit
+between the two reference lines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..common.config import cooo_config, scaled_baseline
+from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+
+FULL_LATENCIES = (100, 500, 1000)
+FULL_VIRTUAL_TAGS = (512, 1024, 2048)
+FULL_PHYSICAL = (256, 512)
+
+QUICK_LATENCIES = (100, 1000)
+QUICK_VIRTUAL_TAGS = (512, 2048)
+QUICK_PHYSICAL = (256, 512)
+
+
+def run_figure14(
+    scale: float = DEFAULT_SCALE,
+    latencies: Optional[Sequence[int]] = None,
+    virtual_tags: Optional[Sequence[int]] = None,
+    physical_registers: Optional[Sequence[int]] = None,
+    iq_size: int = 128,
+    sliq_size: int = 2048,
+    quick: bool = True,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Regenerate the Figure 14 combined-techniques study."""
+    latencies = tuple(latencies) if latencies is not None else (
+        QUICK_LATENCIES if quick else FULL_LATENCIES
+    )
+    virtual_tags = tuple(virtual_tags) if virtual_tags is not None else (
+        QUICK_VIRTUAL_TAGS if quick else FULL_VIRTUAL_TAGS
+    )
+    physical_registers = tuple(physical_registers) if physical_registers is not None else (
+        QUICK_PHYSICAL if quick else FULL_PHYSICAL
+    )
+    traces = suite_traces(scale, workloads=workloads)
+    experiment = ExperimentResult(
+        "figure14",
+        "COoO + SLIQ + late register allocation across memory latencies",
+    )
+    for latency in latencies:
+        baseline_results = run_config(
+            scaled_baseline(window=128, memory_latency=latency), traces
+        )
+        limit_results = run_config(
+            scaled_baseline(window=4096, memory_latency=latency), traces
+        )
+        baseline_ipc = suite_ipc(baseline_results)
+        limit_ipc = suite_ipc(limit_results)
+        experiment.row(
+            latency=latency, config="baseline-128", virtual_tags=0, physical=128,
+            ipc=round(baseline_ipc, 4),
+        )
+        experiment.row(
+            latency=latency, config="limit-4096", virtual_tags=0, physical=4096,
+            ipc=round(limit_ipc, 4),
+        )
+        for tags in virtual_tags:
+            for physical in physical_registers:
+                config = cooo_config(
+                    iq_size=iq_size,
+                    sliq_size=sliq_size,
+                    memory_latency=latency,
+                    virtual_tags=tags,
+                    physical_registers=physical,
+                    late_allocation=True,
+                )
+                results = run_config(config, traces)
+                ipc = suite_ipc(results)
+                experiment.row(
+                    latency=latency,
+                    config=f"COoO-vt{tags}-p{physical}",
+                    virtual_tags=tags,
+                    physical=physical,
+                    ipc=round(ipc, 4),
+                )
+    experiment.notes.append(
+        "paper shape: every combined configuration sits between baseline-128 and the limit;"
+        " more tags / more registers help, and the gap to baseline grows with latency"
+    )
+    return experiment

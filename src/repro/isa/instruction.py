@@ -1,0 +1,205 @@
+"""Static trace instructions and their dynamic (in-flight) instances."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from . import registers
+from .opcodes import OpClass, is_branch, is_load, is_memory, is_store
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One entry of an execution trace.
+
+    Because the simulator is trace-driven, each ``Instruction`` records a
+    concrete dynamic execution of a static instruction: the effective
+    memory address of loads/stores and the actual outcome of branches are
+    part of the record.  The pipeline models *when* things happen, the
+    trace says *what* happened.
+    """
+
+    pc: int
+    op: OpClass
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    mem_addr: Optional[int] = None
+    mem_size: int = 8
+    branch_taken: bool = False
+    branch_target: Optional[int] = None
+    raises_exception: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dest is not None and not registers.is_valid(self.dest):
+            raise ValueError(f"invalid destination register {self.dest}")
+        registers.validate_regs(self.srcs)
+        if is_memory(self.op) and self.mem_addr is None:
+            raise ValueError(f"memory instruction at pc={self.pc:#x} has no address")
+        if is_store(self.op) and self.dest is not None:
+            raise ValueError("store instructions must not have a destination register")
+        if self.op is OpClass.BRANCH and self.branch_taken and self.branch_target is None:
+            raise ValueError("taken branch requires a target")
+
+    # -- classification helpers ---------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return is_load(self.op)
+
+    @property
+    def is_store(self) -> bool:
+        return is_store(self.op)
+
+    @property
+    def is_memory(self) -> bool:
+        return is_memory(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        return is_branch(self.op)
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dest is not None
+
+    def describe(self) -> str:
+        """Compact human-readable rendering used in debug dumps."""
+        parts = [f"{self.op.value}"]
+        if self.dest is not None:
+            parts.append(registers.reg_name(self.dest))
+        if self.srcs:
+            parts.append(",".join(registers.reg_name(s) for s in self.srcs))
+        if self.mem_addr is not None:
+            parts.append(f"@{self.mem_addr:#x}")
+        if self.is_branch:
+            parts.append("taken" if self.branch_taken else "not-taken")
+        return " ".join(parts)
+
+
+class InstState(enum.Enum):
+    """Lifecycle states of a dynamic instruction."""
+
+    FETCHED = "fetched"
+    DISPATCHED = "dispatched"
+    ISSUED = "issued"
+    EXECUTING = "executing"
+    DONE = "done"
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+class RetireClass(enum.Enum):
+    """Status categories at pseudo-ROB retirement (Figure 12 of the paper)."""
+
+    MOVED = "moved"
+    FINISHED = "finished"
+    SHORT_LATENCY = "short_latency"
+    FINISHED_LOAD = "finished_load"
+    LONG_LATENCY_LOAD = "long_latency_load"
+    STORE = "store"
+
+
+@dataclass(eq=False)
+class DynInst:
+    """A dynamic, in-flight instance of a trace instruction.
+
+    Identity (not value) equality is used: two dynamic instances of the
+    same trace entry are different objects with different sequence numbers.
+
+    Dynamic instructions are created at fetch and destroyed at commit or
+    squash.  They carry the renamed operands, the structures they occupy
+    (ROB slot, checkpoint index, LSQ slot, pseudo-ROB/SLIQ membership) and
+    per-stage timestamps used by the analysis modules.
+    """
+
+    seq: int
+    trace_index: int
+    instr: Instruction
+    state: InstState = InstState.FETCHED
+
+    # Renaming ----------------------------------------------------------
+    phys_dest: Optional[int] = None
+    phys_srcs: List[int] = field(default_factory=list)
+    old_phys_dest: Optional[int] = None
+    virtual_tag: Optional[int] = None
+
+    # Structure occupancy ------------------------------------------------
+    rob_index: Optional[int] = None
+    checkpoint_id: Optional[int] = None
+    lsq_index: Optional[int] = None
+    in_iq: bool = False
+    in_sliq: bool = False
+    in_pseudo_rob: bool = False
+
+    # Execution status ----------------------------------------------------
+    long_latency: bool = False
+    l2_miss: bool = False
+    dl1_miss: bool = False
+    store_drained: bool = False
+    predicted_taken: Optional[bool] = None
+    mispredicted: bool = False
+    retire_class: Optional[RetireClass] = None
+
+    # Timestamps (cycle numbers; None until the event happens) ------------
+    fetch_cycle: Optional[int] = None
+    dispatch_cycle: Optional[int] = None
+    issue_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+    commit_cycle: Optional[int] = None
+    sliq_enter_cycle: Optional[int] = None
+    sliq_exit_cycle: Optional[int] = None
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def op(self) -> OpClass:
+        return self.instr.op
+
+    @property
+    def is_load(self) -> bool:
+        return self.instr.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instr.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.instr.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instr.is_branch
+
+    @property
+    def dest(self) -> Optional[int]:
+        return self.instr.dest
+
+    @property
+    def srcs(self) -> Tuple[int, ...]:
+        return self.instr.srcs
+
+    @property
+    def completed(self) -> bool:
+        return self.state in (InstState.DONE, InstState.COMMITTED)
+
+    @property
+    def squashed(self) -> bool:
+        return self.state is InstState.SQUASHED
+
+    def mark_squashed(self) -> None:
+        """Transition to SQUASHED (idempotent; never applied to committed instructions)."""
+        if self.state is InstState.COMMITTED:
+            raise ValueError(f"cannot squash committed instruction seq={self.seq}")
+        self.state = InstState.SQUASHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynInst(seq={self.seq}, {self.instr.describe()}, state={self.state.value})"
+        )
+
+
+def nop(pc: int = 0) -> Instruction:
+    """A no-op trace entry, occasionally handy in tests."""
+    return Instruction(pc=pc, op=OpClass.NOP)

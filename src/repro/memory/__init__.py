@@ -1,0 +1,17 @@
+"""The memory subsystem: caches, MSHRs, prefetchers and the hierarchy model."""
+
+from .cache import Cache
+from .hierarchy import AccessResult, CacheHierarchy
+from .mshr import MSHRFile
+from .prefetch import NextLinePrefetcher, PrefetchEngine, StridePrefetcher, build_prefetcher
+
+__all__ = [
+    "Cache",
+    "AccessResult",
+    "CacheHierarchy",
+    "MSHRFile",
+    "NextLinePrefetcher",
+    "PrefetchEngine",
+    "StridePrefetcher",
+    "build_prefetcher",
+]

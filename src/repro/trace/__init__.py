@@ -1,0 +1,5 @@
+"""Execution traces and replayable fetch cursors."""
+
+from .trace import Trace, TraceCursor, merge_traces
+
+__all__ = ["Trace", "TraceCursor", "merge_traces"]

@@ -1,0 +1,217 @@
+"""Execution traces and the replayable fetch cursor.
+
+A :class:`Trace` is an immutable sequence of :class:`Instruction` objects
+representing one dynamic execution of a program.  The pipeline consumes a
+trace through a :class:`TraceCursor`, which supports *rewinding*: when the
+out-of-order-commit machine rolls back to a checkpoint it moves the cursor
+backwards and re-fetches, so the performance cost of replaying correct
+instructions is modelled faithfully.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..common.errors import TraceError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+
+
+class Trace:
+    """An immutable, indexable sequence of trace instructions."""
+
+    def __init__(self, instructions: Sequence[Instruction], name: str = "trace") -> None:
+        self._instructions: List[Instruction] = list(instructions)
+        self.name = name
+        if not self._instructions:
+            raise TraceError("a trace must contain at least one instruction")
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    # -- inspection -----------------------------------------------------
+    def mix(self) -> Dict[str, int]:
+        """Instruction mix keyed by ``OpClass`` value name."""
+        counts: Dict[str, int] = {}
+        for instr in self._instructions:
+            counts[instr.op.value] = counts.get(instr.op.value, 0) + 1
+        return counts
+
+    def count(self, op: OpClass) -> int:
+        """Number of instructions of a given operation class."""
+        return sum(1 for instr in self._instructions if instr.op is op)
+
+    def load_fraction(self) -> float:
+        """Fraction of instructions that are loads."""
+        loads = sum(1 for instr in self._instructions if instr.is_load)
+        return loads / len(self._instructions)
+
+    def branch_fraction(self) -> float:
+        """Fraction of instructions that are branches."""
+        branches = sum(1 for instr in self._instructions if instr.is_branch)
+        return branches / len(self._instructions)
+
+    def store_fraction(self) -> float:
+        """Fraction of instructions that are stores."""
+        stores = sum(1 for instr in self._instructions if instr.is_store)
+        return stores / len(self._instructions)
+
+    def unique_lines(self, line_bytes: int = 64) -> int:
+        """Number of distinct cache lines touched by loads and stores."""
+        lines = {
+            instr.mem_addr // line_bytes
+            for instr in self._instructions
+            if instr.mem_addr is not None
+        }
+        return len(lines)
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Approximate data footprint (distinct lines times line size)."""
+        return self.unique_lines(line_bytes) * line_bytes
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A new trace covering ``[start, stop)`` of this one."""
+        if not 0 <= start < stop <= len(self):
+            raise TraceError(f"invalid slice [{start}, {stop}) of trace of length {len(self)}")
+        return Trace(self._instructions[start:stop], name=f"{self.name}[{start}:{stop}]")
+
+    def concat(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        """Concatenate two traces into a new one."""
+        return Trace(
+            self._instructions + list(other),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    # -- serialisation ----------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise to JSON-lines (one instruction per line)."""
+        lines = []
+        for instr in self._instructions:
+            lines.append(
+                json.dumps(
+                    {
+                        "pc": instr.pc,
+                        "op": instr.op.value,
+                        "dest": instr.dest,
+                        "srcs": list(instr.srcs),
+                        "mem_addr": instr.mem_addr,
+                        "mem_size": instr.mem_size,
+                        "branch_taken": instr.branch_taken,
+                        "branch_target": instr.branch_target,
+                        "raises_exception": instr.raises_exception,
+                        "label": instr.label,
+                    }
+                )
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_jsonl(cls, text: str, name: str = "trace") -> "Trace":
+        """Inverse of :meth:`to_jsonl`."""
+        instructions = []
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                instructions.append(
+                    Instruction(
+                        pc=record["pc"],
+                        op=OpClass(record["op"]),
+                        dest=record.get("dest"),
+                        srcs=tuple(record.get("srcs", ())),
+                        mem_addr=record.get("mem_addr"),
+                        mem_size=record.get("mem_size", 8),
+                        branch_taken=record.get("branch_taken", False),
+                        branch_target=record.get("branch_target"),
+                        raises_exception=record.get("raises_exception", False),
+                        label=record.get("label", ""),
+                    )
+                )
+            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                raise TraceError(f"malformed trace line {line_number}: {exc}") from exc
+        return cls(instructions, name=name)
+
+
+class TraceCursor:
+    """A replayable fetch pointer over a :class:`Trace`.
+
+    The cursor hands out ``(trace_index, Instruction)`` pairs in order and
+    can be rewound to any earlier index, which is how checkpoint rollback
+    and branch-misprediction replay are modelled.
+    """
+
+    def __init__(self, trace: Trace, start: int = 0) -> None:
+        self._trace = trace
+        if not 0 <= start <= len(trace):
+            raise TraceError(f"cursor start {start} out of range for trace of length {len(trace)}")
+        self._position = start
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    @property
+    def position(self) -> int:
+        """Index of the next instruction to be fetched."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every trace instruction has been handed out."""
+        return self._position >= len(self._trace)
+
+    def peek(self) -> Optional[Instruction]:
+        """The next instruction without advancing, or None at end of trace."""
+        if self.exhausted:
+            return None
+        return self._trace[self._position]
+
+    def fetch(self) -> Optional[Instruction]:
+        """Return the next instruction and advance, or None at end of trace."""
+        if self.exhausted:
+            return None
+        instr = self._trace[self._position]
+        self._position += 1
+        return instr
+
+    def fetch_block(self, width: int) -> List[Instruction]:
+        """Fetch up to ``width`` instructions (may return fewer at trace end)."""
+        block = []
+        for _ in range(width):
+            instr = self.fetch()
+            if instr is None:
+                break
+            block.append(instr)
+        return block
+
+    def rewind_to(self, index: int) -> None:
+        """Move the cursor back (or forward) to ``index``.
+
+        ``index`` is the trace index of the next instruction to fetch.
+        """
+        if not 0 <= index <= len(self._trace):
+            raise TraceError(
+                f"rewind target {index} out of range for trace of length {len(self._trace)}"
+            )
+        self._position = index
+
+    def remaining(self) -> int:
+        """Number of instructions not yet handed out."""
+        return len(self._trace) - self._position
+
+
+def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
+    """Concatenate several traces back to back."""
+    instructions: List[Instruction] = []
+    for trace in traces:
+        instructions.extend(trace)
+    return Trace(instructions, name=name)

@@ -1,0 +1,49 @@
+"""Synthetic workload generators and benchmark suites."""
+
+from .builder import TraceBuilder
+from .integer import branchy_integer, mixed_int_fp, pointer_chase
+from .numerical import (
+    blocked_daxpy,
+    daxpy,
+    fp_compute_bound,
+    matvec,
+    random_gather,
+    reduction,
+    single_miss_probe,
+    stencil3,
+    stream_triad,
+)
+from .suite import (
+    INTEGER_LIKE,
+    SPEC2000FP_LIKE,
+    SUITES,
+    Suite,
+    SuiteMember,
+    get_suite,
+    integer_suite,
+    spec2000fp_like,
+)
+
+__all__ = [
+    "TraceBuilder",
+    "branchy_integer",
+    "mixed_int_fp",
+    "pointer_chase",
+    "blocked_daxpy",
+    "daxpy",
+    "fp_compute_bound",
+    "matvec",
+    "random_gather",
+    "reduction",
+    "single_miss_probe",
+    "stencil3",
+    "stream_triad",
+    "INTEGER_LIKE",
+    "SPEC2000FP_LIKE",
+    "SUITES",
+    "Suite",
+    "SuiteMember",
+    "get_suite",
+    "integer_suite",
+    "spec2000fp_like",
+]

@@ -1,0 +1,109 @@
+"""Integer / irregular workloads used as a contrast to the FP suite.
+
+The paper's introduction notes that integer codes benefit much less from
+huge windows because of branch mispredictions and pointer chasing.  These
+generators provide that regime so examples and tests can demonstrate the
+difference.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa import registers as regs
+from ..trace.trace import Trace
+from .builder import TraceBuilder
+
+ELEMENT_BYTES = 8
+HEAP_BASE = 0x6000_0000
+
+
+def pointer_chase(
+    hops: int = 2048,
+    nodes: int = 1 << 18,
+    seed: int = 7,
+    work_per_hop: int = 2,
+    name: str = "pointer_chase",
+) -> Trace:
+    """Serial pointer chasing over a randomised linked list.
+
+    Every load depends on the previous one, so no amount of window helps:
+    the critical path is ``hops`` times the memory latency.
+    """
+    builder = TraceBuilder(name=name)
+    rng = random.Random(seed)
+    ptr = regs.int_reg(1)
+    tmp = regs.int_reg(2)
+    builder.int_op(ptr)
+    loop_pc = builder.pc
+    for hop in range(hops):
+        builder.set_pc(loop_pc)
+        node = rng.randrange(nodes)
+        builder.load(ptr, HEAP_BASE + node * 64, addr_reg=ptr)
+        for _ in range(work_per_hop):
+            builder.int_op(tmp, ptr)
+        builder.branch(taken=(hop != hops - 1), target=loop_pc, srcs=(tmp,))
+    return builder.build()
+
+
+def branchy_integer(
+    iterations: int = 2048,
+    taken_probability: float = 0.5,
+    seed: int = 11,
+    name: str = "branchy_int",
+) -> Trace:
+    """An integer loop with a data-dependent, hard-to-predict branch.
+
+    The inner branch outcome is random with the given probability, so the
+    gshare predictor mispredicts often — the regime where checkpoint
+    rollback distance matters most.
+    """
+    builder = TraceBuilder(name=name)
+    rng = random.Random(seed)
+    index = regs.int_reg(1)
+    value = regs.int_reg(2)
+    accum = regs.int_reg(3)
+    data_base = 0x7000_0000
+    builder.int_op(index)
+    builder.int_op(accum)
+    loop_pc = builder.pc
+    for i in range(iterations):
+        builder.set_pc(loop_pc)
+        builder.load(value, data_base + (i % 4096) * ELEMENT_BYTES, addr_reg=index)
+        # Data-dependent branch over the loaded value.
+        builder.branch(taken=rng.random() < taken_probability, srcs=(value,))
+        builder.int_op(accum, accum, value)
+        builder.int_op(index, index)
+        builder.branch(taken=(i != iterations - 1), target=loop_pc, srcs=(index,))
+    return builder.build()
+
+
+def mixed_int_fp(
+    iterations: int = 1024,
+    seed: int = 23,
+    name: str = "mixed",
+) -> Trace:
+    """A half-integer, half-floating-point loop with moderate miss rate."""
+    builder = TraceBuilder(name=name)
+    rng = random.Random(seed)
+    index = regs.int_reg(1)
+    tmp_i = regs.int_reg(2)
+    t0, t1 = regs.fp_reg(2), regs.fp_reg(3)
+    scalar = regs.fp_reg(0)
+    a_base, b_base = 0x1000_0000, 0x2000_0000
+    builder.int_op(index)
+    builder.fp_add(scalar)
+    loop_pc = builder.pc
+    for i in range(iterations):
+        builder.set_pc(loop_pc)
+        builder.load(t0, a_base + i * ELEMENT_BYTES, addr_reg=index)
+        builder.int_op(tmp_i, index)
+        builder.int_mul(tmp_i, tmp_i, index)
+        builder.fp_mul(t1, t0, scalar)
+        if rng.random() < 0.25:
+            builder.load(t0, b_base + rng.randrange(1 << 16) * ELEMENT_BYTES, addr_reg=tmp_i)
+            builder.fp_add(t1, t1, t0)
+        builder.store(b_base + i * ELEMENT_BYTES, t1, addr_reg=index)
+        builder.int_op(index, index)
+        builder.branch(taken=(i != iterations - 1), target=loop_pc, srcs=(index,))
+    return builder.build()

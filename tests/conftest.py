@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.common.config import cooo_config, scaled_baseline  # noqa: E402
+from repro.common.stats import StatsRegistry  # noqa: E402
+from repro.workloads import daxpy, fp_compute_bound, single_miss_probe  # noqa: E402
+
+
+@pytest.fixture
+def stats() -> StatsRegistry:
+    """A fresh statistics registry."""
+    return StatsRegistry()
+
+
+@pytest.fixture
+def small_daxpy_trace():
+    """A small streaming FP trace (~350 instructions)."""
+    return daxpy(elements=50)
+
+
+@pytest.fixture
+def compute_trace():
+    """A compute-bound trace with almost no memory traffic."""
+    return fp_compute_bound(iterations=60, chain_length=3)
+
+
+@pytest.fixture
+def miss_probe_trace():
+    """One L2-missing load, a dependence chain, then independent padding."""
+    return single_miss_probe(dependents=6, padding=24)
+
+
+@pytest.fixture
+def fast_baseline_config():
+    """A small baseline machine with a short memory latency (fast to simulate)."""
+    return scaled_baseline(window=64, memory_latency=50)
+
+
+@pytest.fixture
+def fast_cooo_config():
+    """A small COoO machine with a short memory latency (fast to simulate)."""
+    return cooo_config(iq_size=16, sliq_size=64, checkpoints=4, memory_latency=50)

@@ -1,0 +1,159 @@
+"""Tests for branch predictors and the BTB."""
+
+import pytest
+
+from repro.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GSharePredictor,
+    PerfectPredictor,
+    StaticNotTakenPredictor,
+    StaticTakenPredictor,
+    build_predictor,
+)
+from repro.common.config import BranchConfig
+from repro.common.stats import StatsRegistry
+
+
+@pytest.fixture
+def config():
+    return BranchConfig(history_entries=1024, btb_entries=64, penalty=10)
+
+
+class TestFactory:
+    def test_gshare_default(self, config, stats):
+        assert isinstance(build_predictor(config, stats), GSharePredictor)
+
+    def test_perfect_overrides_kind(self, stats):
+        config = BranchConfig(perfect=True)
+        assert isinstance(build_predictor(config, stats), PerfectPredictor)
+
+    def test_other_kinds(self, stats):
+        assert isinstance(
+            build_predictor(BranchConfig(kind="bimodal"), stats), BimodalPredictor
+        )
+        assert isinstance(
+            build_predictor(BranchConfig(kind="static_taken"), stats), StaticTakenPredictor
+        )
+        assert isinstance(
+            build_predictor(BranchConfig(kind="static_not_taken"), stats),
+            StaticNotTakenPredictor,
+        )
+
+
+class TestStaticPredictors:
+    def test_static_taken(self, config, stats):
+        predictor = StaticTakenPredictor(config, stats)
+        assert predictor.predict(0x100) is True
+
+    def test_static_not_taken(self, config, stats):
+        predictor = StaticNotTakenPredictor(config, stats)
+        assert predictor.predict(0x100) is False
+
+    def test_accuracy_bookkeeping(self, config, stats):
+        predictor = StaticTakenPredictor(config, stats)
+        predictor.record_outcome(True, True)
+        predictor.record_outcome(True, False)
+        assert predictor.accuracy == pytest.approx(0.5)
+
+    def test_accuracy_with_no_predictions(self, config, stats):
+        assert StaticTakenPredictor(config, stats).accuracy == 1.0
+
+
+class TestBimodal:
+    def test_learns_biased_branch(self, config, stats):
+        predictor = BimodalPredictor(config, stats)
+        pc = 0x200
+        for _ in range(4):
+            predictor.update(pc, False)
+        assert predictor.predict(pc) is False
+
+    def test_counters_saturate(self, config, stats):
+        predictor = BimodalPredictor(config, stats)
+        pc = 0x200
+        for _ in range(10):
+            predictor.update(pc, True)
+        predictor.update(pc, False)
+        # one not-taken after saturation must not flip the prediction
+        assert predictor.predict(pc) is True
+
+
+class TestGShare:
+    def test_learns_loop_branch(self, config, stats):
+        predictor = GSharePredictor(config, stats)
+        pc = 0x400
+        # train: taken 15 times, not taken once, repeatedly
+        for _ in range(8):
+            for i in range(16):
+                outcome = i != 15
+                history = predictor.snapshot_history()
+                predicted = predictor.predict(pc)
+                predictor.update(pc, outcome, history)
+                if predicted != outcome:
+                    predictor.correct_history(history, outcome)
+        # measure accuracy over one more period
+        correct = 0
+        for i in range(16):
+            outcome = i != 15
+            history = predictor.snapshot_history()
+            predicted = predictor.predict(pc)
+            predictor.update(pc, outcome, history)
+            if predicted == outcome:
+                correct += 1
+            else:
+                predictor.correct_history(history, outcome)
+        assert correct >= 14
+
+    def test_history_advances_speculatively(self, config, stats):
+        predictor = GSharePredictor(config, stats)
+        before = predictor.history
+        predictor.predict(0x104)
+        assert predictor.history != before or predictor.history == ((before << 1) & 0x3FF)
+
+    def test_repair_history(self, config, stats):
+        predictor = GSharePredictor(config, stats)
+        predictor.predict(0x104)
+        predictor.repair_history(0)
+        assert predictor.history == 0
+
+    def test_correct_history_shifts_actual_outcome(self, config, stats):
+        predictor = GSharePredictor(config, stats)
+        predictor.correct_history(0b101, True)
+        assert predictor.history & 1 == 1
+
+    def test_update_without_history_uses_current(self, config, stats):
+        predictor = GSharePredictor(config, stats)
+        for _ in range(4):
+            predictor.update(0x88, True)
+        assert predictor.predict(0x88) is True
+
+
+class TestBTB:
+    def test_miss_then_hit(self, config, stats):
+        btb = BranchTargetBuffer(config, stats)
+        assert btb.lookup(0x100) is None
+        btb.update(0x100, 0x80)
+        assert btb.lookup(0x100) == 0x80
+
+    def test_aliasing_eviction(self, config, stats):
+        btb = BranchTargetBuffer(config, stats)
+        pc_a = 0x100
+        pc_b = pc_a + 64 * 4  # same index, different tag
+        btb.update(pc_a, 0x1)
+        btb.update(pc_b, 0x2)
+        assert btb.lookup(pc_a) is None
+        assert btb.lookup(pc_b) == 0x2
+
+    def test_invalidate(self, config, stats):
+        btb = BranchTargetBuffer(config, stats)
+        btb.update(0x100, 0x80)
+        btb.invalidate()
+        assert btb.lookup(0x100) is None
+
+    def test_stats_counted(self, config, stats):
+        btb = BranchTargetBuffer(config, stats)
+        btb.lookup(0x100)
+        btb.update(0x100, 0x80)
+        btb.lookup(0x100)
+        assert stats.value("btb.misses") == 1
+        assert stats.value("btb.hits") == 1

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import WORKLOADS, build_machine, build_parser, main
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "simulate" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "daxpy" in out
+        assert "spec2000fp_like" in out
+        assert "figure09" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_simulate_requires_workload_or_suite(self, capsys):
+        assert main(["simulate", "--machine", "baseline"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+
+class TestBuildMachine:
+    def _args(self, **overrides):
+        parser = build_parser()
+        defaults = ["simulate", "--workload", "daxpy"]
+        return parser.parse_args(defaults + overrides.pop("extra", []))
+
+    def test_baseline_machine(self):
+        args = self._args(extra=["--machine", "baseline", "--window", "256", "--memory-latency", "500"])
+        config = build_machine(args)
+        assert config.mode == "baseline"
+        assert config.core.rob_size == 256
+        assert config.memory.memory_latency == 500
+
+    def test_cooo_machine(self):
+        args = self._args(extra=["--machine", "cooo", "--iq-size", "32", "--sliq-size", "512",
+                                 "--checkpoints", "4"])
+        config = build_machine(args)
+        assert config.mode == "cooo"
+        assert config.core.int_queue_size == 32
+        assert config.sliq.size == 512
+        assert config.checkpoint.table_size == 4
+
+    def test_cooo_late_allocation(self):
+        args = self._args(extra=["--machine", "cooo", "--late-allocation",
+                                 "--virtual-tags", "512", "--physical-registers", "256"])
+        config = build_machine(args)
+        assert config.regalloc.late_allocation
+        assert config.regalloc.virtual_tags == 512
+        assert config.core.physical_registers == 256
+
+
+class TestSimulateCommand:
+    def test_single_workload(self, capsys):
+        code = main([
+            "simulate", "--machine", "cooo", "--workload", "fp_compute",
+            "--size", "100", "--memory-latency", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fp_compute" in out
+        assert "ipc" in out
+
+    def test_baseline_workload(self, capsys):
+        code = main([
+            "simulate", "--machine", "baseline", "--workload", "daxpy",
+            "--size", "80", "--window", "64", "--memory-latency", "100",
+        ])
+        assert code == 0
+        assert "daxpy" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        code = main([
+            "simulate", "--machine", "cooo", "--workload", "fp_compute",
+            "--size", "60", "--memory-latency", "100", "--json", str(target),
+        ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["machine"]["mode"] == "cooo"
+        assert "fp_compute" in payload["results"]
+
+    def test_all_cli_workloads_are_generators(self):
+        for name, generator in WORKLOADS.items():
+            trace = generator(20)
+            assert len(trace) > 0, name
+
+
+class TestExperimentCommand:
+    def test_runs_figure07(self, capsys, tmp_path):
+        target = tmp_path / "fig07.json"
+        code = main(["experiment", "figure07", "--scale", "0.08", "--json", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure07" in out
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "figure07"
+        assert payload["rows"]

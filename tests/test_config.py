@@ -1,0 +1,218 @@
+"""Tests for the configuration objects and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BranchConfig,
+    CacheConfig,
+    CheckpointConfig,
+    CoreConfig,
+    FunctionalUnitConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    RegisterAllocationConfig,
+    SLIQConfig,
+    cooo_config,
+    scaled_baseline,
+    table1_baseline,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_valid_table1_l2(self):
+        cache = CacheConfig(512 * 1024, 4, 64, 10, name="l2")
+        cache.validate()
+        assert cache.num_sets == 2048
+
+    def test_num_sets_computation(self):
+        cache = CacheConfig(32 * 1024, 4, 32, 2)
+        assert cache.num_sets == 256
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(32 * 1024, 4, 48, 2).validate()
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(0, 4, 32, 2).validate()
+
+    def test_rejects_size_not_multiple_of_way_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(10_000, 4, 32, 2).validate()
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(32 * 1024, 4, 32, -1).validate()
+
+
+class TestMemoryConfig:
+    def test_defaults_match_table1(self):
+        memory = MemoryConfig()
+        memory.validate()
+        assert memory.il1.size_bytes == 32 * 1024
+        assert memory.dl1.latency == 2
+        assert memory.l2.size_bytes == 512 * 1024
+        assert memory.memory_latency == 1000
+        assert memory.memory_ports == 2
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(memory_ports=0).validate()
+
+    def test_perfect_l2_flag(self):
+        memory = MemoryConfig(perfect_l2=True)
+        memory.validate()
+        assert memory.perfect_l2
+
+
+class TestBranchConfig:
+    def test_defaults_match_table1(self):
+        branch = BranchConfig()
+        branch.validate()
+        assert branch.history_entries == 16 * 1024
+        assert branch.penalty == 10
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            BranchConfig(kind="perceptron").validate()
+
+    def test_rejects_non_power_of_two_entries(self):
+        with pytest.raises(ConfigurationError):
+            BranchConfig(history_entries=1000).validate()
+
+
+class TestFunctionalUnitConfig:
+    def test_defaults_match_table1(self):
+        fu = FunctionalUnitConfig()
+        fu.validate()
+        assert fu.int_alu_count == 4
+        assert fu.int_mul_count == 2
+        assert fu.fp_count == 4
+        assert fu.int_div_latency == 20
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitConfig(fp_count=0).validate()
+
+
+class TestCheckpointConfig:
+    def test_paper_defaults(self):
+        checkpoint = CheckpointConfig()
+        checkpoint.validate()
+        assert checkpoint.table_size == 8
+        assert checkpoint.branch_threshold == 64
+        assert checkpoint.instruction_threshold == 512
+        assert checkpoint.store_threshold == 64
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointConfig(policy="random").validate()
+
+    def test_rejects_instruction_threshold_below_branch_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointConfig(branch_threshold=64, instruction_threshold=32).validate()
+
+
+class TestSLIQConfig:
+    def test_defaults(self):
+        sliq = SLIQConfig()
+        sliq.validate()
+        assert sliq.reinsert_width == 4
+        assert sliq.reinsert_delay == 4
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            SLIQConfig(size=0).validate()
+
+    def test_zero_delay_allowed(self):
+        SLIQConfig(reinsert_delay=0).validate()
+
+
+class TestProcessorConfig:
+    def test_default_is_valid_baseline(self):
+        config = ProcessorConfig()
+        assert config.validate() is config
+        assert config.mode == "baseline"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig(mode="vliw").validate()
+
+    def test_rejects_late_allocation_on_baseline(self):
+        config = ProcessorConfig(
+            mode="baseline",
+            regalloc=RegisterAllocationConfig(late_allocation=True),
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_describe_is_flat(self):
+        description = table1_baseline().describe()
+        assert description["mode"] == "baseline"
+        assert description["rob_size"] == 4096
+        assert description["memory_latency"] == 1000
+
+    def test_copy_is_deep(self):
+        config = table1_baseline()
+        clone = config.copy(name="clone")
+        clone.memory.memory_latency = 7
+        assert config.memory.memory_latency == 1000
+        assert clone.name == "clone"
+
+
+class TestPresets:
+    def test_table1_baseline_matches_paper(self):
+        config = table1_baseline()
+        assert config.core.rob_size == 4096
+        assert config.core.int_queue_size == 4096
+        assert config.core.lsq_size == 4096
+        assert config.core.physical_registers == 4096
+        assert config.memory.memory_latency == 1000
+
+    def test_table1_perfect_l2(self):
+        config = table1_baseline(perfect_l2=True)
+        assert config.memory.perfect_l2
+
+    def test_scaled_baseline_scales_window_resources(self):
+        config = scaled_baseline(window=256, memory_latency=500)
+        assert config.core.rob_size == 256
+        assert config.core.int_queue_size == 256
+        assert config.core.fp_queue_size == 256
+        assert config.core.lsq_size == 256
+        assert config.memory.memory_latency == 500
+
+    def test_scaled_baseline_keeps_architectural_registers(self):
+        config = scaled_baseline(window=128)
+        assert config.core.physical_registers == 128 + 64
+
+    def test_scaled_baseline_rejects_zero_window(self):
+        with pytest.raises(ConfigurationError):
+            scaled_baseline(window=0)
+
+    def test_cooo_config_paper_point(self):
+        config = cooo_config(iq_size=128, sliq_size=2048, checkpoints=8)
+        assert config.mode == "cooo"
+        assert config.sliq.size == 2048
+        assert config.sliq.pseudo_rob_size == 128
+        assert config.checkpoint.table_size == 8
+        assert config.core.int_queue_size == 128
+
+    def test_cooo_config_late_allocation(self):
+        config = cooo_config(virtual_tags=512, physical_registers=256, late_allocation=True)
+        assert config.regalloc.late_allocation
+        assert config.regalloc.virtual_tags == 512
+        assert config.core.physical_registers == 256
+
+    def test_cooo_config_custom_pseudo_rob(self):
+        config = cooo_config(iq_size=64, pseudo_rob_size=32)
+        assert config.sliq.pseudo_rob_size == 32
+
+    def test_configs_are_independent(self):
+        first = cooo_config(iq_size=32)
+        second = cooo_config(iq_size=128)
+        assert first.core.int_queue_size == 32
+        assert second.core.int_queue_size == 128
+        assert dataclasses.asdict(first) != dataclasses.asdict(second)

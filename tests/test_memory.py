@@ -1,0 +1,200 @@
+"""Tests for the cache, MSHR file and memory hierarchy."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.mshr import MSHRFile
+
+
+@pytest.fixture
+def small_cache(stats):
+    # 4 sets x 2 ways x 64-byte lines = 512 bytes
+    return Cache(CacheConfig(512, 2, 64, 3, name="test"), stats)
+
+
+class TestCache:
+    def test_compulsory_miss_then_hit(self, small_cache):
+        assert not small_cache.access(0x100)
+        small_cache.fill(0x100)
+        assert small_cache.access(0x100)
+
+    def test_line_granularity(self, small_cache):
+        small_cache.fill(0x100)
+        assert small_cache.access(0x13F)  # same 64-byte line
+        assert not small_cache.access(0x140)  # next line
+
+    def test_lru_eviction(self, small_cache):
+        # Three lines mapping to the same set in a 2-way cache.
+        a, b, c = 0x000, 0x100, 0x200
+        small_cache.fill(a)
+        small_cache.fill(b)
+        small_cache.access(a)  # make A most recently used
+        small_cache.fill(c)  # evicts B
+        assert small_cache.probe(a)
+        assert not small_cache.probe(b)
+        assert small_cache.probe(c)
+
+    def test_dirty_eviction_reports_writeback(self, small_cache, stats):
+        a, b, c = 0x000, 0x100, 0x200
+        small_cache.fill(a, dirty=True)
+        small_cache.fill(b)
+        victim = small_cache.fill(c)
+        assert victim == a
+        assert stats.value("test.writebacks") == 1
+
+    def test_clean_eviction_returns_none(self, small_cache):
+        a, b, c = 0x000, 0x100, 0x200
+        small_cache.fill(a)
+        small_cache.fill(b)
+        assert small_cache.fill(c) is None
+
+    def test_write_hit_sets_dirty(self, small_cache):
+        small_cache.fill(0x000)
+        small_cache.access(0x000, is_write=True)
+        small_cache.fill(0x100)
+        victim = small_cache.fill(0x200)
+        assert victim == 0x000
+
+    def test_probe_does_not_touch_lru(self, small_cache):
+        a, b, c = 0x000, 0x100, 0x200
+        small_cache.fill(a)
+        small_cache.fill(b)
+        small_cache.probe(a)  # must NOT refresh recency
+        small_cache.fill(c)
+        assert not small_cache.probe(a)
+
+    def test_invalidate_and_flush(self, small_cache):
+        small_cache.fill(0x000)
+        assert small_cache.invalidate(0x000)
+        assert not small_cache.invalidate(0x000)
+        small_cache.fill(0x100)
+        small_cache.flush()
+        assert small_cache.occupancy == 0
+
+    def test_hit_rate(self, small_cache):
+        small_cache.access(0x0)
+        small_cache.fill(0x0)
+        small_cache.access(0x0)
+        assert small_cache.hit_rate() == pytest.approx(0.5)
+        assert small_cache.miss_rate() == pytest.approx(0.5)
+
+    def test_capacity_and_occupancy(self, small_cache):
+        assert small_cache.capacity_lines == 8
+        for i in range(4):
+            small_cache.fill(i * 64)
+        assert small_cache.occupancy == 4
+
+    def test_contents_view(self, small_cache):
+        small_cache.fill(0x000)
+        contents = small_cache.contents()
+        assert 0x000 in [addr for lines in contents.values() for addr in lines]
+
+
+class TestMSHR:
+    def test_lookup_before_ready(self, stats):
+        mshr = MSHRFile("m", stats)
+        mshr.allocate(0x100, ready_cycle=50, from_memory=True)
+        assert mshr.lookup(0x100, cycle=10) == (50, True)
+
+    def test_lookup_after_ready_removes_entry(self, stats):
+        mshr = MSHRFile("m", stats)
+        mshr.allocate(0x100, ready_cycle=50)
+        assert mshr.lookup(0x100, cycle=60) is None
+        assert mshr.outstanding_count == 0
+
+    def test_capacity_limit(self, stats):
+        mshr = MSHRFile("m", stats, capacity=1)
+        assert mshr.allocate(0x100, 50)
+        assert not mshr.allocate(0x200, 50)
+
+    def test_clear(self, stats):
+        mshr = MSHRFile("m", stats)
+        mshr.allocate(0x100, 50)
+        mshr.clear()
+        assert mshr.outstanding_count == 0
+
+
+class TestHierarchy:
+    def make(self, stats, latency=200, perfect_l2=False, perfect_dl1=False):
+        config = MemoryConfig(
+            memory_latency=latency, perfect_l2=perfect_l2, perfect_dl1=perfect_dl1
+        )
+        return CacheHierarchy(config, stats)
+
+    def test_first_access_goes_to_memory(self, stats):
+        hierarchy = self.make(stats)
+        result = hierarchy.data_access(0x1000_0000, False, cycle=0)
+        assert result.level == "memory"
+        assert result.l2_miss
+        assert result.latency == 2 + 10 + 200
+
+    def test_second_access_hits_dl1(self, stats):
+        hierarchy = self.make(stats)
+        hierarchy.data_access(0x1000_0000, False, cycle=0)
+        result = hierarchy.data_access(0x1000_0000, False, cycle=500)
+        assert result.level == "dl1"
+        assert result.latency == 2
+        assert not result.l2_miss
+
+    def test_mshr_merge_counts_as_l2_miss(self, stats):
+        hierarchy = self.make(stats)
+        hierarchy.data_access(0x1000_0000, False, cycle=0)
+        merged = hierarchy.data_access(0x1000_0008, False, cycle=10)
+        assert merged.level == "mshr"
+        assert merged.l2_miss
+        assert merged.latency == pytest.approx(212 - 10, abs=2)
+
+    def test_l2_hit_after_dl1_eviction(self, stats):
+        hierarchy = self.make(stats)
+        base = 0x2000_0000
+        hierarchy.data_access(base, False, cycle=0)
+        # Touch enough distinct lines to push `base` out of the 32KB DL1 but
+        # keep it in the 512KB L2.
+        for i in range(1, 2100):
+            hierarchy.data_access(base + i * 32, False, cycle=10_000 + i)
+        result = hierarchy.data_access(base, False, cycle=200_000)
+        assert result.level == "l2"
+        assert not result.l2_miss
+
+    def test_perfect_l2_never_misses(self, stats):
+        hierarchy = self.make(stats, perfect_l2=True)
+        result = hierarchy.data_access(0x3000_0000, False, cycle=0)
+        assert not result.l2_miss
+        assert result.latency == 12
+
+    def test_perfect_dl1(self, stats):
+        hierarchy = self.make(stats, perfect_dl1=True)
+        result = hierarchy.data_access(0x3000_0000, False, cycle=0)
+        assert result.latency == 2
+
+    def test_would_miss_l2_probe(self, stats):
+        hierarchy = self.make(stats)
+        addr = 0x4000_0000
+        assert hierarchy.would_miss_l2(addr, cycle=0)
+        hierarchy.data_access(addr, False, cycle=0)
+        # While the fill is outstanding the probe still reports a miss.
+        assert hierarchy.would_miss_l2(addr, cycle=5)
+        # After the fill completes it reports a hit.
+        assert not hierarchy.would_miss_l2(addr, cycle=1000)
+
+    def test_inst_access_hits_after_warmup(self, stats):
+        hierarchy = self.make(stats)
+        first = hierarchy.inst_access(0x400, cycle=0)
+        second = hierarchy.inst_access(0x400, cycle=10)
+        assert first > second
+        assert second == 2
+
+    def test_store_miss_counts_memory_access(self, stats):
+        hierarchy = self.make(stats)
+        hierarchy.data_access(0x5000_0000, True, cycle=0)
+        assert stats.value("mem.stores") == 1
+        assert stats.value("mem.main_memory_accesses") == 1
+        assert stats.value("mem.l2_miss_loads") == 0
+
+    def test_flush(self, stats):
+        hierarchy = self.make(stats)
+        hierarchy.data_access(0x6000_0000, False, cycle=0)
+        hierarchy.flush()
+        assert hierarchy.would_miss_l2(0x6000_0000, cycle=10_000)

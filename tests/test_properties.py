@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, cooo_config, scaled_baseline
+from repro.common.stats import StatsRegistry, WeightedDistribution, percentile
+from repro.core.cam_rename import CAMRenamer
+from repro.core.processor import simulate
+from repro.core.regfile import PhysicalRegisterFile
+from repro.isa import registers as regs
+from repro.isa.instruction import DynInst, Instruction
+from repro.isa.opcodes import OpClass
+from repro.memory.cache import Cache
+from repro.trace.trace import Trace
+from repro.workloads.builder import TraceBuilder
+
+# Simulation-backed properties are expensive; keep example counts small.
+SIM_SETTINGS = settings(
+    max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+FAST_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Statistics primitives
+# ---------------------------------------------------------------------------
+@FAST_SETTINGS
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_percentile_is_bounded_by_extremes(values):
+    values = sorted(values)
+    for fraction in (0.0, 0.25, 0.5, 0.9, 1.0):
+        result = percentile(values, fraction)
+        assert values[0] <= result <= values[-1]
+
+
+@FAST_SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=20)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_weighted_distribution_percentiles_are_monotonic(samples):
+    dist = WeightedDistribution("x")
+    for value, weight in samples:
+        dist.sample(value, weight)
+    fractions = [0.1, 0.25, 0.5, 0.75, 0.9]
+    results = [dist.percentile(f) for f in fractions]
+    assert results == sorted(results)
+    assert min(v for v, _ in samples) <= dist.mean() <= max(v for v, _ in samples)
+
+
+# ---------------------------------------------------------------------------
+# Trace serialisation round trip
+# ---------------------------------------------------------------------------
+_instruction_strategy = st.builds(
+    lambda op, dest, src, addr, taken: Instruction(
+        pc=0x1000,
+        op=op,
+        dest=None if op in (OpClass.STORE, OpClass.FP_STORE, OpClass.BRANCH, OpClass.NOP) else dest,
+        srcs=(src,),
+        mem_addr=addr if op in (OpClass.LOAD, OpClass.FP_LOAD, OpClass.STORE, OpClass.FP_STORE) else None,
+        branch_taken=taken if op is OpClass.BRANCH else False,
+        branch_target=0x100 if (op is OpClass.BRANCH and taken) else None,
+    ),
+    op=st.sampled_from(
+        [OpClass.INT_ALU, OpClass.FP_ALU, OpClass.LOAD, OpClass.FP_LOAD, OpClass.STORE, OpClass.BRANCH]
+    ),
+    dest=st.integers(min_value=0, max_value=63),
+    src=st.integers(min_value=0, max_value=63),
+    addr=st.integers(min_value=0, max_value=2**40),
+    taken=st.booleans(),
+)
+
+
+@FAST_SETTINGS
+@given(st.lists(_instruction_strategy, min_size=1, max_size=40))
+def test_trace_jsonl_roundtrip(instructions):
+    trace = Trace(instructions, name="prop")
+    restored = Trace.from_jsonl(trace.to_jsonl(), name="prop")
+    assert list(restored) == list(trace)
+
+
+# ---------------------------------------------------------------------------
+# Cache model vs. a reference LRU implementation
+# ---------------------------------------------------------------------------
+@FAST_SETTINGS
+@given(
+    st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=200),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_cache_matches_reference_lru(line_indices, seed):
+    """Access/fill behaviour must match a straightforward LRU model."""
+    config = CacheConfig(4 * 2 * 64, 2, 64, 1, name="ref")  # 4 sets, 2 ways
+    cache = Cache(config, StatsRegistry())
+    reference = {}  # set index -> list of tags, most recent last
+
+    for index in line_indices:
+        addr = index * 64
+        set_index = index % 4
+        tag = index
+        lines = reference.setdefault(set_index, [])
+        expected_hit = tag in lines
+        actual_hit = cache.access(addr)
+        assert actual_hit == expected_hit
+        if expected_hit:
+            lines.remove(tag)
+            lines.append(tag)
+        else:
+            cache.fill(addr)
+            if len(lines) == 2:
+                lines.pop(0)
+            lines.append(tag)
+
+
+# ---------------------------------------------------------------------------
+# Physical register file free-list integrity
+# ---------------------------------------------------------------------------
+@FAST_SETTINGS
+@given(st.lists(st.booleans(), min_size=1, max_size=200), st.integers(0, 2**31))
+def test_regfile_never_leaks_or_double_allocates(ops, seed):
+    rng = random.Random(seed)
+    prf = PhysicalRegisterFile(16, StatsRegistry())
+    allocated = []
+    for do_allocate in ops:
+        if do_allocate and prf.has_free():
+            reg = prf.allocate()
+            assert reg not in allocated
+            allocated.append(reg)
+        elif allocated:
+            reg = allocated.pop(rng.randrange(len(allocated)))
+            prf.free(reg)
+        assert prf.free_count + len(allocated) == 16
+
+
+# ---------------------------------------------------------------------------
+# CAM renamer invariants under random rename/checkpoint/rollback sequences
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=9)),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_cam_renamer_invariants_hold(operations):
+    """Rename continuously, occasionally checkpoint, and roll back at the end."""
+    stats = StatsRegistry()
+    renamer = CAMRenamer(PhysicalRegisterFile(256, stats), stats)
+    snapshots = []
+    harvested_sets = []
+    seq = 0
+    for logical, action in operations:
+        if action == 0 and len(snapshots) < 4:
+            snapshots.append(renamer.take_snapshot())
+            harvested_sets.append(renamer.harvest_future_free())
+            continue
+        if not renamer.regfile.has_free():
+            break
+        instr = Instruction(pc=seq, op=OpClass.INT_ALU, dest=logical, srcs=(logical,))
+        renamer.rename(DynInst(seq=seq, trace_index=seq, instr=instr))
+        seq += 1
+    reserved = set().union(*harvested_sets) if harvested_sets else set()
+    renamer.check_invariants(reserved=reserved)
+    if snapshots:
+        # Roll back to the first snapshot: registers harvested before it do
+        # not exist (it is the oldest), so nothing is reserved.
+        renamer.restore(snapshots[0], reserved=harvested_sets[0] if harvested_sets else set())
+        renamer.check_invariants(reserved=harvested_sets[0] if harvested_sets else set())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: random small traces complete on both machines
+# ---------------------------------------------------------------------------
+def _random_trace(seed: int, length: int) -> Trace:
+    rng = random.Random(seed)
+    builder = TraceBuilder(f"random-{seed}")
+    int_regs = [regs.int_reg(i) for i in range(1, 8)]
+    fp_regs = [regs.fp_reg(i) for i in range(1, 8)]
+    for i in range(length):
+        choice = rng.random()
+        if choice < 0.25:
+            builder.load(rng.choice(fp_regs), 0x1000_0000 + rng.randrange(1 << 14) * 8)
+        elif choice < 0.35:
+            builder.store(0x2000_0000 + rng.randrange(1 << 12) * 8, rng.choice(fp_regs))
+        elif choice < 0.55:
+            builder.fp_add(rng.choice(fp_regs), rng.choice(fp_regs), rng.choice(fp_regs))
+        elif choice < 0.70:
+            builder.fp_mul(rng.choice(fp_regs), rng.choice(fp_regs), rng.choice(fp_regs))
+        elif choice < 0.85:
+            builder.int_op(rng.choice(int_regs), rng.choice(int_regs))
+        elif choice < 0.95:
+            builder.branch(taken=rng.random() < 0.7, srcs=(rng.choice(int_regs),))
+        else:
+            builder.int_mul(rng.choice(int_regs), rng.choice(int_regs), rng.choice(int_regs))
+    builder.branch(taken=False)
+    return builder.build()
+
+
+@SIM_SETTINGS
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=20, max_value=150))
+def test_baseline_commits_any_random_trace(seed, length):
+    trace = _random_trace(seed, length)
+    result = simulate(scaled_baseline(window=48, memory_latency=80), trace)
+    assert result.committed_instructions == len(trace)
+    assert 0 < result.ipc <= 4.0
+
+
+@SIM_SETTINGS
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=20, max_value=150))
+def test_cooo_commits_any_random_trace(seed, length):
+    trace = _random_trace(seed, length)
+    config = cooo_config(iq_size=12, sliq_size=48, checkpoints=3, memory_latency=80)
+    result = simulate(config, trace)
+    assert result.committed_instructions == len(trace)
+    assert 0 < result.ipc <= 4.0
+
+
+@SIM_SETTINGS
+@given(st.integers(min_value=0, max_value=5_000))
+def test_both_machines_commit_same_instruction_count(seed):
+    trace = _random_trace(seed, 100)
+    baseline = simulate(scaled_baseline(window=64, memory_latency=60), trace)
+    cooo = simulate(cooo_config(iq_size=16, sliq_size=64, memory_latency=60), trace)
+    assert baseline.committed_instructions == cooo.committed_instructions == len(trace)

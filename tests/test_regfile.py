@@ -1,0 +1,124 @@
+"""Tests for the physical register file, free list and late-allocation pool."""
+
+import pytest
+
+from repro.common.errors import RenameError
+from repro.core.regfile import PhysicalPool, PhysicalRegisterFile
+
+
+class TestPhysicalRegisterFile:
+    def test_initially_all_free(self, stats):
+        prf = PhysicalRegisterFile(8, stats)
+        assert prf.free_count == 8
+        assert prf.in_use_count == 0
+
+    def test_allocate_free_cycle(self, stats):
+        prf = PhysicalRegisterFile(4, stats)
+        reg = prf.allocate()
+        assert not prf.is_free(reg)
+        assert prf.free_count == 3
+        prf.free(reg)
+        assert prf.is_free(reg)
+        assert prf.free_count == 4
+
+    def test_allocation_exhaustion(self, stats):
+        prf = PhysicalRegisterFile(2, stats)
+        prf.allocate()
+        prf.allocate()
+        assert not prf.has_free()
+        with pytest.raises(RenameError):
+            prf.allocate()
+
+    def test_double_free_rejected(self, stats):
+        prf = PhysicalRegisterFile(2, stats)
+        reg = prf.allocate()
+        prf.free(reg)
+        with pytest.raises(RenameError):
+            prf.free(reg)
+
+    def test_allocated_register_starts_not_ready(self, stats):
+        prf = PhysicalRegisterFile(2, stats)
+        reg = prf.allocate()
+        assert not prf.is_ready(reg)
+        prf.set_ready(reg)
+        assert prf.is_ready(reg)
+
+    def test_free_clears_ready(self, stats):
+        prf = PhysicalRegisterFile(2, stats)
+        reg = prf.allocate()
+        prf.set_ready(reg)
+        prf.free(reg)
+        assert not prf.is_ready(reg)
+
+    def test_set_free_set_reconstruction(self, stats):
+        prf = PhysicalRegisterFile(8, stats)
+        for _ in range(8):
+            prf.allocate()
+        prf.set_free_set({1, 3, 5})
+        assert prf.free_count == 3
+        assert prf.is_free(3)
+        assert not prf.is_free(0)
+
+    def test_free_set_view(self, stats):
+        prf = PhysicalRegisterFile(4, stats)
+        reg = prf.allocate()
+        assert reg not in prf.free_set()
+
+    def test_out_of_range_rejected(self, stats):
+        prf = PhysicalRegisterFile(4, stats)
+        with pytest.raises(RenameError):
+            prf.is_ready(4)
+        with pytest.raises(RenameError):
+            prf.free(-1)
+
+    def test_reset(self, stats):
+        prf = PhysicalRegisterFile(4, stats)
+        prf.allocate()
+        prf.reset()
+        assert prf.free_count == 4
+
+    def test_zero_registers_rejected(self, stats):
+        with pytest.raises(RenameError):
+            PhysicalRegisterFile(0, stats)
+
+    def test_peak_statistic(self, stats):
+        prf = PhysicalRegisterFile(4, stats, name="prf")
+        prf.allocate()
+        prf.allocate()
+        assert stats.value("prf.peak_in_use") == 2
+
+
+class TestPhysicalPool:
+    def test_claim_until_exhausted(self, stats):
+        pool = PhysicalPool(2, stats)
+        assert pool.try_claim()
+        assert pool.try_claim()
+        assert not pool.try_claim()
+        assert pool.available == 0
+
+    def test_release_restores_capacity(self, stats):
+        pool = PhysicalPool(2, stats)
+        pool.try_claim()
+        pool.release()
+        assert pool.available == 2
+
+    def test_initially_claimed(self, stats):
+        pool = PhysicalPool(4, stats, initially_claimed=3)
+        assert pool.claimed == 3
+        assert pool.try_claim()
+        assert not pool.try_claim()
+
+    def test_over_release_rejected(self, stats):
+        pool = PhysicalPool(2, stats)
+        with pytest.raises(RenameError):
+            pool.release()
+
+    def test_initially_claimed_cannot_exceed_capacity(self, stats):
+        with pytest.raises(RenameError):
+            PhysicalPool(2, stats, initially_claimed=3)
+
+    def test_stall_statistic(self, stats):
+        pool = PhysicalPool(1, stats)
+        pool.try_claim()
+        pool.try_claim()
+        assert stats.value("prf.late_alloc_stalls") == 1

@@ -1,0 +1,225 @@
+"""Tests for both renaming schemes: the baseline map table and the paper's CAM."""
+
+import pytest
+
+from repro.common.errors import RenameError
+from repro.core.cam_rename import CAMRenamer
+from repro.core.regfile import PhysicalRegisterFile
+from repro.core.rename_map import MapTableRenamer
+from repro.isa import registers as regs
+from repro.isa.instruction import DynInst, Instruction
+from repro.isa.opcodes import OpClass
+
+
+def dyn(seq, op=OpClass.INT_ALU, dest=None, srcs=(), mem_addr=None):
+    instr = Instruction(pc=seq * 4, op=op, dest=dest, srcs=tuple(srcs), mem_addr=mem_addr)
+    return DynInst(seq=seq, trace_index=seq, instr=instr)
+
+
+class TestMapTableRenamer:
+    def make(self, stats, regs_count=80):
+        return MapTableRenamer(PhysicalRegisterFile(regs_count, stats), stats)
+
+    def test_initial_mapping_is_ready(self, stats):
+        renamer = self.make(stats)
+        for logical in range(regs.NUM_LOGICAL_REGS):
+            assert renamer.regfile.is_ready(renamer.mapping(logical))
+
+    def test_requires_enough_registers(self, stats):
+        with pytest.raises(RenameError):
+            MapTableRenamer(PhysicalRegisterFile(10, stats), stats)
+
+    def test_rename_reads_current_mapping(self, stats):
+        renamer = self.make(stats)
+        expected = renamer.mapping(2)
+        inst = dyn(1, dest=1, srcs=(2,))
+        srcs, dest, old = renamer.rename(inst)
+        assert srcs == [expected]
+        assert dest == renamer.mapping(1)
+        assert old != dest
+
+    def test_dependent_chain_renames_through(self, stats):
+        renamer = self.make(stats)
+        producer = dyn(1, dest=5)
+        renamer.rename(producer)
+        consumer = dyn(2, dest=6, srcs=(5,))
+        srcs, _, _ = renamer.rename(consumer)
+        assert srcs == [producer.phys_dest]
+
+    def test_release_on_commit_frees_old_mapping(self, stats):
+        renamer = self.make(stats)
+        inst = dyn(1, dest=3)
+        renamer.rename(inst)
+        free_before = renamer.regfile.free_count
+        renamer.release_on_commit(inst)
+        assert renamer.regfile.free_count == free_before + 1
+        assert renamer.regfile.is_free(inst.old_phys_dest)
+
+    def test_undo_rename_restores_mapping(self, stats):
+        renamer = self.make(stats)
+        before = renamer.mapping(3)
+        inst = dyn(1, dest=3)
+        renamer.rename(inst)
+        renamer.undo_rename(inst)
+        assert renamer.mapping(3) == before
+        assert renamer.regfile.is_free(inst.phys_dest)
+
+    def test_undo_must_be_in_reverse_order(self, stats):
+        renamer = self.make(stats)
+        first = dyn(1, dest=3)
+        second = dyn(2, dest=3)
+        renamer.rename(first)
+        renamer.rename(second)
+        with pytest.raises(RenameError):
+            renamer.undo_rename(first)
+
+    def test_can_rename_checks_free_registers(self, stats):
+        renamer = self.make(stats, regs_count=regs.NUM_LOGICAL_REGS + 1)
+        first = dyn(1, dest=1)
+        assert renamer.can_rename(first)
+        renamer.rename(first)
+        assert not renamer.can_rename(dyn(2, dest=2))
+        assert renamer.can_rename(dyn(3, op=OpClass.BRANCH))  # no destination
+
+    def test_store_needs_no_destination(self, stats):
+        renamer = self.make(stats)
+        store = dyn(1, op=OpClass.STORE, srcs=(1,), mem_addr=0x100)
+        srcs, dest, old = renamer.rename(store)
+        assert dest is None and old is None
+        assert len(srcs) == 1
+
+
+class TestCAMRenamer:
+    def make(self, stats, regs_count=96):
+        return CAMRenamer(PhysicalRegisterFile(regs_count, stats), stats)
+
+    def test_initial_valid_bits(self, stats):
+        renamer = self.make(stats)
+        assert sum(renamer.valid_bits()) == regs.NUM_LOGICAL_REGS
+        assert not any(renamer.future_free_bits())
+        renamer.check_invariants()
+
+    def test_rename_sets_future_free_on_displaced_register(self, stats):
+        """The Figure 4 scenario: a redefinition marks the old register Future Free."""
+        renamer = self.make(stats)
+        old = renamer.mapping(1)
+        inst = dyn(1, dest=1, srcs=(2, 3))
+        renamer.rename(inst)
+        assert renamer.valid_bits()[old] is False
+        assert renamer.future_free_bits()[old] is True
+        assert renamer.valid_bits()[inst.phys_dest] is True
+        assert renamer.logical_of(inst.phys_dest) == 1
+        renamer.check_invariants()
+
+    def test_double_redefinition_marks_both(self, stats):
+        """Figure 5: two mappings of the same logical register awaiting free."""
+        renamer = self.make(stats)
+        first_old = renamer.mapping(1)
+        first = dyn(1, dest=1)
+        renamer.rename(first)
+        second = dyn(2, dest=1, srcs=(4, 1))
+        renamer.rename(second)
+        bits = renamer.future_free_bits()
+        assert bits[first_old] and bits[first.phys_dest]
+        assert renamer.mapping(1) == second.phys_dest
+        renamer.check_invariants(reserved=set())
+
+    def test_snapshot_and_harvest(self, stats):
+        """Figure 6: taking a checkpoint stores Valid bits and clears Future Free."""
+        renamer = self.make(stats)
+        old = renamer.mapping(4)
+        renamer.rename(dyn(1, dest=4))
+        snapshot = renamer.take_snapshot()
+        harvested = renamer.harvest_future_free()
+        assert harvested == {old}
+        assert not any(renamer.future_free_bits())
+        assert snapshot.valid[renamer.mapping(4)] is True
+        assert snapshot.valid[old] is False
+
+    def test_checkpoint_cost_is_two_bitmaps(self, stats):
+        renamer = self.make(stats)
+        snapshot = renamer.take_snapshot()
+        assert len(snapshot.valid) == renamer.regfile.num_regs
+        assert len(snapshot.mapping) == regs.NUM_LOGICAL_REGS
+
+    def test_free_registers_at_commit(self, stats):
+        renamer = self.make(stats)
+        old = renamer.mapping(2)
+        renamer.rename(dyn(1, dest=2))
+        renamer.take_snapshot()
+        harvested = renamer.harvest_future_free()
+        free_before = renamer.regfile.free_count
+        renamer.free_registers(harvested)
+        assert renamer.regfile.free_count == free_before + 1
+        assert renamer.regfile.is_free(old)
+
+    def test_cannot_free_valid_register(self, stats):
+        renamer = self.make(stats)
+        with pytest.raises(RenameError):
+            renamer.free_registers({renamer.mapping(0)})
+
+    def test_restore_rolls_back_mapping_and_free_list(self, stats):
+        renamer = self.make(stats)
+        snapshot = renamer.take_snapshot()
+        free_before = renamer.regfile.free_count
+        squashed = [dyn(i, dest=i % 8) for i in range(1, 9)]
+        for inst in squashed:
+            renamer.rename(inst)
+        renamer.restore(snapshot, reserved=set())
+        assert renamer.regfile.free_count == free_before
+        for logical in range(8):
+            assert renamer.mapping(logical) == snapshot.mapping[logical]
+        renamer.check_invariants()
+
+    def test_restore_keeps_reserved_registers_off_free_list(self, stats):
+        renamer = self.make(stats)
+        old = renamer.mapping(1)
+        renamer.rename(dyn(1, dest=1))
+        snapshot = renamer.take_snapshot()
+        harvested = renamer.harvest_future_free()
+        assert harvested == {old}
+        renamer.rename(dyn(2, dest=2))
+        renamer.restore(snapshot, reserved=harvested)
+        assert not renamer.regfile.is_free(old)
+        renamer.check_invariants(reserved=harvested)
+
+    def test_restore_preserves_not_ready_producers(self, stats):
+        renamer = self.make(stats)
+        producer = dyn(1, dest=1)
+        renamer.rename(producer)
+        # The producer has not written back: its register is not ready.
+        snapshot = renamer.take_snapshot()
+        renamer.rename(dyn(2, dest=2))
+        renamer.restore(snapshot, reserved=set())
+        assert not renamer.regfile.is_ready(producer.phys_dest)
+
+    def test_undo_rename_reverses_figure4(self, stats):
+        renamer = self.make(stats)
+        old = renamer.mapping(1)
+        inst = dyn(1, dest=1)
+        renamer.rename(inst)
+        renamer.undo_rename(inst)
+        assert renamer.mapping(1) == old
+        assert renamer.valid_bits()[old] is True
+        assert not renamer.future_free_bits()[old]
+        assert renamer.regfile.is_free(inst.phys_dest)
+        renamer.check_invariants()
+
+    def test_undo_out_of_order_rejected(self, stats):
+        renamer = self.make(stats)
+        first = dyn(1, dest=1)
+        second = dyn(2, dest=1)
+        renamer.rename(first)
+        renamer.rename(second)
+        with pytest.raises(RenameError):
+            renamer.undo_rename(first)
+
+    def test_rename_without_destination_changes_nothing(self, stats):
+        renamer = self.make(stats)
+        valid_before = renamer.valid_bits()
+        renamer.rename(dyn(1, op=OpClass.BRANCH, srcs=(1,)))
+        assert renamer.valid_bits() == valid_before
+
+    def test_requires_enough_registers(self, stats):
+        with pytest.raises(RenameError):
+            CAMRenamer(PhysicalRegisterFile(32, stats), stats)

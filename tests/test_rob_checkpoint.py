@@ -1,0 +1,269 @@
+"""Tests for the reorder buffer, checkpoints, the checkpoint table and policies."""
+
+import pytest
+
+from repro.common.config import CheckpointConfig
+from repro.common.errors import CheckpointError, StructuralHazardError
+from repro.core.cam_rename import RenameSnapshot
+from repro.core.checkpoint import Checkpoint, CheckpointPolicy, CheckpointTable
+from repro.core.rob import ReorderBuffer
+from repro.isa.instruction import DynInst, InstState, Instruction
+from repro.isa.opcodes import OpClass
+
+
+def dyn(seq, op=OpClass.INT_ALU, dest=1, mem_addr=None, **kwargs):
+    if op in (OpClass.STORE, OpClass.FP_STORE):
+        dest = None
+        mem_addr = mem_addr or 0x100
+    instr = Instruction(pc=seq * 4, op=op, dest=dest, srcs=(), mem_addr=mem_addr, **kwargs)
+    return DynInst(seq=seq, trace_index=seq, instr=instr)
+
+
+def snapshot(num_regs=96):
+    return RenameSnapshot(valid=[False] * num_regs, mapping=list(range(64)))
+
+
+class TestReorderBuffer:
+    def test_insert_and_occupancy(self, stats):
+        rob = ReorderBuffer(4, stats)
+        rob.insert(dyn(1))
+        rob.insert(dyn(2))
+        assert rob.occupancy == 2
+        assert not rob.is_full
+        assert rob.free_entries() == 2
+
+    def test_overflow_rejected(self, stats):
+        rob = ReorderBuffer(1, stats)
+        rob.insert(dyn(1))
+        with pytest.raises(StructuralHazardError):
+            rob.insert(dyn(2))
+
+    def test_commit_in_order_only_done_instructions(self, stats):
+        rob = ReorderBuffer(8, stats)
+        instructions = [dyn(i) for i in range(4)]
+        for inst in instructions:
+            rob.insert(inst)
+        instructions[0].state = InstState.DONE
+        instructions[2].state = InstState.DONE
+        ready = rob.committable(width=4)
+        assert [inst.seq for inst in ready] == [0]
+
+    def test_commit_width_limits(self, stats):
+        rob = ReorderBuffer(8, stats)
+        for i in range(4):
+            inst = dyn(i)
+            inst.state = InstState.DONE
+            rob.insert(inst)
+        assert len(rob.committable(width=2)) == 2
+
+    def test_commit_head_pops(self, stats):
+        rob = ReorderBuffer(4, stats)
+        inst = dyn(1)
+        rob.insert(inst)
+        assert rob.commit_head() is inst
+        assert rob.is_empty
+
+    def test_commit_from_empty_rejected(self, stats):
+        with pytest.raises(StructuralHazardError):
+            ReorderBuffer(4, stats).commit_head()
+
+    def test_squash_younger_than(self, stats):
+        rob = ReorderBuffer(8, stats)
+        for i in range(6):
+            rob.insert(dyn(i))
+        squashed = rob.squash_younger_than(2)
+        assert [inst.seq for inst in squashed] == [5, 4, 3]
+        assert rob.occupancy == 3
+        assert rob.head().seq == 0
+
+
+class TestCheckpoint:
+    def test_associate_counts(self):
+        checkpoint = Checkpoint(0, 0, 0, snapshot(), created_cycle=0)
+        store = dyn(1, op=OpClass.STORE)
+        checkpoint.associate(dyn(0))
+        checkpoint.associate(store)
+        assert checkpoint.pending_count == 2
+        assert checkpoint.instruction_count == 2
+        assert checkpoint.store_count == 1
+        assert checkpoint.stores == [store]
+
+    def test_instruction_finished_and_ready(self):
+        checkpoint = Checkpoint(0, 0, 0, snapshot(), created_cycle=0)
+        checkpoint.associate(dyn(0))
+        assert not checkpoint.ready_to_commit
+        checkpoint.instruction_finished()
+        assert checkpoint.ready_to_commit
+
+    def test_pending_underflow_rejected(self):
+        checkpoint = Checkpoint(0, 0, 0, snapshot(), created_cycle=0)
+        with pytest.raises(CheckpointError):
+            checkpoint.instruction_finished()
+
+    def test_cannot_associate_with_closed_checkpoint(self):
+        checkpoint = Checkpoint(0, 0, 0, snapshot(), created_cycle=0)
+        checkpoint.closed = True
+        with pytest.raises(CheckpointError):
+            checkpoint.associate(dyn(0))
+
+    def test_disassociate_pending_instruction(self):
+        checkpoint = Checkpoint(0, 0, 0, snapshot(), created_cycle=0)
+        inst = dyn(3)
+        checkpoint.associate(inst)
+        checkpoint.disassociate(inst)
+        assert checkpoint.pending_count == 0
+        assert checkpoint.instruction_count == 0
+
+    def test_disassociate_completed_instruction_keeps_pending(self):
+        checkpoint = Checkpoint(0, 0, 0, snapshot(), created_cycle=0)
+        done = dyn(3)
+        pending = dyn(4)
+        checkpoint.associate(done)
+        checkpoint.associate(pending)
+        done.complete_cycle = 10
+        checkpoint.instruction_finished()
+        checkpoint.disassociate(done)
+        assert checkpoint.pending_count == 1
+        assert checkpoint.instruction_count == 1
+
+    def test_reset_window(self):
+        checkpoint = Checkpoint(0, 5, 7, snapshot(), created_cycle=0)
+        checkpoint.associate(dyn(7, op=OpClass.STORE))
+        checkpoint.to_free.add(9)
+        checkpoint.closed = True
+        checkpoint.reset_window()
+        assert checkpoint.pending_count == 0
+        assert not checkpoint.stores
+        assert not checkpoint.to_free
+        assert not checkpoint.closed
+        assert checkpoint.resume_index == 5
+
+
+class TestCheckpointTable:
+    def make(self, stats, capacity=4):
+        return CheckpointTable(capacity, stats)
+
+    def create(self, table, resume_index=0, resume_seq=0, harvested=None, cycle=0):
+        return table.create(resume_index, resume_seq, snapshot(), harvested or set(), cycle)
+
+    def test_create_and_order(self, stats):
+        table = self.make(stats)
+        first = self.create(table, 0, 0)
+        second = self.create(table, 10, 10)
+        assert table.oldest() is first
+        assert table.youngest() is second
+        assert first.closed and not second.closed
+
+    def test_create_attaches_harvest_to_previous(self, stats):
+        table = self.make(stats)
+        first = self.create(table)
+        self.create(table, 10, 10, harvested={42})
+        assert 42 in first.to_free
+
+    def test_harvest_with_empty_table_rejected(self, stats):
+        table = self.make(stats)
+        with pytest.raises(CheckpointError):
+            self.create(table, harvested={1})
+
+    def test_overflow_rejected(self, stats):
+        table = self.make(stats, capacity=2)
+        self.create(table)
+        self.create(table, 1, 1)
+        assert table.is_full
+        with pytest.raises(CheckpointError):
+            self.create(table, 2, 2)
+
+    def test_pop_oldest(self, stats):
+        table = self.make(stats)
+        first = self.create(table)
+        self.create(table, 1, 1)
+        assert table.pop_oldest() is first
+        assert table.occupancy == 1
+
+    def test_find_by_uid(self, stats):
+        table = self.make(stats)
+        first = self.create(table)
+        assert table.find(first.uid) is first
+        assert table.find(99) is None
+
+    def test_discard_younger_than(self, stats):
+        table = self.make(stats)
+        first = self.create(table)
+        second = self.create(table, 1, 1)
+        third = self.create(table, 2, 2)
+        discarded = table.discard_younger_than(first)
+        assert discarded == [third, second]
+        assert table.youngest() is first
+
+    def test_discard_younger_than_seq_reopens_survivor(self, stats):
+        table = self.make(stats)
+        first = self.create(table, 0, 0)
+        self.create(table, 50, 50)
+        discarded = table.discard_younger_than_seq(20)
+        assert len(discarded) == 1
+        assert table.youngest() is first
+        assert not first.closed
+
+    def test_reserved_registers(self, stats):
+        table = self.make(stats)
+        first = self.create(table)
+        second = self.create(table, 1, 1, harvested={7})
+        self.create(table, 2, 2, harvested={9})
+        assert table.reserved_registers() == {7, 9}
+        assert table.reserved_registers(up_to=second) == {7}
+
+    def test_remove_from_pending_free(self, stats):
+        table = self.make(stats)
+        first = self.create(table)
+        self.create(table, 1, 1, harvested={7, 8})
+        table.remove_from_pending_free(7)
+        assert first.to_free == {8}
+
+
+class TestCheckpointPolicy:
+    def account_n(self, policy, count, op=OpClass.INT_ALU):
+        for i in range(count):
+            policy.account(dyn(i, op=op))
+
+    def test_paper_policy_branch_after_threshold(self):
+        policy = CheckpointPolicy(CheckpointConfig())
+        self.account_n(policy, 63)
+        assert not policy.should_checkpoint(dyn(100, op=OpClass.BRANCH, dest=None))
+        self.account_n(policy, 1)
+        assert not policy.should_checkpoint(dyn(101))  # non-branch: not yet
+        assert policy.should_checkpoint(dyn(102, op=OpClass.BRANCH, dest=None))
+
+    def test_paper_policy_hard_instruction_cap(self):
+        policy = CheckpointPolicy(CheckpointConfig())
+        self.account_n(policy, 512)
+        assert policy.should_checkpoint(dyn(600))
+
+    def test_paper_policy_store_cap(self):
+        policy = CheckpointPolicy(CheckpointConfig())
+        self.account_n(policy, 64, op=OpClass.STORE)
+        assert policy.should_checkpoint(dyn(700))
+
+    def test_checkpoint_taken_resets_counters(self):
+        policy = CheckpointPolicy(CheckpointConfig())
+        self.account_n(policy, 512)
+        policy.checkpoint_taken()
+        assert policy.instructions_since_last == 0
+        assert not policy.should_checkpoint(dyn(900, op=OpClass.BRANCH, dest=None))
+
+    def test_every_n_policy(self):
+        policy = CheckpointPolicy(CheckpointConfig(policy="every_n", branch_threshold=16))
+        self.account_n(policy, 15)
+        assert not policy.should_checkpoint(dyn(20))
+        self.account_n(policy, 1)
+        assert policy.should_checkpoint(dyn(21))
+
+    def test_branch_only_policy_has_safety_cap(self):
+        policy = CheckpointPolicy(CheckpointConfig(policy="branch_only"))
+        self.account_n(policy, 512)
+        assert policy.should_checkpoint(dyn(600))
+
+    def test_store_only_policy(self):
+        policy = CheckpointPolicy(CheckpointConfig(policy="store_only", store_threshold=4))
+        self.account_n(policy, 4, op=OpClass.STORE)
+        assert policy.should_checkpoint(dyn(10, op=OpClass.STORE))
+        assert not policy.should_checkpoint(dyn(11))

@@ -1,0 +1,186 @@
+"""Tests for the statistics primitives."""
+
+import pytest
+
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    RunningMean,
+    StatsRegistry,
+    WeightedDistribution,
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    percentile,
+    ratio,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add_default_is_one(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add()
+        assert counter.value == 2
+
+    def test_add_amount_and_set(self):
+        counter = Counter("x")
+        counter.add(5)
+        counter.set(3)
+        assert counter.value == 3
+
+    def test_reset(self):
+        counter = Counter("x", 10)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean("x").mean == 0.0
+
+    def test_mean_min_max(self):
+        mean = RunningMean("x")
+        for value in (1, 2, 3, 10):
+            mean.sample(value)
+        assert mean.mean == pytest.approx(4.0)
+        assert mean.min == 1
+        assert mean.max == 10
+        assert mean.count == 4
+
+    def test_reset(self):
+        mean = RunningMean("x")
+        mean.sample(5)
+        mean.reset()
+        assert mean.count == 0
+        assert mean.max is None
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        histogram = Histogram("x")
+        histogram.add("a", 2)
+        histogram.add("b")
+        assert histogram.total() == 3
+
+    def test_fraction(self):
+        histogram = Histogram("x")
+        histogram.add("a", 3)
+        histogram.add("b", 1)
+        assert histogram.fraction("a") == pytest.approx(0.75)
+        assert histogram.fraction("missing") == 0.0
+
+    def test_empty_fraction_is_zero(self):
+        assert Histogram("x").fraction("a") == 0.0
+
+    def test_as_dict_is_a_copy(self):
+        histogram = Histogram("x")
+        histogram.add("a")
+        copy = histogram.as_dict()
+        copy["a"] = 99
+        assert histogram.buckets["a"] == 1
+
+
+class TestWeightedDistribution:
+    def test_percentile_on_uniform_weights(self):
+        dist = WeightedDistribution("x")
+        for value in range(1, 11):
+            dist.sample(value)
+        assert dist.percentile(0.5) == 5
+        assert dist.percentile(1.0) == 10
+        assert dist.percentile(0.0) == 0 or dist.percentile(0.0) <= 1
+
+    def test_percentile_respects_weights(self):
+        dist = WeightedDistribution("x")
+        dist.sample(1, weight=90)
+        dist.sample(100, weight=10)
+        assert dist.percentile(0.5) == 1
+        assert dist.percentile(0.95) == 100
+
+    def test_mean(self):
+        dist = WeightedDistribution("x")
+        dist.sample(2, weight=1)
+        dist.sample(4, weight=3)
+        assert dist.mean() == pytest.approx(3.5)
+
+    def test_empty(self):
+        dist = WeightedDistribution("x")
+        assert dist.percentile(0.5) == 0
+        assert dist.mean() == 0.0
+
+
+class TestPercentileHelper:
+    def test_empty_sequence(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0.5) == pytest.approx(5.0)
+
+    def test_extremes(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 3.0
+
+
+class TestMeans:
+    def test_ratio_safe_division(self):
+        assert ratio(4, 2) == 2
+        assert ratio(4, 0) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_falls_back_on_zero(self):
+        assert geometric_mean([0, 4]) == pytest.approx(2.0)
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 2]) == pytest.approx(2.0)
+        assert harmonic_mean([]) == 0.0
+
+
+class TestStatsRegistry:
+    def test_counter_is_memoised(self):
+        registry = StatsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_value_default(self):
+        registry = StatsRegistry()
+        assert registry.value("missing", default=7.0) == 7.0
+
+    def test_snapshot_contains_counters_and_means(self):
+        registry = StatsRegistry()
+        registry.counter("hits").add(3)
+        registry.running_mean("occ").sample(10)
+        registry.histogram("classes").add("moved")
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 3
+        assert snapshot["occ.mean"] == 10
+        assert snapshot["classes"] == {"moved": 1}
+
+    def test_snapshot_contains_distributions(self):
+        registry = StatsRegistry()
+        registry.distribution("inflight").sample(5, weight=2)
+        snapshot = registry.snapshot()
+        assert snapshot["inflight"]["weights"] == {5: 2}
+        assert snapshot["inflight"]["mean"] == 5
+
+    def test_reset_clears_everything(self):
+        registry = StatsRegistry()
+        registry.counter("a").add()
+        registry.running_mean("b").sample(1)
+        registry.reset()
+        assert registry.value("a") == 0
+        assert registry.mean("b") == 0.0
