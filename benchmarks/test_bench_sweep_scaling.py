@@ -1,0 +1,44 @@
+"""Benchmark: serial vs. parallel sweep-engine wall clock.
+
+Records how the multiprocessing executor scales on the Figure 9 grid so
+the perf trajectory across PRs captures the parallel path, and asserts
+that the parallel outcome is numerically identical to the serial one.
+"""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.sweep import SweepEngine
+from repro.experiments.figure09 import figure09_spec
+
+#: A modest grid: 5 configs x 8 workloads = 40 cells.
+GRID = ((32, 512), (64, 1024), (128, 2048))
+
+
+def _spec():
+    return figure09_spec(scale=BENCH_SCALE, grid=GRID)
+
+
+def _summary(outcome):
+    return [result.summary_row() for result in outcome.results]
+
+
+def test_bench_sweep_serial(benchmark):
+    outcome = run_once(benchmark, lambda: SweepEngine(jobs=1).run(_spec()))
+    assert outcome.simulated == len(outcome.results) == len(_spec())
+    print(f"\nserial: {len(outcome.results)} cells in {outcome.elapsed:.2f}s")
+
+
+def test_bench_sweep_parallel(benchmark):
+    import os
+
+    serial = SweepEngine(jobs=1).run(_spec())
+    outcome = run_once(benchmark, lambda: SweepEngine(jobs=4).run(_spec()))
+    assert _summary(outcome) == _summary(serial)
+    # Speedup only materializes with real cores; on a 1-CPU box this
+    # records the pure multiprocessing overhead instead.
+    print(
+        f"\nparallel(4 jobs, {os.cpu_count()} cpus):"
+        f" {len(outcome.results)} cells in {outcome.elapsed:.2f}s"
+        f" (serial took {serial.elapsed:.2f}s,"
+        f" speedup {serial.elapsed / max(outcome.elapsed, 1e-9):.2f}x)"
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``simulate``
     Run one machine configuration over one workload (or a whole suite) and
@@ -8,16 +8,29 @@ Three subcommands cover the common workflows:
 
 ``experiment``
     Regenerate one of the paper's figures (or the checkpoint-policy
-    ablation) and print its table.
+    ablation) and print its table.  Execution routes through the sweep
+    engine: ``--jobs N`` simulates grid cells on N worker processes and a
+    persistent result cache (``--cache-dir``, disable with ``--no-cache``)
+    skips cells that were already simulated with identical parameters.
+
+``sweep``
+    Regenerate one or more experiments (or ``all``) through the sweep
+    engine with per-cell progress reporting — the bulk way to rebuild the
+    whole evaluation section.
 
 ``list``
-    Show the available workloads, suites and experiments.
+    Show the available workloads (with behavioral descriptions), suites
+    and experiments.
 
 Examples::
 
     python -m repro simulate --machine cooo --workload daxpy --memory-latency 1000
     python -m repro simulate --machine baseline --window 128 --suite spec2000fp_like
     python -m repro experiment figure09 --scale 0.5
+    python -m repro experiment figure09 --jobs 4            # parallel grid
+    python -m repro sweep figure09 figure11 --jobs 8        # two figures, shared cache
+    python -m repro sweep all --full --jobs 8 --json out.json
+    python -m repro sweep figure01 --no-cache               # force re-simulation
     python -m repro list
 """
 
@@ -26,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from .analysis.report import format_table
@@ -33,6 +47,7 @@ from .common.config import ProcessorConfig, cooo_config, scaled_baseline
 from .core.processor import Processor
 from .core.result import SimulationResult
 from .experiments.registry import EXPERIMENTS, available_experiments
+from .experiments.sweep import ResultCache, SweepEngine, default_cache_dir
 from .trace.trace import Trace
 from .workloads import integer, numerical
 from .workloads.suite import SUITES, get_suite
@@ -50,6 +65,21 @@ WORKLOADS: Dict[str, Callable[[int], Trace]] = {
     "pointer_chase": lambda n: integer.pointer_chase(hops=n),
     "branchy_int": lambda n: integer.branchy_integer(iterations=n),
     "mixed": lambda n: integer.mixed_int_fp(iterations=n),
+}
+
+#: One-line behavioral description per workload, surfaced by ``repro list``.
+WORKLOAD_DESCRIPTIONS: Dict[str, str] = {
+    "daxpy": "streaming y[i] += a*x[i]: independent FP mul-adds, two loads + one store per element",
+    "triad": "STREAM triad a[i] = b[i] + s*c[i]: pure bandwidth-bound streaming, no reuse",
+    "stencil3": "3-point stencil over a vector: strided loads with neighbor reuse, mild dependencies",
+    "reduction": "serial FP sum reduction: one long dependence chain, exposes issue-queue blocking",
+    "gather": "random indirect loads over an 8 MiB table: near-100% cache misses, memory-level parallelism",
+    "matvec": "dense matrix-vector product: row-wise streaming crossed with a per-row reduction",
+    "blocked": "cache-blocked daxpy passes: high reuse, low miss rate, compute/memory balanced",
+    "fp_compute": "FP-heavy loop with almost no memory traffic: bounded by FP unit latency/count",
+    "pointer_chase": "linked-list traversal: serially dependent loads, defeats out-of-order overlap",
+    "branchy_int": "integer loop with data-dependent branches: stresses prediction and rollback",
+    "mixed": "interleaved integer and FP work with moderate branching: a middle-of-the-road blend",
 }
 
 
@@ -120,6 +150,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_engine(args: argparse.Namespace, progress: bool = False) -> SweepEngine:
+    """Translate --jobs/--cache-dir/--no-cache into a SweepEngine.
+
+    Raises SystemExit(2) with a clean message if the cache directory is
+    unusable (e.g. the path exists but is a regular file).
+    """
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+        try:
+            cache = ResultCache(cache_dir)
+        except OSError as exc:
+            print(f"error: unusable cache directory {cache_dir}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    reporter = (lambda message: print(message, file=sys.stderr)) if progress else None
+    return SweepEngine(jobs=args.jobs, cache=cache, progress=reporter)
+
+
+def _experiment_kwargs(args: argparse.Namespace, runner, engine: SweepEngine) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {"engine": engine}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if getattr(args, "full", False) and "quick" in runner.__code__.co_varnames:
+        kwargs["quick"] = False
+    return kwargs
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     if args.name not in EXPERIMENTS:
         print(
@@ -129,13 +186,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
         return 2
     runner = EXPERIMENTS[args.name]
-    kwargs: Dict[str, object] = {}
-    if args.scale is not None:
-        kwargs["scale"] = args.scale
-    if args.full and "quick" in runner.__code__.co_varnames:
-        kwargs["quick"] = False
-    experiment = runner(**kwargs)
+    engine = build_engine(args, progress=args.progress)
+    experiment = runner(**_experiment_kwargs(args, runner, engine))
     print(experiment.report())
+    if engine.cache is not None:
+        print(
+            f"cells: {engine.total_simulated} simulated, {engine.total_cached} cached"
+            f" (cache: {engine.cache.cache_dir})",
+            file=sys.stderr,
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(
@@ -152,10 +211,55 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    names: List[str] = []
+    for name in args.names:
+        if name == "all":
+            names.extend(available_experiments())
+        elif name in EXPERIMENTS:
+            names.append(name)
+        else:
+            print(
+                f"error: unknown experiment {name!r}; available: "
+                f"{', '.join(available_experiments())} (or 'all')",
+                file=sys.stderr,
+            )
+            return 2
+    names = list(dict.fromkeys(names))  # dedup (e.g. "all figure09"), keep order
+    engine = build_engine(args, progress=not args.quiet)
+    start = time.perf_counter()
+    payload: Dict[str, object] = {}
+    for name in names:
+        runner = EXPERIMENTS[name]
+        experiment = runner(**_experiment_kwargs(args, runner, engine))
+        print(experiment.report())
+        print()
+        payload[name] = {
+            "description": experiment.description,
+            "rows": experiment.rows,
+            "notes": experiment.notes,
+        }
+    elapsed = time.perf_counter() - start
+    summary = (
+        f"swept {len(names)} experiment(s) in {elapsed:.1f}s with {engine.jobs} job(s): "
+        f"{engine.total_simulated} cell(s) simulated, {engine.total_cached} from cache"
+    )
+    if engine.cache is not None:
+        summary += f" (cache: {engine.cache.cache_dir})"
+    print(summary)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"experiments": payload}, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
+    width = max(len(name) for name in WORKLOADS)
     for name in sorted(WORKLOADS):
-        print(f"  {name}")
+        description = WORKLOAD_DESCRIPTIONS.get(name, "")
+        print(f"  {name:<{width}}  {description}".rstrip())
     print("suites:")
     for name, suite in SUITES.items():
         print(f"  {name}: {', '.join(suite.names())}")
@@ -192,12 +296,53 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--json", default=None, help="write results to this JSON file")
     simulate.set_defaults(func=cmd_simulate)
 
+    def positive_int(value: str) -> int:
+        number = int(value)
+        if number < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return number
+
+    def add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--jobs", type=positive_int, default=1,
+            help="worker processes for grid cells (default 1 = serial)",
+        )
+        subparser.add_argument(
+            "--cache-dir", default=None,
+            help="persistent result cache directory (default: "
+                 "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
+        )
+        subparser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the persistent result cache",
+        )
+
     experiment = subparsers.add_parser("experiment", help="regenerate one paper figure")
     experiment.add_argument("name", help="experiment name (see 'repro list')")
     experiment.add_argument("--scale", type=float, default=None)
     experiment.add_argument("--full", action="store_true", help="use the full parameter grid")
     experiment.add_argument("--json", default=None, help="write the rows to this JSON file")
+    add_engine_arguments(experiment)
+    experiment.add_argument(
+        "--progress", action="store_true", help="report per-cell progress on stderr"
+    )
     experiment.set_defaults(func=cmd_experiment)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="regenerate experiments through the parallel sweep engine"
+    )
+    sweep.add_argument(
+        "names", nargs="+", metavar="experiment",
+        help="experiment names (see 'repro list'), or 'all'",
+    )
+    sweep.add_argument("--scale", type=float, default=None)
+    sweep.add_argument("--full", action="store_true", help="use the full parameter grids")
+    sweep.add_argument("--json", default=None, help="write every table to this JSON file")
+    add_engine_arguments(sweep)
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress reporting"
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     listing = subparsers.add_parser("list", help="list workloads, suites and experiments")
     listing.set_defaults(func=cmd_list)

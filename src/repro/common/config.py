@@ -12,8 +12,10 @@ figures.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from .errors import ConfigurationError
 
@@ -288,6 +290,44 @@ class ProcessorConfig:
         """Return a deep copy with top-level fields replaced."""
         cfg = dataclasses.replace(self, **changes)  # type: ignore[arg-type]
         return _deep_copy_config(cfg)
+
+    # -- serialization / identity ------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict view, round-trippable via :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorConfig":
+        """Rebuild a config from :meth:`to_dict` output (e.g. after JSON)."""
+        core_data = dict(data["core"])
+        core_data["fu"] = FunctionalUnitConfig(**core_data["fu"])
+        memory_data = dict(data["memory"])
+        for level in ("il1", "dl1", "l2"):
+            memory_data[level] = CacheConfig(**memory_data[level])
+        return cls(
+            mode=data["mode"],
+            core=CoreConfig(**core_data),
+            memory=MemoryConfig(**memory_data),
+            branch=BranchConfig(**data["branch"]),
+            checkpoint=CheckpointConfig(**data["checkpoint"]),
+            sliq=SLIQConfig(**data["sliq"]),
+            regalloc=RegisterAllocationConfig(**data["regalloc"]),
+            deadlock_cycles=data["deadlock_cycles"],
+            name=data.get("name", ""),
+        )
+
+    def stable_hash(self) -> str:
+        """Content hash of every field, stable across processes and runs.
+
+        This is the config component of the sweep engine's persistent
+        cache key: two configs hash equal iff every parameter (including
+        ``name``) is equal.
+        """
+        blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def __hash__(self) -> int:
+        return hash(self.stable_hash())
 
 
 def _deep_copy_config(cfg: ProcessorConfig) -> ProcessorConfig:

@@ -85,6 +85,37 @@ class SimulationResult:
             return {}
         return {str(key): value / total for key, value in histogram.items()}
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view, round-trippable via :meth:`from_dict`.
+
+        Integer keys inside nested stats blobs (distribution weights,
+        histogram buckets) become strings after a JSON round trip; every
+        consumer of those blobs already coerces keys, so a cached result
+        behaves identically to a freshly simulated one.
+        """
+        return {
+            "config_name": self.config_name,
+            "mode": self.mode,
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "committed_instructions": self.committed_instructions,
+            "fetched_instructions": self.fetched_instructions,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a cache file)."""
+        return cls(
+            config_name=str(data["config_name"]),
+            mode=str(data["mode"]),
+            workload=str(data["workload"]),
+            cycles=int(data["cycles"]),  # type: ignore[arg-type]
+            committed_instructions=int(data["committed_instructions"]),  # type: ignore[arg-type]
+            fetched_instructions=int(data["fetched_instructions"]),  # type: ignore[arg-type]
+            stats=dict(data.get("stats") or {}),  # type: ignore[arg-type]
+        )
+
     def summary_row(self) -> Dict[str, object]:
         """Flat row used by the experiment report tables."""
         return {

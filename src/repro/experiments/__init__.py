@@ -18,8 +18,24 @@ from .runner import (
     suite_metric,
     suite_traces,
 )
+from .sweep import (
+    ResultCache,
+    SweepCell,
+    SweepEngine,
+    SweepOutcome,
+    SweepSpec,
+    cell_cache_key,
+    default_cache_dir,
+)
 
 __all__ = [
+    "ResultCache",
+    "SweepCell",
+    "SweepEngine",
+    "SweepOutcome",
+    "SweepSpec",
+    "cell_cache_key",
+    "default_cache_dir",
     "run_checkpoint_policy_ablation",
     "run_figure01",
     "run_figure07",

@@ -14,9 +14,33 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..common.config import cooo_config
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_ipc
+from .sweep import SweepEngine, SweepSpec, ensure_engine
 
 POLICIES = ("paper", "every_n", "branch_only", "store_only")
+
+
+def ablation_spec(
+    scale: float = DEFAULT_SCALE,
+    memory_latency: int = 1000,
+    iq_size: int = 64,
+    sliq_size: int = 1024,
+    checkpoints: int = 8,
+    policies: Sequence[str] = POLICIES,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the ablation grid: one machine per checkpoint policy."""
+    configs = []
+    for policy in policies:
+        config = cooo_config(
+            iq_size=iq_size,
+            sliq_size=sliq_size,
+            checkpoints=checkpoints,
+            memory_latency=memory_latency,
+        )
+        config.checkpoint = replace(config.checkpoint, policy=policy)
+        configs.append(config.validate())
+    return SweepSpec("ablation-checkpoint-policy", configs, scale=scale, workloads=workloads)
 
 
 def run_checkpoint_policy_ablation(
@@ -27,25 +51,21 @@ def run_checkpoint_policy_ablation(
     checkpoints: int = 8,
     policies: Optional[Sequence[str]] = None,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Compare checkpoint-taking policies on the same machine."""
     policies = tuple(policies) if policies is not None else POLICIES
-    traces = suite_traces(scale, workloads=workloads)
+    spec = ablation_spec(
+        scale, memory_latency, iq_size, sliq_size, checkpoints, policies, workloads
+    )
+    outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "ablation-checkpoint-policy",
         "checkpoint placement policies (paper heuristic vs. alternatives)",
     )
     reference_ipc = None
-    for policy in policies:
-        config = cooo_config(
-            iq_size=iq_size,
-            sliq_size=sliq_size,
-            checkpoints=checkpoints,
-            memory_latency=memory_latency,
-        )
-        config.checkpoint = replace(config.checkpoint, policy=policy)
-        config.validate()
-        results = run_config(config, traces)
+    for policy, config in zip(policies, spec.configs):
+        results = outcome.config_results(config)
         ipc = suite_ipc(results)
         checkpoints_created = sum(r.checkpoints_created for r in results.values())
         if policy == "paper":

@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from ..common.config import scaled_baseline
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_ipc
+from .sweep import SweepEngine, SweepSpec, ensure_engine
 
 #: Window sizes of the paper's x axis.
 FULL_WINDOWS = (128, 256, 512, 1024, 2048, 4096)
@@ -29,12 +30,35 @@ QUICK_LATENCIES = ("perfect", 100, 1000)
 LatencySpec = Union[str, int]
 
 
+def _baseline_for(window: int, latency: LatencySpec):
+    perfect = latency == "perfect"
+    return scaled_baseline(
+        window=window,
+        memory_latency=0 if perfect else int(latency),
+        perfect_l2=perfect,
+    )
+
+
+def figure01_spec(
+    scale: float = DEFAULT_SCALE,
+    windows: Sequence[int] = QUICK_WINDOWS,
+    latencies: Sequence[LatencySpec] = QUICK_LATENCIES,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the Figure 1 grid, window-major to match the row order."""
+    configs = [
+        _baseline_for(window, latency) for window in windows for latency in latencies
+    ]
+    return SweepSpec("figure01", configs, scale=scale, workloads=workloads)
+
+
 def run_figure01(
     scale: float = DEFAULT_SCALE,
     windows: Optional[Sequence[int]] = None,
     latencies: Optional[Sequence[LatencySpec]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 1 sweep.
 
@@ -44,20 +68,16 @@ def run_figure01(
     latencies = (
         tuple(latencies) if latencies is not None else (QUICK_LATENCIES if quick else FULL_LATENCIES)
     )
-    traces = suite_traces(scale, workloads=workloads)
+    spec = figure01_spec(scale, windows, latencies, workloads)
+    outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure01",
         "IPC vs. in-flight instructions and memory latency (baseline machine)",
     )
+    config_iter = iter(spec.configs)
     for window in windows:
         for latency in latencies:
-            perfect = latency == "perfect"
-            config = scaled_baseline(
-                window=window,
-                memory_latency=0 if perfect else int(latency),
-                perfect_l2=perfect,
-            )
-            results = run_config(config, traces)
+            results = outcome.config_results(next(config_iter))
             experiment.row(
                 window=window,
                 latency=str(latency),

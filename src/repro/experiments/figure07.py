@@ -14,7 +14,19 @@ from typing import Optional, Sequence
 
 from ..analysis.occupancy import FIGURE7_PERCENTILES, average_profiles, occupancy_profile
 from ..common.config import scaled_baseline
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult
+from .sweep import SweepEngine, SweepSpec, ensure_engine
+
+
+def figure07_spec(
+    scale: float = DEFAULT_SCALE,
+    window: int = 2048,
+    memory_latency: int = 500,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the single-configuration Figure 7 instrumentation run."""
+    config = scaled_baseline(window=window, memory_latency=memory_latency)
+    return SweepSpec("figure07", [config], scale=scale, workloads=workloads)
 
 
 def run_figure07(
@@ -23,15 +35,16 @@ def run_figure07(
     memory_latency: int = 500,
     percentiles: Sequence[float] = FIGURE7_PERCENTILES,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 7 occupancy study.
 
     One row per percentile of the in-flight distribution plus a summary row
     with the average live/in-flight split.
     """
-    traces = suite_traces(scale, workloads=workloads)
-    config = scaled_baseline(window=window, memory_latency=memory_latency)
-    results = run_config(config, traces)
+    spec = figure07_spec(scale, window, memory_latency, workloads)
+    outcome = ensure_engine(engine).run(spec)
+    results = outcome.config_results(spec.configs[0])
     profiles = [occupancy_profile(result, percentiles) for result in results.values()]
     combined = average_profiles(profiles)
 

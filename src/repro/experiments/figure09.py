@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..common.config import cooo_config, scaled_baseline
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_ipc
+from .sweep import SweepEngine, SweepSpec, ensure_engine
 
 #: The nine (issue queue, SLIQ) combinations of the paper's bar groups.
 FULL_GRID: Tuple[Tuple[int, int], ...] = tuple(
@@ -28,6 +29,32 @@ QUICK_GRID: Tuple[Tuple[int, int], ...] = ((32, 512), (64, 1024), (128, 2048))
 BASELINE_WINDOWS = (128, 4096)
 
 
+def figure09_spec(
+    scale: float = DEFAULT_SCALE,
+    memory_latency: int = 1000,
+    checkpoints: int = 8,
+    grid: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = True,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the Figure 9 grid: two baselines, then every COoO point."""
+    points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
+    configs = [
+        scaled_baseline(window=window, memory_latency=memory_latency)
+        for window in BASELINE_WINDOWS
+    ]
+    configs += [
+        cooo_config(
+            iq_size=iq_size,
+            sliq_size=sliq_size,
+            checkpoints=checkpoints,
+            memory_latency=memory_latency,
+        )
+        for iq_size, sliq_size in points
+    ]
+    return SweepSpec("figure09", configs, scale=scale, workloads=workloads)
+
+
 def run_figure09(
     scale: float = DEFAULT_SCALE,
     memory_latency: int = 1000,
@@ -35,6 +62,7 @@ def run_figure09(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 9 comparison.
 
@@ -42,17 +70,18 @@ def run_figure09(
     lines, each with the suite-average IPC and its ratio to both baselines.
     """
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
-    traces = suite_traces(scale, workloads=workloads)
+    spec = figure09_spec(scale, memory_latency, checkpoints, points, quick, workloads)
+    outcome = ensure_engine(engine).run(spec)
+    baseline_configs = spec.configs[: len(BASELINE_WINDOWS)]
+    cooo_configs = spec.configs[len(BASELINE_WINDOWS) :]
     experiment = ExperimentResult(
         "figure09",
         "main result: COoO (8 checkpoints) vs. 128- and 4096-entry baselines",
     )
 
     baseline_ipc = {}
-    for window in BASELINE_WINDOWS:
-        results = run_config(
-            scaled_baseline(window=window, memory_latency=memory_latency), traces
-        )
+    for window, config in zip(BASELINE_WINDOWS, baseline_configs):
+        results = outcome.config_results(config)
         baseline_ipc[window] = suite_ipc(results)
         experiment.row(
             config=f"baseline-{window}",
@@ -65,14 +94,8 @@ def run_figure09(
             else 1.0,
         )
 
-    for iq_size, sliq_size in points:
-        config = cooo_config(
-            iq_size=iq_size,
-            sliq_size=sliq_size,
-            checkpoints=checkpoints,
-            memory_latency=memory_latency,
-        )
-        results = run_config(config, traces)
+    for (iq_size, sliq_size), config in zip(points, cooo_configs):
+        results = outcome.config_results(config)
         ipc = suite_ipc(results)
         experiment.row(
             config=f"COoO-{iq_size}/SLIQ-{sliq_size}",

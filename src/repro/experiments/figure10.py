@@ -13,12 +13,35 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..common.config import cooo_config
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_ipc
+from .sweep import SweepEngine, SweepSpec, ensure_engine
 
 FULL_DELAYS = (1, 4, 8, 12)
 FULL_IQ_SIZES = (32, 64, 128)
 QUICK_DELAYS = (1, 12)
 QUICK_IQ_SIZES = (32, 128)
+
+
+def figure10_spec(
+    scale: float = DEFAULT_SCALE,
+    sliq_size: int = 1024,
+    memory_latency: int = 1000,
+    iq_sizes: Sequence[int] = QUICK_IQ_SIZES,
+    delays: Sequence[int] = QUICK_DELAYS,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the Figure 10 grid, iq-major to match the row order."""
+    configs = [
+        cooo_config(
+            iq_size=iq_size,
+            sliq_size=sliq_size,
+            memory_latency=memory_latency,
+            reinsert_delay=delay,
+        )
+        for iq_size in iq_sizes
+        for delay in delays
+    ]
+    return SweepSpec("figure10", configs, scale=scale, workloads=workloads)
 
 
 def run_figure10(
@@ -29,25 +52,22 @@ def run_figure10(
     delays: Optional[Sequence[int]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 10 sensitivity sweep."""
     iq_sizes = tuple(iq_sizes) if iq_sizes is not None else (QUICK_IQ_SIZES if quick else FULL_IQ_SIZES)
     delays = tuple(delays) if delays is not None else (QUICK_DELAYS if quick else FULL_DELAYS)
-    traces = suite_traces(scale, workloads=workloads)
+    spec = figure10_spec(scale, sliq_size, memory_latency, iq_sizes, delays, workloads)
+    outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure10",
         f"sensitivity to SLIQ re-insertion delay (SLIQ {sliq_size})",
     )
+    config_iter = iter(spec.configs)
     for iq_size in iq_sizes:
         reference_ipc = None
         for delay in delays:
-            config = cooo_config(
-                iq_size=iq_size,
-                sliq_size=sliq_size,
-                memory_latency=memory_latency,
-                reinsert_delay=delay,
-            )
-            results = run_config(config, traces)
+            results = outcome.config_results(next(config_iter))
             ipc = suite_ipc(results)
             if reference_ipc is None:
                 reference_ipc = ipc

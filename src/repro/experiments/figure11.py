@@ -11,15 +11,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from ..common.config import cooo_config, scaled_baseline
-from .figure09 import BASELINE_WINDOWS, FULL_GRID, QUICK_GRID
-from .runner import (
-    DEFAULT_SCALE,
-    ExperimentResult,
-    run_config,
-    suite_metric,
-    suite_traces,
-)
+from .figure09 import BASELINE_WINDOWS, FULL_GRID, QUICK_GRID, figure09_spec
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_metric
+from .sweep import SweepEngine, ensure_engine
 
 
 def run_figure11(
@@ -29,18 +23,22 @@ def run_figure11(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 11 in-flight-instruction comparison."""
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
-    traces = suite_traces(scale, workloads=workloads)
+    # Same machines as Figure 9, so the same sweep (shared cache entries).
+    spec = figure09_spec(scale, memory_latency, checkpoints, points, quick, workloads)
+    spec.name = "figure11"
+    outcome = ensure_engine(engine).run(spec)
+    baseline_configs = spec.configs[: len(BASELINE_WINDOWS)]
+    cooo_configs = spec.configs[len(BASELINE_WINDOWS) :]
     experiment = ExperimentResult(
         "figure11",
         "average in-flight instructions: COoO vs. baseline reference lines",
     )
-    for window in BASELINE_WINDOWS:
-        results = run_config(
-            scaled_baseline(window=window, memory_latency=memory_latency), traces
-        )
+    for window, config in zip(BASELINE_WINDOWS, baseline_configs):
+        results = outcome.config_results(config)
         experiment.row(
             config=f"baseline-{window}",
             iq=window,
@@ -48,14 +46,8 @@ def run_figure11(
             in_flight=round(suite_metric(results, lambda r: r.mean_in_flight), 1),
             checkpoints=0,
         )
-    for iq_size, sliq_size in points:
-        config = cooo_config(
-            iq_size=iq_size,
-            sliq_size=sliq_size,
-            checkpoints=checkpoints,
-            memory_latency=memory_latency,
-        )
-        results = run_config(config, traces)
+    for (iq_size, sliq_size), config in zip(points, cooo_configs):
+        results = outcome.config_results(config)
         experiment.row(
             config=f"COoO-{iq_size}/SLIQ-{sliq_size}",
             iq=iq_size,

@@ -17,7 +17,28 @@ from typing import Optional, Sequence, Tuple
 from ..analysis.breakdown import FIGURE12_ORDER, average_breakdown
 from ..common.config import cooo_config
 from .figure09 import FULL_GRID, QUICK_GRID
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult
+from .sweep import SweepEngine, SweepSpec, ensure_engine
+
+
+def figure12_spec(
+    scale: float = DEFAULT_SCALE,
+    memory_latency: int = 1000,
+    checkpoints: int = 8,
+    points: Sequence[Tuple[int, int]] = QUICK_GRID,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the Figure 12 grid (the COoO points of Figure 9)."""
+    configs = [
+        cooo_config(
+            iq_size=iq_size,
+            sliq_size=sliq_size,
+            checkpoints=checkpoints,
+            memory_latency=memory_latency,
+        )
+        for iq_size, sliq_size in points
+    ]
+    return SweepSpec("figure12", configs, scale=scale, workloads=workloads)
 
 
 def run_figure12(
@@ -27,22 +48,18 @@ def run_figure12(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 12 retirement breakdown."""
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
-    traces = suite_traces(scale, workloads=workloads)
+    spec = figure12_spec(scale, memory_latency, checkpoints, points, workloads)
+    outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure12",
         "pseudo-ROB retirement breakdown by configuration",
     )
-    for iq_size, sliq_size in points:
-        config = cooo_config(
-            iq_size=iq_size,
-            sliq_size=sliq_size,
-            checkpoints=checkpoints,
-            memory_latency=memory_latency,
-        )
-        results = run_config(config, traces)
+    for (iq_size, sliq_size), config in zip(points, spec.configs):
+        results = outcome.config_results(config)
         breakdown = average_breakdown(list(results.values()))
         row = {
             "config": f"COoO-{iq_size}/SLIQ-{sliq_size}",

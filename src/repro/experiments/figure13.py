@@ -12,10 +12,34 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..common.config import cooo_config, scaled_baseline
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_ipc
+from .sweep import SweepEngine, SweepSpec, ensure_engine
 
 FULL_CHECKPOINTS = (4, 8, 16, 32, 64, 128)
 QUICK_CHECKPOINTS = (4, 8, 32)
+
+
+def figure13_spec(
+    scale: float = DEFAULT_SCALE,
+    memory_latency: int = 1000,
+    iq_size: int = 2048,
+    physical_registers: int = 2048,
+    counts: Sequence[int] = QUICK_CHECKPOINTS,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the Figure 13 grid: the limit machine, then each count."""
+    configs = [scaled_baseline(window=4096, memory_latency=memory_latency)]
+    configs += [
+        cooo_config(
+            iq_size=iq_size,
+            sliq_size=4096,
+            checkpoints=count,
+            memory_latency=memory_latency,
+            physical_registers=physical_registers,
+        )
+        for count in counts
+    ]
+    return SweepSpec("figure13", configs, scale=scale, workloads=workloads)
 
 
 def run_figure13(
@@ -26,30 +50,23 @@ def run_figure13(
     checkpoints: Optional[Sequence[int]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 13 checkpoint-count sweep."""
     counts = tuple(checkpoints) if checkpoints is not None else (
         QUICK_CHECKPOINTS if quick else FULL_CHECKPOINTS
     )
-    traces = suite_traces(scale, workloads=workloads)
+    spec = figure13_spec(scale, memory_latency, iq_size, physical_registers, counts, workloads)
+    outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure13",
         "IPC vs. number of checkpoints (large issue queue), against the 4096-entry limit",
     )
-    limit_results = run_config(
-        scaled_baseline(window=4096, memory_latency=memory_latency), traces
-    )
+    limit_results = outcome.config_results(spec.configs[0])
     limit_ipc = suite_ipc(limit_results)
     experiment.row(config="limit-4096", checkpoints=4096, ipc=round(limit_ipc, 4), slowdown=0.0)
-    for count in counts:
-        config = cooo_config(
-            iq_size=iq_size,
-            sliq_size=4096,
-            checkpoints=count,
-            memory_latency=memory_latency,
-            physical_registers=physical_registers,
-        )
-        results = run_config(config, traces)
+    for count, config in zip(counts, spec.configs[1:]):
+        results = outcome.config_results(config)
         ipc = suite_ipc(results)
         experiment.row(
             config=f"COoO-{count}ckpt",

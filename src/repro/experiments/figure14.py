@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..common.config import cooo_config, scaled_baseline
-from .runner import DEFAULT_SCALE, ExperimentResult, run_config, suite_ipc, suite_traces
+from .runner import DEFAULT_SCALE, ExperimentResult, suite_ipc
+from .sweep import SweepEngine, SweepSpec, ensure_engine
 
 FULL_LATENCIES = (100, 500, 1000)
 FULL_VIRTUAL_TAGS = (512, 1024, 2048)
@@ -24,6 +25,35 @@ FULL_PHYSICAL = (256, 512)
 QUICK_LATENCIES = (100, 1000)
 QUICK_VIRTUAL_TAGS = (512, 2048)
 QUICK_PHYSICAL = (256, 512)
+
+
+def figure14_spec(
+    scale: float = DEFAULT_SCALE,
+    latencies: Sequence[int] = QUICK_LATENCIES,
+    virtual_tags: Sequence[int] = QUICK_VIRTUAL_TAGS,
+    physical_registers: Sequence[int] = QUICK_PHYSICAL,
+    iq_size: int = 128,
+    sliq_size: int = 2048,
+    workloads: Optional[Sequence[str]] = None,
+) -> SweepSpec:
+    """Declare the Figure 14 grid, latency-major to match the row order."""
+    configs = []
+    for latency in latencies:
+        configs.append(scaled_baseline(window=128, memory_latency=latency))
+        configs.append(scaled_baseline(window=4096, memory_latency=latency))
+        for tags in virtual_tags:
+            for physical in physical_registers:
+                configs.append(
+                    cooo_config(
+                        iq_size=iq_size,
+                        sliq_size=sliq_size,
+                        memory_latency=latency,
+                        virtual_tags=tags,
+                        physical_registers=physical,
+                        late_allocation=True,
+                    )
+                )
+    return SweepSpec("figure14", configs, scale=scale, workloads=workloads)
 
 
 def run_figure14(
@@ -35,6 +65,7 @@ def run_figure14(
     sliq_size: int = 2048,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 14 combined-techniques study."""
     latencies = tuple(latencies) if latencies is not None else (
@@ -46,18 +77,18 @@ def run_figure14(
     physical_registers = tuple(physical_registers) if physical_registers is not None else (
         QUICK_PHYSICAL if quick else FULL_PHYSICAL
     )
-    traces = suite_traces(scale, workloads=workloads)
+    spec = figure14_spec(
+        scale, latencies, virtual_tags, physical_registers, iq_size, sliq_size, workloads
+    )
+    outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure14",
         "COoO + SLIQ + late register allocation across memory latencies",
     )
+    config_iter = iter(spec.configs)
     for latency in latencies:
-        baseline_results = run_config(
-            scaled_baseline(window=128, memory_latency=latency), traces
-        )
-        limit_results = run_config(
-            scaled_baseline(window=4096, memory_latency=latency), traces
-        )
+        baseline_results = outcome.config_results(next(config_iter))
+        limit_results = outcome.config_results(next(config_iter))
         baseline_ipc = suite_ipc(baseline_results)
         limit_ipc = suite_ipc(limit_results)
         experiment.row(
@@ -70,15 +101,7 @@ def run_figure14(
         )
         for tags in virtual_tags:
             for physical in physical_registers:
-                config = cooo_config(
-                    iq_size=iq_size,
-                    sliq_size=sliq_size,
-                    memory_latency=latency,
-                    virtual_tags=tags,
-                    physical_registers=physical,
-                    late_allocation=True,
-                )
-                results = run_config(config, traces)
+                results = outcome.config_results(next(config_iter))
                 ipc = suite_ipc(results)
                 experiment.row(
                     latency=latency,

@@ -1,0 +1,446 @@
+"""Parallel sweep engine with a persistent on-disk result cache.
+
+Every figure of the paper is an embarrassingly parallel grid of
+``(ProcessorConfig, workload)`` cells: each cell is one independent
+simulation whose result depends only on the configuration, the trace
+generator, and the suite scale.  This module turns that observation into
+infrastructure:
+
+:class:`SweepSpec`
+    A declarative description of a grid — an ordered list of
+    configurations crossed with the workloads of a suite at a scale.
+
+:class:`SweepEngine`
+    Executes a spec either serially (``jobs=1``, bit-identical to the
+    pre-engine per-figure loops) or on a ``multiprocessing`` pool with a
+    configurable worker count.  Results always come back in declared
+    cell order regardless of which worker finished first.
+
+:class:`ResultCache`
+    A persistent cache of finished cells, keyed by a stable content hash
+    of (config, suite, workload, scale, simulator version).  Re-running
+    a figure only simulates the cells whose inputs changed; everything
+    else is loaded from disk.  Corrupt entries are detected, deleted and
+    transparently re-simulated.
+
+Usage::
+
+    from repro.experiments.sweep import ResultCache, SweepEngine, SweepSpec
+
+    spec = SweepSpec("demo", [scaled_baseline(window=128)], scale=0.3)
+    engine = SweepEngine(jobs=4, cache=ResultCache("~/.cache/repro/sweeps"))
+    outcome = engine.run(spec)
+    for config, results in outcome.per_config():
+        print(config.name, {w: r.ipc for w, r in results.items()})
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import __version__ as SIMULATOR_VERSION
+from ..common.config import ProcessorConfig
+from ..core.processor import Processor
+from ..core.result import SimulationResult
+from ..trace.trace import Trace
+from ..workloads.suite import get_suite
+from .runner import DEFAULT_SCALE, suite_traces
+
+#: Bumped whenever the cache file layout (not the simulator) changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Type of the optional per-cell progress callback.
+ProgressFn = Callable[[str], None]
+
+
+def default_cache_dir() -> Path:
+    """Default location of the persistent result cache.
+
+    ``REPRO_CACHE_DIR`` overrides it; otherwise results live under the
+    user's cache directory so repeated figure regenerations share work.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+# ---------------------------------------------------------------------------
+# Spec: the declarative grid
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of work: simulate ``config`` over ``workload``'s trace."""
+
+    index: int
+    config: ProcessorConfig
+    workload: str
+
+
+@dataclass
+class SweepSpec:
+    """A declarative (config x workload) grid at one suite scale.
+
+    ``configs`` order is preserved everywhere: cells enumerate
+    config-major (all workloads of the first config, then the second...),
+    matching how the figure modules assemble their result rows.
+    """
+
+    name: str
+    configs: Sequence[ProcessorConfig]
+    scale: float = DEFAULT_SCALE
+    suite: str = "spec2000fp_like"
+    workloads: Optional[Sequence[str]] = None
+
+    def workload_names(self) -> List[str]:
+        """Resolved workload list (the whole suite unless filtered)."""
+        names = get_suite(self.suite).names()
+        if self.workloads is None:
+            return names
+        unknown = [w for w in self.workloads if w not in names]
+        if unknown:
+            raise KeyError(
+                f"unknown workloads {unknown} for suite {self.suite!r}; members: {names}"
+            )
+        return list(self.workloads)
+
+    def cells(self) -> List[SweepCell]:
+        """Enumerate the grid in deterministic config-major order."""
+        out: List[SweepCell] = []
+        workloads = self.workload_names()
+        for config in self.configs:
+            for workload in workloads:
+                out.append(SweepCell(len(out), config, workload))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.configs) * len(self.workload_names())
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+# ---------------------------------------------------------------------------
+
+
+def cell_cache_key(
+    config: ProcessorConfig,
+    suite: str,
+    workload: str,
+    scale: float,
+    simulator_version: str = SIMULATOR_VERSION,
+) -> str:
+    """Stable content hash identifying one simulation cell.
+
+    Any change to the configuration, the trace generator identity
+    (suite + workload name), the scale, or the simulator version yields a
+    different key, so stale results can never be returned.
+    """
+    payload = {
+        "config": config.to_dict(),
+        "suite": suite,
+        "workload": workload,
+        "scale": round(float(scale), 9),
+        "simulator_version": simulator_version,
+        "cache_schema": CACHE_SCHEMA_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of finished cells, one JSON file per cache key.
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed or
+    concurrent run can never leave a half-written entry in place; reads
+    treat any unreadable/inconsistent file as corrupt, delete it, and
+    report a miss so the engine re-simulates the cell.
+    """
+
+    def __init__(self, cache_dir: os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir).expanduser()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """Cached result for ``key``, or None on a miss or corrupt entry."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            result = SimulationResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: SimulationResult) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        payload = {
+            "key": key,
+            "simulator_version": SIMULATOR_VERSION,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "result": result.to_dict(),
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry (and orphaned temp files); returns the
+        number of entries removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        # Temp files orphaned by a crash between write and os.replace.
+        for path in self.cache_dir.glob("*.tmp.*"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process trace cache: (suite, rounded scale) -> workload -> Trace.
+_WORKER_TRACES: Dict[Tuple[str, float], Dict[str, Trace]] = {}
+
+
+def _worker_trace(suite: str, scale: float, workload: str) -> Trace:
+    """Build (and cache per process) one workload's trace.
+
+    Trace generation is deterministic (fixed seeds), so a trace built in
+    a worker is identical to one built in the parent.
+    """
+    key = (suite, round(scale, 6))
+    per_suite = _WORKER_TRACES.setdefault(key, {})
+    if workload not in per_suite:
+        for member in get_suite(suite):
+            if member.name == workload:
+                per_suite[workload] = member.build(scale)
+                break
+        else:
+            raise KeyError(f"unknown workload {workload!r} in suite {suite!r}")
+    return per_suite[workload]
+
+
+def _simulate_cell(task: Tuple[Dict[str, object], str, float, str]) -> SimulationResult:
+    """Pool worker entry point: rebuild the config, build the trace, run."""
+    config_data, suite, scale, workload = task
+    config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
+    trace = _worker_trace(suite, scale, workload)
+    return Processor(config).run(trace)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepOutcome:
+    """Results of one executed spec, in declared cell order."""
+
+    spec: SweepSpec
+    results: List[SimulationResult]
+    simulated: int = 0
+    cached: int = 0
+    elapsed: float = 0.0
+    _by_config: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_config:
+            workloads = self.spec.workload_names()
+            for i, config in enumerate(self.spec.configs):
+                block = self.results[i * len(workloads) : (i + 1) * len(workloads)]
+                self._by_config[config.stable_hash()] = dict(zip(workloads, block))
+
+    def config_results(self, config: ProcessorConfig) -> Dict[str, SimulationResult]:
+        """Per-workload results of one configuration of the spec."""
+        try:
+            return self._by_config[config.stable_hash()]
+        except KeyError as exc:
+            raise KeyError(
+                f"config {config.name or config.mode!r} is not part of sweep "
+                f"{self.spec.name!r}"
+            ) from exc
+
+    def per_config(self) -> Iterator[Tuple[ProcessorConfig, Dict[str, SimulationResult]]]:
+        """Iterate (config, per-workload results) in declared order."""
+        for config in self.spec.configs:
+            yield config, self.config_results(config)
+
+
+class SweepEngine:
+    """Executes :class:`SweepSpec`s, optionally in parallel and cached.
+
+    ``jobs=1`` runs in-process with the same trace cache and per-config
+    ``Processor`` reuse as the original figure loops, so its output is
+    bit-identical to the pre-engine implementation.  ``jobs>1`` fans the
+    uncached cells out over a process pool; because the simulator is
+    deterministic pure Python, parallel results equal serial ones.
+    ``jobs=None`` uses every available CPU.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        # Cumulative counters across every run() of this engine.
+        self.total_simulated = 0
+        self.total_cached = 0
+
+    # -- internals ----------------------------------------------------------
+    def _report(self, done: int, total: int, cell: SweepCell, source: str) -> None:
+        if self.progress is not None:
+            config_name = cell.config.name or cell.config.mode
+            self.progress(f"[{done}/{total}] {config_name} x {cell.workload}: {source}")
+
+    def _load_cached(
+        self, cells: Sequence[SweepCell], spec: SweepSpec
+    ) -> Tuple[List[Optional[SimulationResult]], List[str]]:
+        """Fill cache hits; returns (slots, per-cell cache keys)."""
+        slots: List[Optional[SimulationResult]] = [None] * len(cells)
+        if self.cache is None:
+            return slots, [""] * len(cells)
+        keys: List[str] = []
+        for cell in cells:
+            key = cell_cache_key(cell.config, spec.suite, cell.workload, spec.scale)
+            keys.append(key)
+            slots[cell.index] = self.cache.load(key)
+        return slots, keys
+
+    def _run_serial(
+        self,
+        spec: SweepSpec,
+        cells: Sequence[SweepCell],
+        slots: List[Optional[SimulationResult]],
+        keys: Sequence[str],
+    ) -> None:
+        traces = suite_traces(spec.scale, spec.suite, spec.workloads)
+        done = sum(1 for slot in slots if slot is not None)
+        processor: Optional[Processor] = None
+        processor_config: Optional[ProcessorConfig] = None
+        for cell in cells:
+            if slots[cell.index] is not None:
+                continue
+            if processor is None or processor_config is not cell.config:
+                processor = Processor(cell.config)
+                processor_config = cell.config
+            result = processor.run(traces[cell.workload])
+            slots[cell.index] = result
+            if self.cache is not None:
+                self.cache.store(keys[cell.index], result)
+            done += 1
+            self._report(done, len(cells), cell, f"simulated ipc={result.ipc:.4f}")
+
+    def _run_parallel(
+        self,
+        spec: SweepSpec,
+        cells: Sequence[SweepCell],
+        slots: List[Optional[SimulationResult]],
+        keys: Sequence[str],
+    ) -> None:
+        pending = [cell for cell in cells if slots[cell.index] is None]
+        tasks = [
+            (cell.config.to_dict(), spec.suite, spec.scale, cell.workload)
+            for cell in pending
+        ]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(pending))
+        done = sum(1 for slot in slots if slot is not None)
+        with context.Pool(processes=workers) as pool:
+            for cell, result in zip(pending, pool.imap(_simulate_cell, tasks, chunksize=1)):
+                slots[cell.index] = result
+                if self.cache is not None:
+                    self.cache.store(keys[cell.index], result)
+                done += 1
+                self._report(done, len(cells), cell, f"simulated ipc={result.ipc:.4f}")
+
+    # -- public API ---------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepOutcome:
+        """Execute every cell of ``spec``; results in declared order."""
+        start = time.perf_counter()
+        cells = spec.cells()
+        slots, keys = self._load_cached(cells, spec)
+        cached = 0
+        for cell in cells:
+            if slots[cell.index] is not None:
+                cached += 1
+                self._report(cached, len(cells), cell, "cache hit")
+        if cached < len(cells):
+            if self.jobs > 1:
+                self._run_parallel(spec, cells, slots, keys)
+            else:
+                self._run_serial(spec, cells, slots, keys)
+        results = [slot for slot in slots if slot is not None]
+        if len(results) != len(cells):  # pragma: no cover - defensive
+            raise RuntimeError(f"sweep {spec.name!r} lost {len(cells) - len(results)} cells")
+        simulated = len(cells) - cached
+        self.total_simulated += simulated
+        self.total_cached += cached
+        return SweepOutcome(
+            spec=spec,
+            results=results,
+            simulated=simulated,
+            cached=cached,
+            elapsed=time.perf_counter() - start,
+        )
+
+    def run_config(
+        self, config: ProcessorConfig, spec: SweepSpec
+    ) -> Dict[str, SimulationResult]:
+        """Convenience: run ``spec`` and return one config's results."""
+        return self.run(spec).config_results(config)
+
+
+def ensure_engine(engine: Optional[SweepEngine]) -> SweepEngine:
+    """Default serial, uncached engine when a figure is called without one."""
+    return engine if engine is not None else SweepEngine()

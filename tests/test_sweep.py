@@ -1,0 +1,260 @@
+"""Tests for the parallel sweep engine and its persistent result cache."""
+
+import json
+
+import pytest
+
+from repro.common.config import ProcessorConfig, cooo_config, scaled_baseline
+from repro.core.result import SimulationResult
+from repro.experiments import run_figure09
+from repro.experiments.sweep import (
+    ResultCache,
+    SweepEngine,
+    SweepSpec,
+    cell_cache_key,
+    ensure_engine,
+)
+
+#: Tiny scale and a two-workload filter keep every test fast.
+SCALE = 0.1
+WORKLOADS = ("daxpy", "reduction")
+
+
+def small_spec(name="test-sweep", scale=SCALE, workloads=WORKLOADS):
+    configs = [
+        scaled_baseline(window=64, memory_latency=100),
+        cooo_config(iq_size=32, sliq_size=512, memory_latency=100),
+    ]
+    return SweepSpec(name, configs, scale=scale, workloads=workloads)
+
+
+def rows_of(outcome):
+    return [result.summary_row() for result in outcome.results]
+
+
+class TestConfigSerialization:
+    def test_roundtrip_preserves_every_field(self):
+        config = cooo_config(iq_size=32, sliq_size=512, checkpoints=4, memory_latency=500)
+        rebuilt = ProcessorConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.stable_hash() == config.stable_hash()
+
+    def test_roundtrip_survives_json(self):
+        config = scaled_baseline(window=256, memory_latency=100, perfect_l2=True)
+        rebuilt = ProcessorConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+
+    def test_hash_distinguishes_parameters(self):
+        base = cooo_config(iq_size=32, sliq_size=512)
+        assert base.stable_hash() != cooo_config(iq_size=64, sliq_size=512).stable_hash()
+        assert base.stable_hash() == cooo_config(iq_size=32, sliq_size=512).stable_hash()
+
+    def test_config_is_hashable(self):
+        a = scaled_baseline(window=128)
+        b = scaled_baseline(window=128)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert {a: "x"}[b] == "x"
+
+
+class TestResultSerialization:
+    def test_roundtrip_through_json(self):
+        from repro.core.processor import simulate
+        from repro.workloads import numerical
+
+        result = simulate(
+            scaled_baseline(window=64, memory_latency=100),
+            numerical.daxpy(elements=50),
+        )
+        rebuilt = SimulationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.summary_row() == result.summary_row()
+        assert rebuilt.ipc == result.ipc
+        assert rebuilt.cycles == result.cycles
+
+
+class TestSpec:
+    def test_cells_are_config_major_and_deterministic(self):
+        spec = small_spec()
+        cells = spec.cells()
+        assert len(cells) == len(spec) == 4
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+        assert [c.workload for c in cells] == ["daxpy", "reduction", "daxpy", "reduction"]
+        assert cells[0].config is spec.configs[0]
+        assert cells[2].config is spec.configs[1]
+
+    def test_unknown_workload_rejected(self):
+        spec = small_spec(workloads=("daxpy", "nope"))
+        with pytest.raises(KeyError):
+            spec.cells()
+
+    def test_default_workloads_are_the_whole_suite(self):
+        spec = small_spec(workloads=None)
+        assert len(spec.workload_names()) == 8
+
+
+class TestEngineExecution:
+    def test_serial_outcome_orders_and_groups(self):
+        spec = small_spec()
+        outcome = SweepEngine(jobs=1).run(spec)
+        assert len(outcome.results) == 4
+        assert outcome.simulated == 4 and outcome.cached == 0
+        per_config = outcome.config_results(spec.configs[1])
+        assert set(per_config) == set(WORKLOADS)
+        assert all(r.ipc > 0 for r in outcome.results)
+
+    def test_parallel_matches_serial(self):
+        spec = small_spec()
+        serial = SweepEngine(jobs=1).run(spec)
+        parallel = SweepEngine(jobs=2).run(small_spec())
+        assert rows_of(serial) == rows_of(parallel)
+        assert [r.stats for r in serial.results] == [r.stats for r in parallel.results]
+
+    def test_unknown_config_lookup_rejected(self):
+        outcome = SweepEngine().run(small_spec())
+        with pytest.raises(KeyError):
+            outcome.config_results(scaled_baseline(window=4096))
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=0)
+
+    def test_ensure_engine_defaults_to_serial_uncached(self):
+        engine = ensure_engine(None)
+        assert engine.jobs == 1 and engine.cache is None
+        assert ensure_engine(engine) is engine
+
+    def test_progress_callback_sees_every_cell(self):
+        lines = []
+        SweepEngine(jobs=1, progress=lines.append).run(small_spec())
+        assert len(lines) == 4
+        assert all("simulated" in line for line in lines)
+
+
+class TestResultCache:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = SweepEngine(jobs=1, cache=cache).run(small_spec())
+        assert first.simulated == 4 and first.cached == 0
+        warm_cache = ResultCache(tmp_path)
+        second = SweepEngine(jobs=1, cache=warm_cache).run(small_spec())
+        assert second.simulated == 0 and second.cached == 4
+        assert warm_cache.hits == 4
+        assert rows_of(first) == rows_of(second)
+
+    def test_parallel_warm_cache(self, tmp_path):
+        SweepEngine(jobs=2, cache=ResultCache(tmp_path)).run(small_spec())
+        second = SweepEngine(jobs=2, cache=ResultCache(tmp_path)).run(small_spec())
+        assert second.simulated == 0 and second.cached == 4
+
+    def test_config_change_invalidates(self, tmp_path):
+        SweepEngine(cache=ResultCache(tmp_path)).run(small_spec())
+        changed = SweepSpec(
+            "test-sweep",
+            [
+                scaled_baseline(window=64, memory_latency=100),
+                cooo_config(iq_size=64, sliq_size=512, memory_latency=100),  # iq changed
+            ],
+            scale=SCALE,
+            workloads=WORKLOADS,
+        )
+        outcome = SweepEngine(cache=ResultCache(tmp_path)).run(changed)
+        assert outcome.cached == 2 and outcome.simulated == 2
+
+    def test_scale_change_invalidates(self, tmp_path):
+        SweepEngine(cache=ResultCache(tmp_path)).run(small_spec())
+        outcome = SweepEngine(cache=ResultCache(tmp_path)).run(small_spec(scale=0.12))
+        assert outcome.cached == 0 and outcome.simulated == 4
+
+    def test_simulator_version_in_key(self):
+        config = scaled_baseline(window=64)
+        key_now = cell_cache_key(config, "spec2000fp_like", "daxpy", SCALE)
+        key_other = cell_cache_key(
+            config, "spec2000fp_like", "daxpy", SCALE, simulator_version="0.0.0"
+        )
+        assert key_now != key_other
+
+    def test_corrupt_entry_recovered(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        baseline = SweepEngine(cache=cache).run(small_spec())
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == 4
+        entries[0].write_text("{ this is not json")
+        entries[1].write_text(json.dumps({"key": "wrong-key", "result": {}}))
+        recovery_cache = ResultCache(tmp_path)
+        outcome = SweepEngine(cache=recovery_cache).run(small_spec())
+        assert outcome.cached == 2 and outcome.simulated == 2
+        assert recovery_cache.corrupt == 2
+        assert rows_of(outcome) == rows_of(baseline)
+        # The corrupt entries were rewritten: a third run is fully warm.
+        third = SweepEngine(cache=ResultCache(tmp_path)).run(small_spec())
+        assert third.simulated == 0
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(cache=cache).run(small_spec())
+        assert cache.clear() == 4
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestFigureIntegration:
+    kwargs = dict(scale=SCALE, grid=((32, 512),), workloads=WORKLOADS)
+
+    def test_figure09_parallel_identical_to_serial(self):
+        serial = run_figure09(engine=SweepEngine(jobs=1), **self.kwargs)
+        parallel = run_figure09(engine=SweepEngine(jobs=2), **self.kwargs)
+        assert serial.rows == parallel.rows
+        assert serial.per_workload == parallel.per_workload
+
+    def test_figure09_warm_cache_runs_zero_simulations(self, tmp_path):
+        cold = SweepEngine(jobs=1, cache=ResultCache(tmp_path))
+        first = run_figure09(engine=cold, **self.kwargs)
+        assert cold.total_simulated > 0
+        warm = SweepEngine(jobs=1, cache=ResultCache(tmp_path))
+        second = run_figure09(engine=warm, **self.kwargs)
+        assert warm.total_simulated == 0
+        assert warm.total_cached == cold.total_simulated
+        assert first.rows == second.rows
+
+    def test_default_engine_keeps_seed_behavior(self):
+        # No engine argument: serial, uncached, same rows as an explicit engine.
+        assert run_figure09(**self.kwargs).rows == run_figure09(
+            engine=SweepEngine(), **self.kwargs
+        ).rows
+
+
+class TestSweepCLI:
+    def test_sweep_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "sweep", "figure07", "--scale", "0.08", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "figure07" in captured.out
+        assert "swept 1 experiment(s)" in captured.out
+        assert "simulated" in captured.out
+
+    def test_sweep_all_cached_second_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = ["sweep", "figure07", "--scale", "0.08", "--quiet",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "0 cell(s) simulated, 8 from cache" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "figure99", "--no-cache"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_no_cache_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "figure07", "--scale", "0.08", "--no-cache"])
+        assert code == 0
+        assert "figure07" in capsys.readouterr().out
