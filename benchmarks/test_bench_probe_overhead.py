@@ -1,0 +1,91 @@
+"""Benchmark guard: the probe machinery must not tax the fast path.
+
+The occupancy accounting that used to be inlined in ``PipelineBase``
+now lives in the default :class:`~repro.core.probes.OccupancyProbe`, so
+a default-constructed pipeline does the same per-instruction work the
+seed simulator did (plus one bound-hook indirection per event).  Two
+invariants keep that honest:
+
+* **no-probe fast path** — a pipeline with zero probes does strictly
+  less work than the seed's inlined accounting, so it must not be more
+  than 5% slower than the default (seed-equivalent) configuration;
+* **event dispatch** — attaching a probe that overrides *no* events
+  binds no hooks and must therefore cost nothing measurable either.
+
+Rounds are interleaved (default, bare, default, bare, ...) and each
+side keeps its best, so a scheduler hiccup hits both configurations
+alike instead of biasing one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.api import Simulation
+from repro.common.config import cooo_config, scaled_baseline
+from repro.core.probes import Probe
+from repro.workloads import daxpy
+
+#: Allowed slowdown of the leaner configuration vs. the default path.
+TOLERANCE = 1.05
+ROUNDS = 5
+
+
+def _trace():
+    return daxpy(elements=500)
+
+
+def _interleaved_best(sim_a: Simulation, sim_b: Simulation, trace, rounds: int = ROUNDS):
+    """Best-of-N wall clock for both simulations, rounds interleaved."""
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        sim_a.run(trace)
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        sim_b.run(trace)
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def test_bench_no_probe_fast_path_vs_default(benchmark):
+    """probes=() must be at least as fast as the seed-equivalent default."""
+    config = scaled_baseline(window=256, memory_latency=200)
+    trace = _trace()
+    default = Simulation(config)
+    bare = Simulation(config, default_probes=False)
+    # Structural half of the guard: a bare pipeline binds no hooks at all.
+    pipeline = bare.pipeline(trace)
+    assert pipeline.probes == ()
+    assert pipeline._hooks_dispatch == [] and pipeline._hooks_cycle == []
+    t_default, t_bare = run_once(
+        benchmark, lambda: _interleaved_best(default, bare, trace)
+    )
+    assert t_bare <= TOLERANCE * t_default, (
+        f"no-probe fast path took {t_bare:.4f}s vs. default {t_default:.4f}s "
+        f"(> {TOLERANCE:.0%}); event emission is taxing the bare pipeline"
+    )
+    print(f"\nno-probe {t_bare:.4f}s vs default {t_default:.4f}s "
+          f"({t_bare / t_default:.2%} of default)")
+
+
+def test_bench_inert_probe_costs_nothing(benchmark):
+    """A probe overriding no events must bind no hooks (cooo machine)."""
+    config = cooo_config(iq_size=64, sliq_size=512, checkpoints=4, memory_latency=200)
+    trace = _trace()
+    default = Simulation(config)
+    inert = Simulation(config, probes=[Probe()])
+    pipeline = inert.pipeline(trace)
+    assert len(pipeline.probes) == 2  # occupancy + inert
+    assert len(pipeline._hooks_dispatch) == 1  # only occupancy bound a hook
+    t_default, t_inert = run_once(
+        benchmark, lambda: _interleaved_best(default, inert, trace)
+    )
+    assert t_inert <= TOLERANCE * t_default, (
+        f"inert probe took {t_inert:.4f}s vs. default {t_default:.4f}s; "
+        f"unbound events must not be dispatched"
+    )
+    print(f"\ninert-probe {t_inert:.4f}s vs default {t_default:.4f}s "
+          f"({t_inert / t_default:.2%} of default)")

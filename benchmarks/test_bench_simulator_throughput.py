@@ -8,7 +8,8 @@ modelled machines) are visible in the pytest-benchmark output.
 import pytest
 from conftest import run_once
 
-from repro import cooo_config, scaled_baseline, simulate
+from repro import cooo_config, scaled_baseline
+from repro.api import run as simulate
 from repro.workloads import daxpy
 
 TRACE = daxpy(elements=300)

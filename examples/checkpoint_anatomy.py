@@ -8,7 +8,7 @@ This is the example to read to understand what the mechanisms actually do
 cycle to cycle.
 """
 
-from repro import cooo_config, simulate
+from repro import api, cooo_config
 from repro.analysis import format_bar_chart, format_table, retirement_breakdown
 from repro.workloads import random_gather
 
@@ -16,7 +16,7 @@ from repro.workloads import random_gather
 def main() -> None:
     trace = random_gather(elements=500)
     config = cooo_config(iq_size=64, sliq_size=1024, checkpoints=8, memory_latency=800)
-    result = simulate(config, trace)
+    result = api.run(config, trace)
 
     print(f"workload: {trace.name} ({len(trace)} instructions, "
           f"{trace.load_fraction():.0%} loads)")

@@ -9,15 +9,14 @@ the COoO machine's cheap structures (SLIQ, checkpoints) are scaled — while
 its expensive structures (issue queue, pseudo-ROB) stay fixed at 64 entries.
 """
 
-from repro import cooo_config, scaled_baseline
+from repro import api, cooo_config, scaled_baseline
 from repro.analysis import format_table
-from repro.core.processor import Processor
 from repro.experiments import suite_ipc, suite_metric
 from repro.workloads import spec2000fp_like
 
 
 def run(config, traces):
-    return Processor(config).run_suite(traces)
+    return api.Simulation(config).run_suite(traces)
 
 
 def main() -> None:

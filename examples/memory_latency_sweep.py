@@ -14,7 +14,7 @@ unbuildable big-window baseline on the FP code while, as the paper notes,
 neither machine can do much for serial pointer chasing.
 """
 
-from repro import cooo_config, scaled_baseline, simulate
+from repro import api, cooo_config, scaled_baseline
 from repro.analysis import format_table
 from repro.workloads import daxpy, pointer_chase
 
@@ -37,7 +37,7 @@ def run_sweep(trace, latencies):
         }
         row = {"memory latency": latency}
         for name, config in machines.items():
-            row[name] = round(simulate(config, trace).ipc, 3)
+            row[name] = round(api.run(config, trace).ipc, 3)
         rows.append(row)
     return rows
 

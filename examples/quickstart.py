@@ -14,7 +14,7 @@ entries in its critical structures, and far outperforms the buildable
 128-entry baseline.
 """
 
-from repro import cooo_config, scaled_baseline, simulate
+from repro import api, cooo_config, scaled_baseline
 from repro.analysis import format_table
 from repro.workloads import daxpy
 
@@ -36,7 +36,7 @@ def main() -> None:
     rows = []
     results = {}
     for name, config in machines.items():
-        result = simulate(config, trace)
+        result = api.run(config, trace)
         results[name] = result
         rows.append(
             {

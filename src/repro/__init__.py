@@ -8,13 +8,19 @@ regenerates every figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import cooo_config, scaled_baseline, simulate, spec2000fp_like
+    from repro import api, cooo_config, scaled_baseline, spec2000fp_like
 
     traces = spec2000fp_like(scale=0.3)
     baseline = scaled_baseline(window=128, memory_latency=500)
     cooo = cooo_config(iq_size=64, sliq_size=1024, memory_latency=500)
     for name, trace in traces.items():
-        print(name, simulate(baseline, trace).ipc, simulate(cooo, trace).ipc)
+        print(name, api.run(baseline, trace).ipc, api.run(cooo, trace).ipc)
+
+The :mod:`repro.api` facade is the front door (``Simulation``, ``run``,
+``run_many``); machine organizations are pluggable through
+:mod:`repro.core.registry_machines` and observation happens through
+:mod:`repro.core.probes`.  ``Processor``/``simulate`` remain as
+deprecation shims.
 """
 
 from .common.config import (
@@ -42,13 +48,28 @@ from .common.errors import (
     TraceError,
 )
 from .common.stats import StatsRegistry
-from .core.pipeline import BaselinePipeline, OoOCommitPipeline, build_pipeline
+from .core.pipeline import BaselinePipeline, OoOCommitPipeline, PipelineBase, build_pipeline
+from .core.probes import CallbackProbe, OccupancyProbe, Probe
 from .core.processor import Processor, average_ipc, simulate
+from .core.registry_machines import (
+    MachineSpec,
+    create_pipeline,
+    get_machine,
+    machine_names,
+    machine_specs,
+    register_machine,
+    unregister_machine,
+)
 from .core.result import SimulationResult
 from .isa.instruction import DynInst, InstState, Instruction, RetireClass
 from .isa.opcodes import OpClass
 from .trace.trace import Trace, TraceCursor
 from .workloads.suite import get_suite, integer_suite, spec2000fp_like
+
+# The facade imports experiment modules lazily; importing it last keeps
+# the package import graph acyclic.
+from . import api
+from .api import Simulation, run, run_many
 
 __version__ = "1.0.0"
 
@@ -76,7 +97,22 @@ __all__ = [
     "StatsRegistry",
     "BaselinePipeline",
     "OoOCommitPipeline",
+    "PipelineBase",
     "build_pipeline",
+    "CallbackProbe",
+    "OccupancyProbe",
+    "Probe",
+    "MachineSpec",
+    "create_pipeline",
+    "get_machine",
+    "machine_names",
+    "machine_specs",
+    "register_machine",
+    "unregister_machine",
+    "api",
+    "Simulation",
+    "run",
+    "run_many",
     "Processor",
     "average_ipc",
     "simulate",

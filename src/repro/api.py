@@ -1,0 +1,252 @@
+"""The one front door to the simulator: configure, observe, run.
+
+Everything the repository runs — the CLI, the experiment/figure modules,
+the sweep engine, the examples — goes through this module, and so should
+user code::
+
+    from repro import api
+    from repro.common.config import cooo_config
+
+    result = api.run(cooo_config(iq_size=64), my_trace)
+
+    sim = api.Simulation(
+        cooo_config(iq_size=64),
+        probes=[MyProbe()],                         # observe events
+        progress=lambda p: print(p.cycle),          # periodic callback
+        stop_when=lambda p: p.committed >= 10_000,  # early-stop predicate
+    )
+    results = sim.run_suite(traces)
+
+    grid = api.run_many([cfg_a, cfg_b], suite="spec2000fp_like", jobs=4)
+
+Three layers sit underneath:
+
+* the **machine registry** (:mod:`repro.core.registry_machines`) maps
+  ``config.mode`` to a registered pipeline class — new machines plug in
+  via ``@register_machine`` with no edits here;
+* the **probe API** (:mod:`repro.core.probes`) attaches observers to a
+  pipeline without touching its timing;
+* the **sweep engine** (:mod:`repro.experiments.sweep`) executes
+  (config × workload) grids in parallel with a persistent result cache;
+  :func:`run_many` is its friendly face.
+
+``repro.core.processor.Processor`` and ``simulate`` remain as
+deprecation shims over this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .common.config import ProcessorConfig
+from .common.stats import StatsRegistry
+from .core.probes import CallbackProbe, OccupancyProbe, Probe
+from .core.registry_machines import (
+    MachineSpec,
+    create_pipeline,
+    get_machine,
+    machine_names,
+    machine_specs,
+    register_machine,
+    unregister_machine,
+)
+from .core.result import SimulationResult
+from .trace.trace import Trace
+
+#: Cycles between ``progress`` callbacks (overridable per Simulation).
+DEFAULT_PROGRESS_INTERVAL = 8192
+
+#: Per-cycle callbacks receive the live pipeline object.
+ProgressFn = Callable[[object], None]
+StopFn = Callable[[object], bool]
+
+
+class Simulation:
+    """One configured machine plus how to observe and drive it.
+
+    The constructor validates the config once; :meth:`run` builds a
+    fresh pipeline per trace (simulations never share mutable state), so
+    one ``Simulation`` can be reused across a whole suite.
+
+    ``probes`` are attached *in addition to* the built-in default probes
+    (the occupancy accounting of Figures 7/11); pass
+    ``default_probes=False`` to run bare — the fastest configuration, at
+    the price of the occupancy statistics.
+    """
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        *,
+        probes: Sequence[Probe] = (),
+        default_probes: bool = True,
+        max_cycles: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+        progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
+        stop_when: Optional[StopFn] = None,
+    ) -> None:
+        self.config = config.validate()
+        self.probes: List[Probe] = list(probes)
+        self.default_probes = default_probes
+        self.max_cycles = max_cycles
+        self.progress = progress
+        if progress_interval < 1:
+            raise ValueError(f"progress_interval must be >= 1, got {progress_interval}")
+        self.progress_interval = progress_interval
+        self.stop_when = stop_when
+
+    @property
+    def machine(self) -> MachineSpec:
+        """The registered machine this simulation will instantiate."""
+        return get_machine(self.config.mode)
+
+    def attach(self, probe: Probe) -> "Simulation":
+        """Add a probe to every future :meth:`run`; returns self to chain."""
+        self.probes.append(probe)
+        return self
+
+    def pipeline(self, trace: Trace, stats: Optional[StatsRegistry] = None):
+        """Build (but do not run) a pipeline — for step-by-step driving."""
+        return create_pipeline(
+            self.config,
+            trace,
+            stats,
+            probes=self.probes,
+            default_probes=self.default_probes,
+        )
+
+    def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Simulate ``trace`` to completion (or early stop) on a fresh pipeline."""
+        pipeline = self.pipeline(trace)
+        return pipeline.run(
+            max_cycles=max_cycles if max_cycles is not None else self.max_cycles,
+            progress=self.progress,
+            progress_interval=self.progress_interval,
+            stop=self.stop_when,
+        )
+
+    def run_suite(
+        self,
+        traces: Mapping[str, Trace],
+        max_cycles: Optional[int] = None,
+    ) -> Dict[str, SimulationResult]:
+        """Run every trace of a suite; results keyed by workload name."""
+        return {name: self.run(trace, max_cycles) for name, trace in traces.items()}
+
+
+def run(
+    config: ProcessorConfig,
+    trace: Trace,
+    *,
+    probes: Sequence[Probe] = (),
+    default_probes: bool = True,
+    max_cycles: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+    progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
+    stop_when: Optional[StopFn] = None,
+) -> SimulationResult:
+    """Run one trace on one configuration — the canonical one-liner."""
+    return Simulation(
+        config,
+        probes=probes,
+        default_probes=default_probes,
+        max_cycles=max_cycles,
+        progress=progress,
+        progress_interval=progress_interval,
+        stop_when=stop_when,
+    ).run(trace)
+
+
+def run_many(
+    configs: Sequence[ProcessorConfig],
+    traces: Optional[Mapping[str, Trace]] = None,
+    *,
+    suite: str = "spec2000fp_like",
+    scale: Optional[float] = None,
+    workloads: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache=None,
+    probes: Sequence[Probe] = (),
+    max_cycles: Optional[int] = None,
+    stop_when: Optional[StopFn] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    name: str = "api-run-many",
+) -> List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]]:
+    """Run every config over every workload; results in config order.
+
+    Two modes:
+
+    * **Suite mode** (``traces`` omitted): the (config × workload) grid
+      of ``suite`` at ``scale`` executes on the sweep engine — ``jobs``
+      worker processes, optional persistent ``cache``
+      (a :class:`~repro.experiments.sweep.ResultCache`), per-cell
+      ``progress`` messages.  Probes cannot cross process/cache
+      boundaries, so ``probes``/``stop_when``/``max_cycles`` must be
+      unset.
+    * **Explicit-trace mode** (``traces`` given): each config runs the
+      given traces serially in-process, with probe/early-stop support
+      and no caching.  The *same* probe instances observe every
+      (config, workload) run in sequence; a probe that resets its state
+      in ``on_attach`` therefore ends holding only the last run's data —
+      accumulate into external state (e.g. via ``CallbackProbe``) to
+      gather across runs.
+
+    Returns ``[(config, {workload: result}), ...]`` in declared order.
+    """
+    from .experiments.runner import DEFAULT_SCALE
+    from .experiments.sweep import SweepEngine, SweepSpec
+
+    if traces is not None:
+        if jobs != 1 or cache is not None:
+            raise ValueError(
+                "explicit traces run serially and uncached; use suite mode "
+                "(omit traces) for jobs/cache"
+            )
+        out: List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]] = []
+        for config in configs:
+            sim = Simulation(
+                config, probes=probes, max_cycles=max_cycles, stop_when=stop_when
+            )
+            results: Dict[str, SimulationResult] = {}
+            for workload, trace in traces.items():
+                results[workload] = sim.run(trace)
+                if progress is not None:
+                    progress(
+                        f"{config.name or config.mode} x {workload}: "
+                        f"ipc={results[workload].ipc:.4f}"
+                    )
+            out.append((config, results))
+        return out
+
+    if probes or stop_when is not None or max_cycles is not None:
+        raise ValueError(
+            "probes/stop_when/max_cycles require explicit traces "
+            "(suite mode fans out over processes and a persistent cache)"
+        )
+    spec = SweepSpec(
+        name,
+        list(configs),
+        scale=scale if scale is not None else DEFAULT_SCALE,
+        suite=suite,
+        workloads=workloads,
+    )
+    engine = SweepEngine(jobs=jobs, cache=cache, progress=progress)
+    return list(engine.run(spec).per_config())
+
+
+__all__ = [
+    "DEFAULT_PROGRESS_INTERVAL",
+    "CallbackProbe",
+    "MachineSpec",
+    "OccupancyProbe",
+    "Probe",
+    "Simulation",
+    "create_pipeline",
+    "get_machine",
+    "machine_names",
+    "machine_specs",
+    "register_machine",
+    "run",
+    "run_many",
+    "unregister_machine",
+]

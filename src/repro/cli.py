@@ -1,10 +1,11 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``simulate``
     Run one machine configuration over one workload (or a whole suite) and
-    print the per-run statistics.
+    print the per-run statistics.  ``--machine`` accepts any registered
+    machine organization (see ``repro modes``), not just the paper's two.
 
 ``experiment``
     Regenerate one of the paper's figures (or the checkpoint-policy
@@ -22,16 +23,25 @@ Four subcommands cover the common workflows:
     Show the available workloads (with behavioral descriptions), suites
     and experiments.
 
+``modes``
+    Show every registered machine organization with a one-line
+    description (mirrors ``repro list`` for workloads).  Machines are
+    pluggable: anything registered through
+    :func:`repro.core.registry_machines.register_machine` appears here
+    and in ``--machine`` automatically.
+
 Examples::
 
     python -m repro simulate --machine cooo --workload daxpy --memory-latency 1000
     python -m repro simulate --machine baseline --window 128 --suite spec2000fp_like
+    python -m repro simulate --machine unbounded-rob --workload gather
     python -m repro experiment figure09 --scale 0.5
     python -m repro experiment figure09 --jobs 4            # parallel grid
     python -m repro sweep figure09 figure11 --jobs 8        # two figures, shared cache
     python -m repro sweep all --full --jobs 8 --json out.json
     python -m repro sweep figure01 --no-cache               # force re-simulation
     python -m repro list
+    python -m repro modes
 """
 
 from __future__ import annotations
@@ -43,8 +53,14 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from .analysis.report import format_table
-from .common.config import ProcessorConfig, cooo_config, scaled_baseline
-from .core.processor import Processor
+from .api import Simulation
+from .common.config import ProcessorConfig
+from .core.registry_machines import (
+    CLI_DEFAULTS,
+    get_machine,
+    machine_names,
+    machine_specs,
+)
 from .core.result import SimulationResult
 from .experiments.registry import EXPERIMENTS, available_experiments
 from .experiments.sweep import ResultCache, SweepEngine, default_cache_dir
@@ -84,26 +100,12 @@ WORKLOAD_DESCRIPTIONS: Dict[str, str] = {
 
 
 def build_machine(args: argparse.Namespace) -> ProcessorConfig:
-    """Translate CLI arguments into a ProcessorConfig."""
-    if args.machine == "baseline":
-        return scaled_baseline(
-            window=args.window,
-            memory_latency=args.memory_latency,
-            perfect_l2=args.perfect_l2,
-        )
-    return cooo_config(
-        iq_size=args.iq_size,
-        sliq_size=args.sliq_size,
-        checkpoints=args.checkpoints,
-        memory_latency=args.memory_latency,
-        reinsert_delay=args.reinsert_delay,
-        perfect_l2=args.perfect_l2,
-        virtual_tags=args.virtual_tags,
-        physical_registers=args.physical_registers
-        if args.physical_registers is not None
-        else 4096,
-        late_allocation=args.late_allocation,
-    )
+    """Translate CLI arguments into a ProcessorConfig.
+
+    The config builder comes from the machine registry, so registered
+    variants are CLI-runnable without edits here.
+    """
+    return get_machine(args.machine).build_cli_config(args)
 
 
 def _result_row(name: str, result: SimulationResult) -> Dict[str, object]:
@@ -127,11 +129,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     else:
         print("error: provide --workload or --suite", file=sys.stderr)
         return 2
-    processor = Processor(config)
+    simulation = Simulation(config)
     rows: List[Dict[str, object]] = []
     results = {}
     for name, trace in traces.items():
-        result = processor.run(trace)
+        result = simulation.run(trace)
         results[name] = result
         rows.append(_result_row(name, result))
     print(f"machine: {config.name or config.mode}")
@@ -266,6 +268,23 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("experiments:")
     for name in available_experiments():
         print(f"  {name}")
+    print("machines: (see 'repro modes')")
+    print(f"  {', '.join(machine_names())}")
+    return 0
+
+
+def cmd_modes(args: argparse.Namespace) -> int:
+    """List every registered machine organization."""
+    specs = machine_specs()
+    width = max(len(spec.name) for spec in specs)
+    print("registered machines:")
+    for spec in specs:
+        print(f"  {spec.name:<{width}}  {spec.description}".rstrip())
+    print(
+        "\nregister more via repro.core.registry_machines.register_machine;"
+        " any registered mode works with 'simulate --machine', ProcessorConfig"
+        " and the sweep engine."
+    )
     return 0
 
 
@@ -277,21 +296,28 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command")
 
     simulate = subparsers.add_parser("simulate", help="run one machine over one workload or suite")
-    simulate.add_argument("--machine", choices=("baseline", "cooo"), default="cooo")
+    simulate.add_argument(
+        "--machine", choices=machine_names(), default="cooo",
+        help="registered machine organization (see 'repro modes')",
+    )
     simulate.add_argument("--workload", choices=sorted(WORKLOADS), default=None)
     simulate.add_argument("--suite", choices=sorted(SUITES), default=None)
     simulate.add_argument("--size", type=int, default=1000,
                           help="workload size parameter (elements/iterations)")
     simulate.add_argument("--scale", type=float, default=0.5, help="suite scale")
-    simulate.add_argument("--memory-latency", type=int, default=1000)
+    # Machine-knob defaults live in the registry (CLI_DEFAULTS) so the
+    # profile builders and the parser can never drift apart.
+    simulate.add_argument("--memory-latency", type=int, default=CLI_DEFAULTS["memory_latency"])
     simulate.add_argument("--perfect-l2", action="store_true")
-    simulate.add_argument("--window", type=int, default=128, help="baseline window size")
-    simulate.add_argument("--iq-size", type=int, default=128)
-    simulate.add_argument("--sliq-size", type=int, default=2048)
-    simulate.add_argument("--checkpoints", type=int, default=8)
-    simulate.add_argument("--reinsert-delay", type=int, default=4)
-    simulate.add_argument("--virtual-tags", type=int, default=None)
-    simulate.add_argument("--physical-registers", type=int, default=None)
+    simulate.add_argument("--window", type=int, default=CLI_DEFAULTS["window"],
+                          help="baseline window size")
+    simulate.add_argument("--iq-size", type=int, default=CLI_DEFAULTS["iq_size"])
+    simulate.add_argument("--sliq-size", type=int, default=CLI_DEFAULTS["sliq_size"])
+    simulate.add_argument("--checkpoints", type=int, default=CLI_DEFAULTS["checkpoints"])
+    simulate.add_argument("--reinsert-delay", type=int, default=CLI_DEFAULTS["reinsert_delay"])
+    simulate.add_argument("--virtual-tags", type=int, default=CLI_DEFAULTS["virtual_tags"])
+    simulate.add_argument("--physical-registers", type=int,
+                          default=CLI_DEFAULTS["physical_registers"])
     simulate.add_argument("--late-allocation", action="store_true")
     simulate.add_argument("--json", default=None, help="write results to this JSON file")
     simulate.set_defaults(func=cmd_simulate)
@@ -346,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     listing = subparsers.add_parser("list", help="list workloads, suites and experiments")
     listing.set_defaults(func=cmd_list)
+
+    modes = subparsers.add_parser(
+        "modes", help="list registered machine organizations"
+    )
+    modes.set_defaults(func=cmd_modes)
     return parser
 
 

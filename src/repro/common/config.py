@@ -235,8 +235,11 @@ class RegisterAllocationConfig:
 class ProcessorConfig:
     """Complete description of one simulated machine.
 
-    ``mode`` selects between the conventional ROB machine (``"baseline"``)
-    and the paper's checkpoint-based machine (``"cooo"``).
+    ``mode`` names a machine organization registered in
+    :mod:`repro.core.registry_machines` — ``"baseline"`` and ``"cooo"``
+    ship with the paper's two machines; ``repro modes`` lists the rest,
+    and :func:`~repro.core.registry_machines.register_machine` adds new
+    ones without touching this module.
     """
 
     mode: str = "baseline"
@@ -250,8 +253,12 @@ class ProcessorConfig:
     name: str = ""
 
     def validate(self) -> "ProcessorConfig":
-        if self.mode not in ("baseline", "cooo"):
-            raise ConfigurationError(f"unknown processor mode {self.mode!r}")
+        # The machine registry is the single source of truth for valid
+        # modes; imported lazily so repro.common stays importable on its
+        # own (the registry lives in repro.core, which imports us).
+        from ..core.registry_machines import get_machine
+
+        machine = get_machine(self.mode)  # raises, listing registered modes
         self.core.validate()
         self.memory.validate()
         self.branch.validate()
@@ -259,12 +266,11 @@ class ProcessorConfig:
         self.sliq.validate()
         self.regalloc.validate()
         _positive("deadlock_cycles", self.deadlock_cycles)
-        if self.mode == "cooo" and not self.sliq.enabled:
-            # Allowed (checkpointing without SLIQ), nothing to check.
-            pass
-        if self.regalloc.late_allocation and self.mode != "cooo":
+        if self.regalloc.late_allocation and not machine.supports_late_allocation:
             raise ConfigurationError(
-                "late register allocation is only modelled for the cooo machine"
+                f"late register allocation is not modelled by machine "
+                f"{self.mode!r} (the cooo family opts in via "
+                f"supports_late_allocation)"
             )
         return self
 

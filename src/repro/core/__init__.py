@@ -1,4 +1,4 @@
-"""The out-of-order core models: both machines and all their structures."""
+"""The out-of-order core models: the machines and all their structures."""
 
 from .cam_rename import CAMRenamer, RenameSnapshot
 from .checkpoint import Checkpoint, CheckpointPolicy, CheckpointTable
@@ -6,16 +6,40 @@ from .frontend import FetchUnit
 from .fu import ExecutionUnits, FunctionalUnitPool
 from .iq import InstructionQueue, WakeupNetwork
 from .lsq import LoadStoreQueue
+from .machines import PerfectL2Pipeline, UnboundedROBPipeline
 from .pipeline import BaselinePipeline, OoOCommitPipeline, PipelineBase, build_pipeline
+from .probes import CallbackProbe, OccupancyProbe, Probe, default_probes
 from .processor import Processor, average_ipc, simulate
 from .pseudo_rob import PseudoROB
 from .regfile import PhysicalPool, PhysicalRegisterFile
+from .registry_machines import (
+    MachineSpec,
+    create_pipeline,
+    get_machine,
+    machine_names,
+    machine_specs,
+    register_machine,
+    unregister_machine,
+)
 from .rename_map import MapTableRenamer
 from .result import SimulationResult, build_result
 from .rob import ReorderBuffer
 from .sliq import LongLatencyTracker, SlowLaneQueue
 
 __all__ = [
+    "PerfectL2Pipeline",
+    "UnboundedROBPipeline",
+    "CallbackProbe",
+    "OccupancyProbe",
+    "Probe",
+    "default_probes",
+    "MachineSpec",
+    "create_pipeline",
+    "get_machine",
+    "machine_names",
+    "machine_specs",
+    "register_machine",
+    "unregister_machine",
     "CAMRenamer",
     "RenameSnapshot",
     "Checkpoint",

@@ -1,0 +1,87 @@
+"""Additional registered machine variants beyond the paper's two.
+
+These demonstrate (and exercise) the machine registry: each variant is a
+small :class:`~repro.core.pipeline.PipelineBase` subclass registered
+with :func:`~repro.core.registry_machines.register_machine` — no edits
+to ``pipeline.py``, ``config.py`` or ``cli.py`` are needed to make a
+variant configurable, runnable from the CLI and sweepable (with its own
+sweep-cache keys, since ``mode`` is part of every cache key).
+
+* ``perfect-l2`` — the baseline organization with an ideal, always-
+  hitting L2.  The paper frames its Figure 1 limit study against a
+  perfect L2; this machine gives that reference point as a first-class
+  mode instead of a memory-config flag.
+* ``unbounded-rob`` — an idealised conventional machine whose ROB,
+  issue queues, LSQ and register file are large enough to never bound
+  the window.  The remaining limits (fetch/issue width, functional
+  units, memory) are what the kilo-instruction studies compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..common.config import ProcessorConfig
+from ..common.stats import StatsRegistry
+from ..trace.trace import Trace
+from .pipeline import BaselinePipeline
+from .probes import Probe
+from .registry_machines import register_machine
+
+
+@register_machine(
+    "perfect-l2",
+    description="baseline organization with an ideal always-hitting L2 (limit study)",
+)
+class PerfectL2Pipeline(BaselinePipeline):
+    """Baseline machine in front of a perfect L2.
+
+    The memory hierarchy flag is forced at construction, so any baseline
+    config re-aimed at ``mode="perfect-l2"`` becomes the paper's
+    perfect-memory reference machine.
+    """
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        stats: Optional[StatsRegistry] = None,
+        probes: Optional[Sequence[Probe]] = None,
+    ) -> None:
+        config = config.copy()
+        config.memory.perfect_l2 = True
+        super().__init__(config, trace, stats, probes)
+
+
+@register_machine(
+    "unbounded-rob",
+    description="idealised baseline whose ROB/queues/registers never bound the window",
+)
+class UnboundedROBPipeline(BaselinePipeline):
+    """Conventional machine with effectively infinite window resources.
+
+    Every window structure is resized to ``UNBOUNDED_WINDOW`` entries —
+    far beyond what any shipped trace can fill — so IPC is limited only
+    by widths, functional units, branches and the memory system.  This
+    is the ideal machine the checkpointed design is chasing.
+    """
+
+    #: Large enough that no shipped workload can fill the window.
+    UNBOUNDED_WINDOW = 1 << 16
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        trace: Trace,
+        stats: Optional[StatsRegistry] = None,
+        probes: Optional[Sequence[Probe]] = None,
+    ) -> None:
+        config = config.copy()
+        window = self.UNBOUNDED_WINDOW
+        config.core.rob_size = window
+        config.core.int_queue_size = window
+        config.core.fp_queue_size = window
+        config.core.lsq_size = window
+        # Architectural mappings stay pinned on top of the window.
+        config.core.physical_registers = window + 64
+        super().__init__(config, trace, stats, probes)

@@ -1,9 +1,9 @@
 """The cycle-level pipelines: conventional baseline and out-of-order commit.
 
-:class:`PipelineBase` owns everything the two machines share — fetch,
-rename bookkeeping, issue queues, execution units, the memory hierarchy,
-write-back and the occupancy statistics.  The two subclasses implement the
-parts the paper changes:
+:class:`PipelineBase` owns everything the machines share — fetch, rename
+bookkeeping, issue queues, execution units, the memory hierarchy,
+write-back and the probe event plumbing.  The two built-in subclasses
+implement the parts the paper changes:
 
 * :class:`BaselinePipeline` — dispatch allocates a ROB entry; commit
   retires in order from the ROB head (Table 1's machine).
@@ -12,13 +12,21 @@ parts the paper changes:
   retirement) the SLIQ; commit retires whole checkpoints whose pending
   counters reached zero, draining their stores and freeing their Future
   Free registers.
+
+Machines are registered in :mod:`repro.core.registry_machines`; further
+variants (``perfect-l2``, ``unbounded-rob``, user plugins) live in
+:mod:`repro.core.machines` and need no edits here.  Observation happens
+through :mod:`repro.core.probes`: the occupancy statistics behind
+Figures 7 and 11 are an :class:`~repro.core.probes.OccupancyProbe`
+attached by default.
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..common.config import ProcessorConfig
 from ..common.errors import DeadlockError, SimulationError
@@ -33,8 +41,10 @@ from .frontend import FetchUnit
 from .fu import ExecutionUnits
 from .iq import InstructionQueue, WakeupNetwork
 from .lsq import LoadStoreQueue
+from .probes import PROBE_EVENTS, Probe, default_probes, hook_for
 from .pseudo_rob import PseudoROB
 from .regfile import PhysicalPool, PhysicalRegisterFile
+from .registry_machines import cooo_cli_config, register_machine
 from .rename_map import MapTableRenamer
 from .result import SimulationResult, build_result
 from .rob import ReorderBuffer
@@ -42,15 +52,19 @@ from .sliq import LongLatencyTracker, SlowLaneQueue
 
 
 class PipelineBase:
-    """Shared machinery of both simulated machines."""
+    """Shared machinery of every simulated machine."""
 
     mode = "base"
+    #: Whether the machine models Figure 14's late register allocation;
+    #: ``ProcessorConfig.validate`` checks the flag through the registry.
+    supports_late_allocation = False
 
     def __init__(
         self,
         config: ProcessorConfig,
         trace: Trace,
         stats: Optional[StatsRegistry] = None,
+        probes: Optional[Sequence[Probe]] = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -74,21 +88,34 @@ class PipelineBase:
         self.fetched = 0
         self._last_commit_cycle = 0
 
-        # Occupancy and liveness accounting (Figures 7 and 11).
-        self._in_flight = 0
-        self._live = 0
-        self._live_fp_long = 0
-        self._live_fp_short = 0
-        self._long_pregs: Set[int] = set()
-        self._in_flight_mean = self.stats.running_mean("occupancy.in_flight")
-        self._live_mean = self.stats.running_mean("occupancy.live")
-        self._live_fp_long_mean = self.stats.running_mean("occupancy.live_fp_long")
-        self._live_fp_short_mean = self.stats.running_mean("occupancy.live_fp_short")
-        self._in_flight_dist = self.stats.distribution("occupancy.in_flight_dist")
-        self._live_dist = self.stats.distribution("occupancy.live_dist")
+        # Probes: the occupancy/liveness accounting of Figures 7 and 11
+        # lives in the default OccupancyProbe; ``probes=None`` attaches it,
+        # an explicit (possibly empty) sequence replaces the defaults.
+        self.occupancy = None  # set by an attaching OccupancyProbe
+        self._probes: List[Probe] = []
+        for event in PROBE_EVENTS:
+            setattr(self, f"_hooks_{event[3:]}", [])
+        for probe in default_probes() if probes is None else probes:
+            self.attach_probe(probe)
         self._exceptions_delivered = self.stats.counter("exceptions.delivered")
         self._dispatch_stalls = self.stats.counter("dispatch.stall_cycles")
         self._committed_counter = self.stats.counter("commit.instructions")
+
+    # -- probe plumbing ---------------------------------------------------------
+    @property
+    def probes(self) -> Tuple[Probe, ...]:
+        """The probes currently observing this pipeline."""
+        return tuple(self._probes)
+
+    def attach_probe(self, probe: Probe) -> Probe:
+        """Attach an observer; only the events it overrides are bound."""
+        self._probes.append(probe)
+        probe.on_attach(self)
+        for event in PROBE_EVENTS:
+            hook = hook_for(probe, event)
+            if hook is not None:
+                getattr(self, f"_hooks_{event[3:]}").append(hook)
+        return probe
 
     # -- subclass hooks ---------------------------------------------------------
     def _register_identifier_count(self) -> int:
@@ -117,19 +144,15 @@ class PipelineBase:
     # -- squash bookkeeping shared by both machines ------------------------------
     def _squash_bookkeeping(self, inst: DynInst) -> None:
         """Release everything a squashed instruction occupies (except renaming)."""
-        was_dispatched = inst.dispatch_cycle is not None
-        was_live = was_dispatched and inst.issue_cycle is None
+        if self._hooks_squash:
+            # Before teardown, so probes still see the state it died in.
+            for hook in self._hooks_squash:
+                hook(self, inst)
         if inst.in_iq:
             queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
             queue.remove(inst)
         if inst.is_memory and inst.lsq_index is not None:
             self.lsq.release(inst)
-        if was_live:
-            self._leave_live(inst)
-        if was_dispatched:
-            self._leave_window(inst)
-        if inst.phys_dest is not None:
-            self._long_pregs.discard(inst.phys_dest)
         inst.mark_squashed()
 
     # -- top-level driver ---------------------------------------------------------
@@ -140,8 +163,21 @@ class PipelineBase:
     def finished(self) -> bool:
         return self.committed >= self.total_instructions
 
-    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
-        """Simulate until every trace instruction committed."""
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        *,
+        progress: Optional[Callable[["PipelineBase"], None]] = None,
+        progress_interval: int = 8192,
+        stop: Optional[Callable[["PipelineBase"], bool]] = None,
+    ) -> SimulationResult:
+        """Simulate until every trace instruction committed.
+
+        ``progress`` is invoked with the pipeline every
+        ``progress_interval`` cycles; ``stop`` is an early-stop predicate
+        checked each cycle — when it returns True the run ends and the
+        (partial) result is built from whatever has committed so far.
+        """
         limit = max_cycles if max_cycles is not None else float("inf")
         while not self.finished():
             if self.cycle >= limit:
@@ -152,6 +188,10 @@ class PipelineBase:
             self.step()
             if self.cycle - self._last_commit_cycle > self.config.deadlock_cycles:
                 raise DeadlockError(self._deadlock_report())
+            if progress is not None and self.cycle % progress_interval == 0:
+                progress(self)
+            if stop is not None and stop(self):
+                break
         return build_result(
             self.config,
             self.trace.name,
@@ -170,6 +210,9 @@ class PipelineBase:
         self._dispatch_stage()
         self._fetch_stage()
         self._extra_cycle_work()
+        if self._hooks_cycle:
+            for hook in self._hooks_cycle:
+                hook(self)
         self._sample_occupancy()
 
     # -- fetch ------------------------------------------------------------------------
@@ -190,36 +233,18 @@ class PipelineBase:
         return self.fp_queue if is_fp(inst.op) else self.int_queue
 
     def _enter_window(self, inst: DynInst) -> None:
-        """Common accounting when an instruction is dispatched."""
+        """Common bookkeeping when an instruction is dispatched."""
         inst.state = InstState.DISPATCHED
         inst.dispatch_cycle = self.cycle
-        self._in_flight += 1
-        self._live += 1
-        blocked_long = any(p in self._long_pregs for p in inst.phys_srcs)
-        if blocked_long and inst.phys_dest is not None:
-            self._long_pregs.add(inst.phys_dest)
-        live_class = None
-        if is_fp(inst.op):
-            live_class = "fp_long" if blocked_long else "fp_short"
-            if blocked_long:
-                self._live_fp_long += 1
-            else:
-                self._live_fp_short += 1
-        inst.live_class = live_class  # type: ignore[attr-defined]
+        if self._hooks_dispatch:
+            for hook in self._hooks_dispatch:
+                hook(self, inst)
 
-    def _leave_live(self, inst: DynInst) -> None:
-        """An instruction stopped being 'live' (it issued or was squashed un-issued)."""
-        self._live -= 1
-        live_class = getattr(inst, "live_class", None)
-        if live_class == "fp_long":
-            self._live_fp_long -= 1
-        elif live_class == "fp_short":
-            self._live_fp_short -= 1
-        inst.live_class = None  # type: ignore[attr-defined]
-
-    def _leave_window(self, inst: DynInst) -> None:
-        """An instruction left the window (committed or squashed after dispatch)."""
-        self._in_flight -= 1
+    def _retire_from_window(self, inst: DynInst) -> None:
+        """An instruction retired architecturally (probe notification)."""
+        if self._hooks_commit:
+            for hook in self._hooks_commit:
+                hook(self, inst)
 
     # -- issue --------------------------------------------------------------------------
     def _issue_stage(self) -> None:
@@ -247,8 +272,11 @@ class PipelineBase:
         queue.record_issue()
         inst.state = InstState.EXECUTING
         inst.issue_cycle = self.cycle
-        self._leave_live(inst)
         completion = self.cycle + self._execution_time(inst)
+        if self._hooks_issue:
+            # After _execution_time, so probes see the L2-miss verdict.
+            for hook in self._hooks_issue:
+                hook(self, inst)
         heapq.heappush(self._writeback_heap, (completion, inst.seq, inst))
         return True
 
@@ -266,8 +294,6 @@ class PipelineBase:
             inst.dl1_miss = access.dl1_miss
             if access.l2_miss:
                 inst.long_latency = True
-                if inst.phys_dest is not None:
-                    self._long_pregs.add(inst.phys_dest)
             return base + access.latency
         if inst.is_store:
             # Address generation only; the write happens when the store drains.
@@ -292,9 +318,11 @@ class PipelineBase:
         inst.complete_cycle = self.cycle
         if inst.phys_dest is not None:
             self.regfile.set_ready(inst.phys_dest)
-            self._long_pregs.discard(inst.phys_dest)
             for waiter in self.wakeup.notify_ready(inst.phys_dest):
                 waiter.iq.mark_ready(waiter)  # type: ignore[attr-defined]
+        if self._hooks_complete:
+            for hook in self._hooks_complete:
+                hook(self, inst)
         self._on_complete(inst)
         if inst.is_branch and inst.mispredicted:
             self._resolve_branch(inst)
@@ -308,12 +336,7 @@ class PipelineBase:
 
     # -- occupancy sampling ------------------------------------------------------------------------
     def _sample_occupancy(self) -> None:
-        self._in_flight_mean.sample(self._in_flight)
-        self._live_mean.sample(self._live)
-        self._live_fp_long_mean.sample(self._live_fp_long)
-        self._live_fp_short_mean.sample(self._live_fp_short)
-        self._in_flight_dist.sample(self._in_flight)
-        self._live_dist.sample(self._live)
+        """Per-structure occupancy; window occupancy lives in OccupancyProbe."""
         self.int_queue.sample_occupancy()
         self.fp_queue.sample_occupancy()
         self.lsq.sample_occupancy()
@@ -325,29 +348,33 @@ class PipelineBase:
         self._last_commit_cycle = self.cycle
 
     def _deadlock_report(self) -> str:
+        in_flight = self.occupancy.in_flight if self.occupancy is not None else "n/a"
         return (
             f"{self.mode} pipeline made no commit progress for "
             f"{self.config.deadlock_cycles} cycles at cycle {self.cycle}: "
             f"committed={self.committed}/{self.total_instructions}, "
-            f"in_flight={self._in_flight}, int_iq={self.int_queue.occupancy}, "
+            f"in_flight={in_flight}, int_iq={self.int_queue.occupancy}, "
             f"fp_iq={self.fp_queue.occupancy}, lsq={self.lsq.occupancy}, "
             f"fetch_buffer={len(self.fetch_buffer)}, "
             f"frontend_stalled={self.frontend.stalled}"
         )
 
 
+@register_machine(
+    "baseline",
+    description="conventional Table-1 machine: ROB-bounded window, in-order commit",
+)
 class BaselinePipeline(PipelineBase):
     """The conventional machine of Table 1: ROB + in-order commit."""
-
-    mode = "baseline"
 
     def __init__(
         self,
         config: ProcessorConfig,
         trace: Trace,
         stats: Optional[StatsRegistry] = None,
+        probes: Optional[Sequence[Probe]] = None,
     ) -> None:
-        super().__init__(config, trace, stats)
+        super().__init__(config, trace, stats, probes)
         self.renamer = MapTableRenamer(self.regfile, self.stats)
         self.rob = ReorderBuffer(config.core.rob_size, self.stats)
         self._rob_occupancy_mean = self.stats.running_mean("rob.occupancy")
@@ -401,7 +428,7 @@ class BaselinePipeline(PipelineBase):
                 self._exceptions_delivered.add()
             inst.state = InstState.COMMITTED
             inst.commit_cycle = self.cycle
-            self._leave_window(inst)
+            self._retire_from_window(inst)
             self._note_commit()
 
     # -- misprediction recovery ------------------------------------------------------
@@ -425,18 +452,24 @@ class BaselinePipeline(PipelineBase):
         self._rob_occupancy_mean.sample(self.rob.occupancy)
 
 
+@register_machine(
+    "cooo",
+    description="the paper's machine: checkpointed out-of-order commit + SLIQ",
+    cli_config=cooo_cli_config,
+)
 class OoOCommitPipeline(PipelineBase):
     """The paper's machine: checkpointed out-of-order commit plus SLIQ."""
 
-    mode = "cooo"
+    supports_late_allocation = True
 
     def __init__(
         self,
         config: ProcessorConfig,
         trace: Trace,
         stats: Optional[StatsRegistry] = None,
+        probes: Optional[Sequence[Probe]] = None,
     ) -> None:
-        super().__init__(config, trace, stats)
+        super().__init__(config, trace, stats, probes)
         self.renamer = CAMRenamer(self.regfile, self.stats)
         self.checkpoints = CheckpointTable(config.checkpoint.table_size, self.stats)
         self.policy = CheckpointPolicy(config.checkpoint)
@@ -530,7 +563,7 @@ class OoOCommitPipeline(PipelineBase):
             return not self.checkpoints.is_empty
         snapshot = self.renamer.take_snapshot()
         harvested = self.renamer.harvest_future_free()
-        self.checkpoints.create(
+        checkpoint = self.checkpoints.create(
             resume_index=inst.trace_index,
             resume_seq=inst.seq,
             snapshot=snapshot,
@@ -538,6 +571,9 @@ class OoOCommitPipeline(PipelineBase):
             cycle=self.cycle,
         )
         self.policy.checkpoint_taken()
+        if self._hooks_checkpoint:
+            for hook in self._hooks_checkpoint:
+                hook(self, checkpoint)
         return True
 
     def _ensure_pseudo_rob_space(self) -> bool:
@@ -842,7 +878,7 @@ class OoOCommitPipeline(PipelineBase):
                 # Exceptions were delivered at the careful-mode completion;
                 # nothing more to do here.
                 pass
-            self._leave_window(inst)
+            self._retire_from_window(inst)
         committed_now = checkpoint.instruction_count
         popped = self.checkpoints.pop_oldest()
         assert popped is checkpoint
@@ -924,10 +960,19 @@ def build_pipeline(
     config: ProcessorConfig,
     trace: Trace,
     stats: Optional[StatsRegistry] = None,
+    probes: Optional[Sequence[Probe]] = None,
 ) -> PipelineBase:
-    """Factory selecting the machine implied by ``config.mode``."""
-    if config.mode == "baseline":
-        return BaselinePipeline(config, trace, stats)
-    if config.mode == "cooo":
-        return OoOCommitPipeline(config, trace, stats)
-    raise SimulationError(f"unknown processor mode {config.mode!r}")
+    """Deprecated factory; use :func:`repro.core.registry_machines.create_pipeline`.
+
+    Selects the registered machine implied by ``config.mode``; kept as a
+    shim so pre-registry callers keep working.
+    """
+    warnings.warn(
+        "build_pipeline() is deprecated; use repro.api.Simulation or "
+        "repro.core.registry_machines.create_pipeline()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .registry_machines import create_pipeline
+
+    return create_pipeline(config, trace, stats, probes=probes or ())

@@ -1,0 +1,211 @@
+"""The probe/observer API: watch a pipeline without touching its timing.
+
+A :class:`Probe` is attached to a pipeline (via ``repro.api.Simulation``,
+:func:`repro.core.registry_machines.create_pipeline`, or
+``PipelineBase.attach_probe``) and receives events as the machine runs:
+
+``on_attach(pipeline)``
+    Once, when the probe is bound to a freshly built pipeline.  This is
+    where a probe registers its statistics and initialises state.
+``on_cycle(pipeline)``
+    Once per simulated cycle, after every stage has run.
+``on_dispatch(pipeline, inst)``
+    An instruction entered the window (renamed + queued).
+``on_issue(pipeline, inst)``
+    An instruction left an issue queue for a functional unit.
+``on_complete(pipeline, inst)``
+    An instruction wrote back (its result became available).
+``on_commit(pipeline, inst)``
+    An instruction retired architecturally (ROB head or checkpoint
+    commit, depending on the machine).
+``on_squash(pipeline, inst)``
+    An instruction was discarded by misprediction/exception recovery.
+    Fired *before* the instruction's bookkeeping is torn down, so its
+    ``dispatch_cycle`` / ``issue_cycle`` fields still describe the state
+    it died in.
+``on_checkpoint(pipeline, checkpoint)``
+    A machine with a checkpoint table opened a new checkpoint.
+
+Probes are pure observers: the simulated machine never reads anything
+back from them, so attaching any combination of probes cannot change
+cycles, IPC, or any functional statistic.  The pipeline binds only the
+hooks a probe actually overrides, and each emission site is guarded by
+an emptiness check — with no probes attached the per-event cost is a
+single falsy test (the "no-probe fast path" guarded by
+``benchmarks/test_bench_probe_overhead.py``).
+
+The occupancy/liveness accounting behind Figures 7 and 11 is itself a
+probe (:class:`OccupancyProbe`) that pipelines attach by default, so a
+default-constructed machine produces exactly the statistics it always
+has.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from ..isa.instruction import DynInst
+from ..isa.opcodes import is_fp
+
+
+class Probe:
+    """Base observer; subclass and override the events you care about."""
+
+    def on_attach(self, pipeline) -> None:
+        """Bound to ``pipeline``; register stats / initialise state here."""
+
+    def on_cycle(self, pipeline) -> None:
+        """One simulated cycle finished."""
+
+    def on_dispatch(self, pipeline, inst: DynInst) -> None:
+        """``inst`` entered the window."""
+
+    def on_issue(self, pipeline, inst: DynInst) -> None:
+        """``inst`` left its issue queue for execution."""
+
+    def on_complete(self, pipeline, inst: DynInst) -> None:
+        """``inst`` wrote back."""
+
+    def on_commit(self, pipeline, inst: DynInst) -> None:
+        """``inst`` retired architecturally."""
+
+    def on_squash(self, pipeline, inst: DynInst) -> None:
+        """``inst`` is about to be discarded by recovery."""
+
+    def on_checkpoint(self, pipeline, checkpoint) -> None:
+        """A new checkpoint was opened."""
+
+
+#: Event names a pipeline dispatches (``on_attach`` is bind-time only).
+PROBE_EVENTS = (
+    "on_cycle",
+    "on_dispatch",
+    "on_issue",
+    "on_complete",
+    "on_commit",
+    "on_squash",
+    "on_checkpoint",
+)
+
+
+def hook_for(probe: Probe, event: str) -> Optional[Callable]:
+    """The callable to invoke for ``event``, or None if not overridden.
+
+    Only hooks a probe actually implements are bound, so a probe that
+    watches one event costs nothing on the other six.  Instance
+    attributes (e.g. :class:`CallbackProbe`) shadow class methods.
+    """
+    if event in getattr(probe, "__dict__", ()):
+        fn = probe.__dict__[event]
+        return fn if callable(fn) else None
+    fn = getattr(probe, event, None)
+    if fn is None or not callable(fn):
+        return None
+    if getattr(type(probe), event, None) is getattr(Probe, event, None):
+        return None  # inherited no-op
+    return fn
+
+
+class CallbackProbe(Probe):
+    """Adapter turning plain callables into a probe.
+
+    Example::
+
+        probe = CallbackProbe(on_commit=lambda pipe, inst: commits.append(inst.seq))
+    """
+
+    def __init__(self, **callbacks: Callable) -> None:
+        unknown = sorted(set(callbacks) - set(PROBE_EVENTS) - {"on_attach"})
+        if unknown:
+            raise TypeError(f"unknown probe events {unknown}; valid: {sorted(PROBE_EVENTS)}")
+        for event, fn in callbacks.items():
+            setattr(self, event, fn)
+
+
+class OccupancyProbe(Probe):
+    """Window occupancy and liveness accounting (Figures 7 and 11).
+
+    Tracks how many instructions are in flight, how many are *live*
+    (dispatched but not yet issued), and splits the live FP population
+    into blocked-behind-a-long-latency-load vs. short chains.  Attached
+    by default to every pipeline; its statistics
+    (``occupancy.in_flight``, ``occupancy.live`` and friends) feed
+    :class:`~repro.core.result.SimulationResult.mean_in_flight` and the
+    occupancy percentile analysis.
+    """
+
+    def on_attach(self, pipeline) -> None:
+        stats = pipeline.stats
+        self.in_flight = 0
+        self.live = 0
+        self.live_fp_long = 0
+        self.live_fp_short = 0
+        self.long_pregs: Set[int] = set()
+        self._in_flight_mean = stats.running_mean("occupancy.in_flight")
+        self._live_mean = stats.running_mean("occupancy.live")
+        self._live_fp_long_mean = stats.running_mean("occupancy.live_fp_long")
+        self._live_fp_short_mean = stats.running_mean("occupancy.live_fp_short")
+        self._in_flight_dist = stats.distribution("occupancy.in_flight_dist")
+        self._live_dist = stats.distribution("occupancy.live_dist")
+        # The deadlock report quotes the in-flight count when available.
+        pipeline.occupancy = self
+
+    def on_dispatch(self, pipeline, inst: DynInst) -> None:
+        self.in_flight += 1
+        self.live += 1
+        blocked_long = any(p in self.long_pregs for p in inst.phys_srcs)
+        if blocked_long and inst.phys_dest is not None:
+            self.long_pregs.add(inst.phys_dest)
+        live_class = None
+        if is_fp(inst.op):
+            live_class = "fp_long" if blocked_long else "fp_short"
+            if blocked_long:
+                self.live_fp_long += 1
+            else:
+                self.live_fp_short += 1
+        inst.live_class = live_class  # type: ignore[attr-defined]
+
+    def _leave_live(self, inst: DynInst) -> None:
+        self.live -= 1
+        live_class = getattr(inst, "live_class", None)
+        if live_class == "fp_long":
+            self.live_fp_long -= 1
+        elif live_class == "fp_short":
+            self.live_fp_short -= 1
+        inst.live_class = None  # type: ignore[attr-defined]
+
+    def on_issue(self, pipeline, inst: DynInst) -> None:
+        self._leave_live(inst)
+        # A load that just discovered an L2 miss poisons its destination:
+        # consumers dispatched from here on count as blocked-long.
+        if inst.l2_miss and inst.phys_dest is not None:
+            self.long_pregs.add(inst.phys_dest)
+
+    def on_complete(self, pipeline, inst: DynInst) -> None:
+        if inst.phys_dest is not None:
+            self.long_pregs.discard(inst.phys_dest)
+
+    def on_commit(self, pipeline, inst: DynInst) -> None:
+        self.in_flight -= 1
+
+    def on_squash(self, pipeline, inst: DynInst) -> None:
+        was_dispatched = inst.dispatch_cycle is not None
+        if was_dispatched and inst.issue_cycle is None:
+            self._leave_live(inst)
+        if was_dispatched:
+            self.in_flight -= 1
+        if inst.phys_dest is not None:
+            self.long_pregs.discard(inst.phys_dest)
+
+    def on_cycle(self, pipeline) -> None:
+        self._in_flight_mean.sample(self.in_flight)
+        self._live_mean.sample(self.live)
+        self._live_fp_long_mean.sample(self.live_fp_long)
+        self._live_fp_short_mean.sample(self.live_fp_short)
+        self._in_flight_dist.sample(self.in_flight)
+        self._live_dist.sample(self.live)
+
+
+def default_probes() -> List[Probe]:
+    """The probes every pipeline attaches unless told otherwise."""
+    return [OccupancyProbe()]

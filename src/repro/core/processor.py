@@ -1,43 +1,57 @@
-"""The user-facing simulator facade.
+"""Deprecated entry points, kept as thin shims over :mod:`repro.api`.
 
-:class:`Processor` ties a :class:`~repro.common.config.ProcessorConfig`
-to a trace and runs it to completion; :func:`simulate` is the one-call
-convenience wrapper most examples and experiments use.
+:class:`Processor` and :func:`simulate` predate the unified facade;
+they still work (and are exercised by the test suite) but emit
+:class:`DeprecationWarning` and simply delegate.  New code should use
+``repro.api.Simulation`` / ``repro.api.run``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Mapping, Optional
 
 from ..common.config import ProcessorConfig
 from ..common.stats import StatsRegistry, arithmetic_mean
 from ..trace.trace import Trace
-from .pipeline import PipelineBase, build_pipeline
+from .pipeline import PipelineBase
+from .registry_machines import create_pipeline
 from .result import SimulationResult
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}", DeprecationWarning, stacklevel=3
+    )
+
+
 class Processor:
-    """One configured machine, ready to run traces."""
+    """Deprecated: one configured machine (use ``repro.api.Simulation``)."""
 
     def __init__(self, config: ProcessorConfig) -> None:
         self.config = config.validate()
 
     def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimulationResult:
-        """Simulate ``trace`` to completion on a fresh pipeline instance."""
-        pipeline = self.pipeline(trace)
-        return pipeline.run(max_cycles=max_cycles)
+        """Deprecated: simulate ``trace`` (use ``repro.api.run``)."""
+        _deprecated("Processor.run()", "repro.api.run() / repro.api.Simulation.run()")
+        from ..api import Simulation
+
+        return Simulation(self.config, max_cycles=max_cycles).run(trace)
 
     def pipeline(self, trace: Trace, stats: Optional[StatsRegistry] = None) -> PipelineBase:
         """Build (but do not run) the pipeline — useful for step-by-step tests."""
-        return build_pipeline(self.config, trace, stats)
+        return create_pipeline(self.config, trace, stats)
 
     def run_suite(
         self,
         traces: Mapping[str, Trace],
         max_cycles: Optional[int] = None,
     ) -> Dict[str, SimulationResult]:
-        """Run every trace of a suite; results are keyed by workload name."""
-        return {name: self.run(trace, max_cycles=max_cycles) for name, trace in traces.items()}
+        """Deprecated: run a suite (use ``repro.api.Simulation.run_suite``)."""
+        _deprecated("Processor.run_suite()", "repro.api.Simulation.run_suite()")
+        from ..api import Simulation
+
+        return Simulation(self.config, max_cycles=max_cycles).run_suite(traces)
 
 
 def simulate(
@@ -45,8 +59,11 @@ def simulate(
     trace: Trace,
     max_cycles: Optional[int] = None,
 ) -> SimulationResult:
-    """Run one trace on one configuration and return the result."""
-    return Processor(config).run(trace, max_cycles=max_cycles)
+    """Deprecated: run one trace on one configuration (use ``repro.api.run``)."""
+    _deprecated("simulate()", "repro.api.run()")
+    from ..api import Simulation
+
+    return Simulation(config, max_cycles=max_cycles).run(trace)
 
 
 def average_ipc(results: Iterable[SimulationResult]) -> float:

@@ -13,9 +13,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.report import format_table
+from ..api import Simulation
 from ..common.config import ProcessorConfig
 from ..common.stats import arithmetic_mean
-from ..core.processor import Processor
 from ..core.result import SimulationResult
 from ..trace.trace import Trace
 from ..workloads.suite import get_suite
@@ -48,8 +48,7 @@ def run_config(
     traces: Mapping[str, Trace],
 ) -> Dict[str, SimulationResult]:
     """Run one configuration over every trace of a suite."""
-    processor = Processor(config)
-    return {name: processor.run(trace) for name, trace in traces.items()}
+    return Simulation(config).run_suite(traces)
 
 
 def suite_ipc(results: Mapping[str, SimulationResult]) -> float:

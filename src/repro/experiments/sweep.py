@@ -46,8 +46,8 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import __version__ as SIMULATOR_VERSION
+from ..api import Simulation
 from ..common.config import ProcessorConfig
-from ..core.processor import Processor
 from ..core.result import SimulationResult
 from ..trace.trace import Trace
 from ..workloads.suite import get_suite
@@ -264,7 +264,7 @@ def _simulate_cell(task: Tuple[Dict[str, object], str, float, str]) -> Simulatio
     config_data, suite, scale, workload = task
     config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
     trace = _worker_trace(suite, scale, workload)
-    return Processor(config).run(trace)
+    return Simulation(config).run(trace)
 
 
 # ---------------------------------------------------------------------------
@@ -309,9 +309,10 @@ class SweepOutcome:
 class SweepEngine:
     """Executes :class:`SweepSpec`s, optionally in parallel and cached.
 
-    ``jobs=1`` runs in-process with the same trace cache and per-config
-    ``Processor`` reuse as the original figure loops, so its output is
-    bit-identical to the pre-engine implementation.  ``jobs>1`` fans the
+    Every cell executes through :class:`repro.api.Simulation` (the
+    unified facade).  ``jobs=1`` runs in-process with the same trace
+    cache and per-config reuse as the original figure loops, so its
+    output is bit-identical to the pre-engine implementation.  ``jobs>1`` fans the
     uncached cells out over a process pool; because the simulator is
     deterministic pure Python, parallel results equal serial ones.
     ``jobs=None`` uses every available CPU.
@@ -363,15 +364,15 @@ class SweepEngine:
     ) -> None:
         traces = suite_traces(spec.scale, spec.suite, spec.workloads)
         done = sum(1 for slot in slots if slot is not None)
-        processor: Optional[Processor] = None
-        processor_config: Optional[ProcessorConfig] = None
+        simulation: Optional[Simulation] = None
+        simulation_config: Optional[ProcessorConfig] = None
         for cell in cells:
             if slots[cell.index] is not None:
                 continue
-            if processor is None or processor_config is not cell.config:
-                processor = Processor(cell.config)
-                processor_config = cell.config
-            result = processor.run(traces[cell.workload])
+            if simulation is None or simulation_config is not cell.config:
+                simulation = Simulation(cell.config)
+                simulation_config = cell.config
+            result = simulation.run(traces[cell.workload])
             slots[cell.index] = result
             if self.cache is not None:
                 self.cache.store(keys[cell.index], result)

@@ -4,8 +4,10 @@ import pytest
 
 from repro.common.config import scaled_baseline, table1_baseline
 from repro.common.errors import SimulationError
-from repro.core.pipeline import BaselinePipeline, build_pipeline
-from repro.core.processor import Processor, simulate
+from repro.core.pipeline import BaselinePipeline
+from repro.core.registry_machines import create_pipeline
+from repro.api import run as simulate
+from repro.core.processor import Processor
 from repro.isa import registers as regs
 from repro.isa.instruction import InstState
 from repro.isa.opcodes import OpClass
@@ -39,17 +41,18 @@ class TestBasicExecution:
         assert result.cycles >= 40 * 2
 
     def test_build_pipeline_factory(self, fast_baseline_config, compute_trace):
-        pipeline = build_pipeline(fast_baseline_config, compute_trace)
+        pipeline = create_pipeline(fast_baseline_config, compute_trace)
         assert isinstance(pipeline, BaselinePipeline)
 
     def test_max_cycles_guard(self, fast_baseline_config, small_daxpy_trace):
-        pipeline = build_pipeline(fast_baseline_config, small_daxpy_trace)
+        pipeline = create_pipeline(fast_baseline_config, small_daxpy_trace)
         with pytest.raises(SimulationError):
             pipeline.run(max_cycles=3)
 
     def test_processor_run_suite(self, fast_baseline_config, compute_trace, miss_probe_trace):
         processor = Processor(fast_baseline_config)
-        results = processor.run_suite({"a": compute_trace, "b": miss_probe_trace})
+        with pytest.warns(DeprecationWarning):
+            results = processor.run_suite({"a": compute_trace, "b": miss_probe_trace})
         assert set(results) == {"a", "b"}
         assert all(r.committed_instructions > 0 for r in results.values())
 
@@ -144,14 +147,14 @@ class TestAccountingInvariants:
         assert result.fetched_instructions >= result.committed_instructions
 
     def test_in_flight_returns_to_zero(self, fast_baseline_config, small_daxpy_trace):
-        pipeline = build_pipeline(fast_baseline_config, small_daxpy_trace)
+        pipeline = create_pipeline(fast_baseline_config, small_daxpy_trace)
         pipeline.run()
-        assert pipeline._in_flight == 0
-        assert pipeline._live == 0
+        assert pipeline.occupancy.in_flight == 0
+        assert pipeline.occupancy.live == 0
         assert pipeline.rob.is_empty
 
     def test_all_registers_recoverable(self, fast_baseline_config, small_daxpy_trace):
-        pipeline = build_pipeline(fast_baseline_config, small_daxpy_trace)
+        pipeline = create_pipeline(fast_baseline_config, small_daxpy_trace)
         pipeline.run()
         # Every renamed destination was either freed or is the architectural
         # mapping: exactly NUM_LOGICAL_REGS registers stay in use.

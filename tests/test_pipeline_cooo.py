@@ -3,8 +3,9 @@
 import pytest
 
 from repro.common.config import cooo_config, scaled_baseline
-from repro.core.pipeline import OoOCommitPipeline, build_pipeline
-from repro.core.processor import simulate
+from repro.core.pipeline import OoOCommitPipeline
+from repro.core.registry_machines import create_pipeline
+from repro.api import run as simulate
 from repro.isa import registers as regs
 from repro.isa.instruction import RetireClass
 from repro.isa.opcodes import OpClass
@@ -20,7 +21,7 @@ class TestBasicExecution:
         assert 0 < result.ipc <= 4.0
 
     def test_factory_builds_cooo(self, fast_cooo_config, compute_trace):
-        assert isinstance(build_pipeline(fast_cooo_config, compute_trace), OoOCommitPipeline)
+        assert isinstance(create_pipeline(fast_cooo_config, compute_trace), OoOCommitPipeline)
 
     def test_memory_bound_trace_completes(self, fast_cooo_config, small_daxpy_trace):
         result = simulate(fast_cooo_config, small_daxpy_trace)
@@ -45,17 +46,17 @@ class TestBasicExecution:
 
 class TestCheckpointing:
     def test_checkpoints_created_and_committed(self, fast_cooo_config, small_daxpy_trace):
-        pipeline = build_pipeline(fast_cooo_config, small_daxpy_trace)
+        pipeline = create_pipeline(fast_cooo_config, small_daxpy_trace)
         result = pipeline.run()
         created = result.stat("checkpoint.created")
         committed = result.stat("checkpoint.committed")
         assert created >= len(small_daxpy_trace) / 600
         assert committed >= created - fast_cooo_config.checkpoint.table_size
-        assert pipeline._in_flight == 0
+        assert pipeline.occupancy.in_flight == 0
 
     def test_checkpoint_occupancy_bounded_by_table(self, small_daxpy_trace):
         config = cooo_config(iq_size=16, sliq_size=128, checkpoints=4, memory_latency=100)
-        pipeline = build_pipeline(config, small_daxpy_trace)
+        pipeline = create_pipeline(config, small_daxpy_trace)
         pipeline.run()
         assert pipeline.checkpoints.occupancy <= 4
 
@@ -166,11 +167,11 @@ class TestRecovery:
     def test_register_accounting_survives_recovery(self):
         trace = branchy_integer(iterations=100, taken_probability=0.5)
         config = cooo_config(iq_size=16, sliq_size=128, checkpoints=4, memory_latency=200)
-        pipeline = build_pipeline(config, trace)
+        pipeline = create_pipeline(config, trace)
         pipeline.run()
         assert pipeline.regfile.in_use_count >= regs.NUM_LOGICAL_REGS
         # nothing left in flight
-        assert pipeline._in_flight == 0
+        assert pipeline.occupancy.in_flight == 0
         assert pipeline.int_queue.occupancy == 0
         assert pipeline.fp_queue.occupancy == 0
         assert pipeline.lsq.occupancy == 0
@@ -228,7 +229,7 @@ class TestLateAllocation:
             iq_size=64, sliq_size=512, memory_latency=300,
             virtual_tags=512, physical_registers=256, late_allocation=True,
         )
-        pipeline = build_pipeline(config, trace)
+        pipeline = create_pipeline(config, trace)
         result = pipeline.run()
         assert result.committed_instructions == len(trace)
         assert 0 < result.stat("prf.late_alloc_peak") <= 256

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import MemoryConfig, scaled_baseline
 from repro.common.errors import ConfigurationError
-from repro.core.processor import simulate
+from repro.api import run as simulate
 from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.prefetch import NextLinePrefetcher, StridePrefetcher, build_prefetcher
 from repro.workloads import daxpy, random_gather

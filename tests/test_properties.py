@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.common.config import CacheConfig, cooo_config, scaled_baseline
 from repro.common.stats import StatsRegistry, WeightedDistribution, percentile
 from repro.core.cam_rename import CAMRenamer
-from repro.core.processor import simulate
+from repro.api import run as simulate
 from repro.core.regfile import PhysicalRegisterFile
 from repro.isa import registers as regs
 from repro.isa.instruction import DynInst, Instruction

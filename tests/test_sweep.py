@@ -59,7 +59,7 @@ class TestConfigSerialization:
 
 class TestResultSerialization:
     def test_roundtrip_through_json(self):
-        from repro.core.processor import simulate
+        from repro.api import run as simulate
         from repro.workloads import numerical
 
         result = simulate(
