@@ -1,0 +1,76 @@
+"""Benchmark guard: loading a saved trace must beat regenerating it.
+
+The whole point of trace file I/O (:mod:`repro.trace.io`) is that an
+expensive trace is generated once and replayed across sweeps.  That
+only holds if loading is actually faster than regenerating, so this
+benchmark builds the full default suite at the default figure scale
+(``DEFAULT_SCALE``), saves it, and requires load-from-file to be at
+least 2x faster than generation.
+
+The speedup comes from the deduplicating format: traces are unrolled
+loops, so most dynamic instructions repeat an earlier record exactly
+and the loader constructs only the distinct ones (sharing the frozen
+``Instruction`` instances), while generation constructs every dynamic
+instruction from scratch.
+
+Rounds are interleaved (generate, load, generate, load, ...) and each
+side keeps its best, so a scheduler hiccup hits both alike.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.runner import DEFAULT_SCALE
+from repro.trace.io import load_trace, save_trace, trace_info
+from repro.workloads.registry import get_suite
+
+#: Required speedup of cached loading over regeneration.
+MIN_SPEEDUP = 2.0
+ROUNDS = 5
+SUITE = "spec2000fp_like"
+
+
+def _generate():
+    return get_suite(SUITE).build(DEFAULT_SCALE)
+
+
+def _interleaved_best(paths, rounds: int = ROUNDS):
+    """Best-of-N wall clock for suite generation and suite loading."""
+    best_generate = best_load = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        generated = _generate()
+        best_generate = min(best_generate, time.perf_counter() - start)
+        start = time.perf_counter()
+        loaded = {name: load_trace(path) for name, path in paths.items()}
+        best_load = min(best_load, time.perf_counter() - start)
+    return best_generate, best_load, generated, loaded
+
+
+def test_bench_load_beats_regeneration(benchmark, tmp_path):
+    traces = _generate()
+    paths = {
+        name: save_trace(trace, tmp_path / f"{name}.trace.gz")
+        for name, trace in traces.items()
+    }
+    t_generate, t_load, generated, loaded = run_once(
+        benchmark, lambda: _interleaved_best(paths)
+    )
+    # Fidelity half of the guard: the fast path must load the same trace.
+    for name in generated:
+        assert loaded[name].to_jsonl() == generated[name].to_jsonl()
+    assert t_load * MIN_SPEEDUP <= t_generate, (
+        f"loading the {SUITE} suite took {t_load:.4f}s vs. {t_generate:.4f}s to "
+        f"regenerate (< {MIN_SPEEDUP:.0f}x speedup); the trace cache is not "
+        f"pulling its weight"
+    )
+    total = sum(len(trace) for trace in generated.values())
+    distinct = sum(trace_info(path)["distinct_instructions"] for path in paths.values())
+    print(
+        f"\nload {t_load:.4f}s vs generate {t_generate:.4f}s "
+        f"({t_generate / t_load:.1f}x), {total} instructions "
+        f"({100 * distinct / total:.0f}% distinct)"
+    )

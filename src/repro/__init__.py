@@ -63,7 +63,18 @@ from .core.registry_machines import (
 from .core.result import SimulationResult
 from .isa.instruction import DynInst, InstState, Instruction, RetireClass
 from .isa.opcodes import OpClass
+from .trace.io import load_trace, save_trace, trace_info
 from .trace.trace import Trace, TraceCursor
+from .workloads.registry import (
+    WorkloadSpec,
+    build_workload,
+    get_workload,
+    register_suite,
+    register_workload,
+    suite_names,
+    workload_names,
+)
+from .workloads.scenario import Phase, Scenario, interleave
 from .workloads.suite import get_suite, integer_suite, spec2000fp_like
 
 # The facade imports experiment modules lazily; importing it last keeps
@@ -124,8 +135,21 @@ __all__ = [
     "OpClass",
     "Trace",
     "TraceCursor",
+    "load_trace",
+    "save_trace",
+    "trace_info",
+    "Phase",
+    "Scenario",
+    "WorkloadSpec",
+    "build_workload",
     "get_suite",
+    "get_workload",
     "integer_suite",
+    "interleave",
+    "register_suite",
+    "register_workload",
     "spec2000fp_like",
+    "suite_names",
+    "workload_names",
     "__version__",
 ]

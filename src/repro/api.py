@@ -19,16 +19,24 @@ user code::
 
     grid = api.run_many([cfg_a, cfg_b], suite="spec2000fp_like", jobs=4)
 
-Three layers sit underneath:
+Four layers sit underneath:
 
 * the **machine registry** (:mod:`repro.core.registry_machines`) maps
   ``config.mode`` to a registered pipeline class — new machines plug in
   via ``@register_machine`` with no edits here;
+* the **workload registry** (:mod:`repro.workloads.registry`) maps
+  workload and suite names to parameterized trace generators — new
+  scenarios plug in via ``@register_workload``/``register_suite`` and
+  are immediately sweepable (``run_many(suite="my-suite")``);
 * the **probe API** (:mod:`repro.core.probes`) attaches observers to a
   pipeline without touching its timing;
 * the **sweep engine** (:mod:`repro.experiments.sweep`) executes
   (config × workload) grids in parallel with a persistent result cache;
   :func:`run_many` is its friendly face.
+
+Traces themselves round-trip through versioned gzip-JSON files
+(:func:`save_trace`/:func:`load_trace`, ``repro trace`` on the command
+line), so expensive workloads are generated once and replayed.
 
 ``repro.core.processor.Processor`` and ``simulate`` remain as
 deprecation shims over this module.
@@ -51,7 +59,23 @@ from .core.registry_machines import (
     unregister_machine,
 )
 from .core.result import SimulationResult
+from .trace.io import load_trace, save_trace, trace_info
 from .trace.trace import Trace
+from .workloads.registry import (
+    SuiteSpec,
+    WorkloadSpec,
+    build_workload,
+    get_suite,
+    get_workload,
+    register_suite,
+    register_workload,
+    suite_names,
+    suite_specs,
+    unregister_suite,
+    unregister_workload,
+    workload_names,
+    workload_specs,
+)
 
 #: Cycles between ``progress`` callbacks (overridable per Simulation).
 DEFAULT_PROGRESS_INTERVAL = 8192
@@ -241,12 +265,28 @@ __all__ = [
     "OccupancyProbe",
     "Probe",
     "Simulation",
+    "SuiteSpec",
+    "WorkloadSpec",
+    "build_workload",
     "create_pipeline",
     "get_machine",
+    "get_suite",
+    "get_workload",
+    "load_trace",
     "machine_names",
     "machine_specs",
     "register_machine",
+    "register_suite",
+    "register_workload",
     "run",
     "run_many",
+    "save_trace",
+    "suite_names",
+    "suite_specs",
+    "trace_info",
     "unregister_machine",
+    "unregister_suite",
+    "unregister_workload",
+    "workload_names",
+    "workload_specs",
 ]

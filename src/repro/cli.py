@@ -1,11 +1,12 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 ``simulate``
     Run one machine configuration over one workload (or a whole suite) and
     print the per-run statistics.  ``--machine`` accepts any registered
-    machine organization (see ``repro modes``), not just the paper's two.
+    machine organization (see ``repro modes``); ``--workload``/``--suite``
+    accept any registered workload or suite (see ``repro workloads``).
 
 ``experiment``
     Regenerate one of the paper's figures (or the checkpoint-policy
@@ -13,20 +14,33 @@ Five subcommands cover the common workflows:
     engine: ``--jobs N`` simulates grid cells on N worker processes and a
     persistent result cache (``--cache-dir``, disable with ``--no-cache``)
     skips cells that were already simulated with identical parameters.
+    ``--suite`` swaps the workload suite under the figure's machine grid.
 
 ``sweep``
     Regenerate one or more experiments (or ``all``) through the sweep
     engine with per-cell progress reporting — the bulk way to rebuild the
-    whole evaluation section.
+    whole evaluation section.  With ``--suite`` and no experiment names,
+    sweeps a standard machine-comparison grid over that suite instead.
+
+``trace``
+    Save, inspect and replay trace files (versioned gzip-JSON): generate
+    a workload or suite once with ``trace save``, check headers with
+    ``trace info``, and simulate saved files with ``trace run``.
 
 ``list``
     Show the available workloads (with behavioral descriptions), suites
     and experiments.
 
+``workloads``
+    Show every registered workload with its knobs and base size, and
+    every registered suite with its members (mirrors ``repro modes``).
+    Workloads are pluggable: anything registered through
+    :func:`repro.workloads.registry.register_workload` appears here and
+    in ``--workload``/``--suite`` automatically.
+
 ``modes``
     Show every registered machine organization with a one-line
-    description (mirrors ``repro list`` for workloads).  Machines are
-    pluggable: anything registered through
+    description.  Machines are pluggable: anything registered through
     :func:`repro.core.registry_machines.register_machine` appears here
     and in ``--machine`` automatically.
 
@@ -34,13 +48,18 @@ Examples::
 
     python -m repro simulate --machine cooo --workload daxpy --memory-latency 1000
     python -m repro simulate --machine baseline --window 128 --suite spec2000fp_like
-    python -m repro simulate --machine unbounded-rob --workload gather
+    python -m repro simulate --machine cooo --suite branch-storm --scale 0.4
     python -m repro experiment figure09 --scale 0.5
-    python -m repro experiment figure09 --jobs 4            # parallel grid
+    python -m repro experiment figure09 --jobs 4 --suite pointer-chase
     python -m repro sweep figure09 figure11 --jobs 8        # two figures, shared cache
     python -m repro sweep all --full --jobs 8 --json out.json
-    python -m repro sweep figure01 --no-cache               # force re-simulation
+    python -m repro sweep --suite server-mix --jobs 4       # machine grid over one suite
+    python -m repro trace save --workload gather --size 4000 --out gather.trace.gz
+    python -m repro trace save --suite pointer-chase --scale 0.6 --out-dir traces/
+    python -m repro trace info traces/chase_cold.trace.gz
+    python -m repro trace run gather.trace.gz --machine cooo --iq-size 64
     python -m repro list
+    python -m repro workloads
     python -m repro modes
 """
 
@@ -50,11 +69,14 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional
 
 from .analysis.report import format_table
 from .api import Simulation
-from .common.config import ProcessorConfig
+from .common.config import ProcessorConfig, cooo_config, scaled_baseline
+from .common.errors import TraceError
 from .core.registry_machines import (
     CLI_DEFAULTS,
     get_machine,
@@ -63,40 +85,39 @@ from .core.registry_machines import (
 )
 from .core.result import SimulationResult
 from .experiments.registry import EXPERIMENTS, available_experiments
-from .experiments.sweep import ResultCache, SweepEngine, default_cache_dir
+from .experiments.sweep import ResultCache, SweepEngine, SweepSpec, default_cache_dir
+from .trace.io import TRACE_SUFFIX, load_trace, save_trace, trace_info
 from .trace.trace import Trace
-from .workloads import integer, numerical
-from .workloads.suite import SUITES, get_suite
+from .workloads.registry import (
+    get_suite,
+    get_workload,
+    suite_names,
+    suite_specs,
+    workload_names,
+    workload_specs,
+)
+
+
+class _WorkloadView(Mapping):
+    """Live ``name -> fn(size)`` view over the workload registry.
+
+    Kept for code written against the original module-level ``WORKLOADS``
+    dict; runtime-registered workloads appear automatically.
+    """
+
+    def __getitem__(self, name: str) -> Callable[[int], Trace]:
+        spec = get_workload(name)
+        return lambda size: spec.build(size=size)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(workload_names())
+
+    def __len__(self) -> int:
+        return len(workload_names())
+
 
 #: Individual workload generators exposed on the command line.
-WORKLOADS: Dict[str, Callable[[int], Trace]] = {
-    "daxpy": lambda n: numerical.daxpy(elements=n),
-    "triad": lambda n: numerical.stream_triad(elements=n),
-    "stencil3": lambda n: numerical.stencil3(elements=n),
-    "reduction": lambda n: numerical.reduction(elements=n),
-    "gather": lambda n: numerical.random_gather(elements=n),
-    "matvec": lambda n: numerical.matvec(rows=max(2, n // 32), cols=32),
-    "blocked": lambda n: numerical.blocked_daxpy(elements=n),
-    "fp_compute": lambda n: numerical.fp_compute_bound(iterations=n),
-    "pointer_chase": lambda n: integer.pointer_chase(hops=n),
-    "branchy_int": lambda n: integer.branchy_integer(iterations=n),
-    "mixed": lambda n: integer.mixed_int_fp(iterations=n),
-}
-
-#: One-line behavioral description per workload, surfaced by ``repro list``.
-WORKLOAD_DESCRIPTIONS: Dict[str, str] = {
-    "daxpy": "streaming y[i] += a*x[i]: independent FP mul-adds, two loads + one store per element",
-    "triad": "STREAM triad a[i] = b[i] + s*c[i]: pure bandwidth-bound streaming, no reuse",
-    "stencil3": "3-point stencil over a vector: strided loads with neighbor reuse, mild dependencies",
-    "reduction": "serial FP sum reduction: one long dependence chain, exposes issue-queue blocking",
-    "gather": "random indirect loads over an 8 MiB table: near-100% cache misses, memory-level parallelism",
-    "matvec": "dense matrix-vector product: row-wise streaming crossed with a per-row reduction",
-    "blocked": "cache-blocked daxpy passes: high reuse, low miss rate, compute/memory balanced",
-    "fp_compute": "FP-heavy loop with almost no memory traffic: bounded by FP unit latency/count",
-    "pointer_chase": "linked-list traversal: serially dependent loads, defeats out-of-order overlap",
-    "branchy_int": "integer loop with data-dependent branches: stresses prediction and rollback",
-    "mixed": "interleaved integer and FP work with moderate branching: a middle-of-the-road blend",
-}
+WORKLOADS: Mapping[str, Callable[[int], Trace]] = _WorkloadView()
 
 
 def build_machine(args: argparse.Namespace) -> ProcessorConfig:
@@ -122,12 +143,19 @@ def _result_row(name: str, result: SimulationResult) -> Dict[str, object]:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = build_machine(args)
-    if args.suite:
-        traces = get_suite(args.suite).build(args.scale)
-    elif args.workload:
-        traces = {args.workload: WORKLOADS[args.workload](args.size)}
-    else:
-        print("error: provide --workload or --suite", file=sys.stderr)
+    # Workload and suite names resolve through the registry at run time,
+    # so registered plugins are usable without parser edits; unknown
+    # names error out listing every registered one (like 'repro modes').
+    try:
+        if args.suite:
+            traces = get_suite(args.suite).build(args.scale)
+        elif args.workload:
+            traces = {args.workload: get_workload(args.workload).build(size=args.size)}
+        else:
+            print("error: provide --workload or --suite", file=sys.stderr)
+            return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     simulation = Simulation(config)
     rows: List[Dict[str, object]] = []
@@ -176,10 +204,26 @@ def _experiment_kwargs(args: argparse.Namespace, runner, engine: SweepEngine) ->
         kwargs["scale"] = args.scale
     if getattr(args, "full", False) and "quick" in runner.__code__.co_varnames:
         kwargs["quick"] = False
+    if getattr(args, "suite", None) and "suite" in runner.__code__.co_varnames:
+        kwargs["suite"] = args.suite
     return kwargs
 
 
+def _validate_suite_argument(args: argparse.Namespace) -> bool:
+    """Resolve an optional --suite up front so unknown names exit cleanly."""
+    suite = getattr(args, "suite", None)
+    if suite:
+        try:
+            get_suite(suite)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return False
+    return True
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
+    if not _validate_suite_argument(args):
+        return 2
     if args.name not in EXPERIMENTS:
         print(
             f"error: unknown experiment {args.name!r}; available: "
@@ -213,7 +257,134 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_filename(name: str) -> str:
+    return f"{name.replace('/', '_')}{TRACE_SUFFIX}"
+
+
+def cmd_trace_save(args: argparse.Namespace) -> int:
+    if args.suite and args.out:
+        print("error: --out applies to --workload; use --out-dir with --suite", file=sys.stderr)
+        return 2
+    if args.workload and args.out_dir:
+        print("error: --out-dir applies to --suite; use --out with --workload", file=sys.stderr)
+        return 2
+    try:
+        if args.suite:
+            traces = get_suite(args.suite).build(args.scale)
+            out_dir = Path(args.out_dir or f"{args.suite}-traces")
+            for name, trace in traces.items():
+                if trace.name != name:  # header carries the member name
+                    trace = Trace(list(trace), name=name)
+                path = save_trace(trace, out_dir / _trace_filename(name))
+                print(f"wrote {path} ({len(trace)} instructions)")
+        elif args.workload:
+            trace = get_workload(args.workload).build(size=args.size)
+            path = save_trace(trace, args.out or _trace_filename(args.workload))
+            print(f"wrote {path} ({len(trace)} instructions)")
+        else:
+            print("error: provide --workload or --suite", file=sys.stderr)
+            return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            header = dict(trace_info(path))
+        except (TraceError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        distinct = header.get("distinct_instructions")
+        sharing = (
+            f", {distinct} distinct ({100 * distinct / header['instructions']:.0f}%)"
+            if isinstance(distinct, int) and distinct > 0
+            else ""
+        )
+        print(
+            f"{path}: {header['name']} v{header['version']} — "
+            f"{header['instructions']} instructions{sharing}"
+        )
+    return status
+
+
+def cmd_trace_run(args: argparse.Namespace) -> int:
+    config = build_machine(args)
+    traces = []
+    for path in args.paths:
+        try:
+            traces.append(load_trace(path))
+        except (TraceError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    simulation = Simulation(config)
+    rows = [_result_row(trace.name, simulation.run(trace)) for trace in traces]
+    print(f"machine: {config.name or config.mode}")
+    print(format_table(rows))
+    return 0
+
+
+#: The standard machine-comparison grid used by ``repro sweep --suite``:
+#: both paper reference baselines plus a small and a large COoO point.
+def _suite_grid_configs(memory_latency: int = 1000) -> List[ProcessorConfig]:
+    return [
+        scaled_baseline(window=128, memory_latency=memory_latency),
+        scaled_baseline(window=4096, memory_latency=memory_latency),
+        cooo_config(iq_size=32, sliq_size=512, memory_latency=memory_latency),
+        cooo_config(iq_size=128, sliq_size=2048, memory_latency=memory_latency),
+    ]
+
+
+def cmd_suite_sweep(args: argparse.Namespace) -> int:
+    """Sweep the standard machine grid over one registered suite."""
+    from .experiments.runner import DEFAULT_SCALE
+
+    try:
+        suite = get_suite(args.suite)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    scale = args.scale if args.scale is not None else DEFAULT_SCALE
+    spec = SweepSpec(f"suite-{args.suite}", _suite_grid_configs(), scale=scale, suite=args.suite)
+    engine = build_engine(args, progress=not args.quiet)
+    outcome = engine.run(spec)
+    rows = []
+    for config, results in outcome.per_config():
+        row: Dict[str, object] = {"config": config.name or config.mode}
+        for workload, result in results.items():
+            row[workload] = round(result.ipc, 4)
+        row["mean_ipc"] = round(sum(r.ipc for r in results.values()) / len(results), 4)
+        rows.append(row)
+    print(f"suite: {args.suite} ({', '.join(suite.names())}) at scale {scale}")
+    print(format_table(rows))
+    print(
+        f"cells: {outcome.simulated} simulated, {outcome.cached} cached "
+        f"in {outcome.elapsed:.1f}s",
+        file=sys.stderr,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"suite": args.suite, "scale": scale, "rows": rows}, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if not _validate_suite_argument(args):
+        return 2
+    if not args.names:
+        if getattr(args, "suite", None):
+            return cmd_suite_sweep(args)
+        print(
+            "error: provide experiment names (see 'repro list'), or --suite "
+            "for a machine-grid sweep over one suite",
+            file=sys.stderr,
+        )
+        return 2
     names: List[str] = []
     for name in args.names:
         if name == "all":
@@ -257,19 +428,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    specs = workload_specs()
     print("workloads:")
-    width = max(len(name) for name in WORKLOADS)
-    for name in sorted(WORKLOADS):
-        description = WORKLOAD_DESCRIPTIONS.get(name, "")
-        print(f"  {name:<{width}}  {description}".rstrip())
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        print(f"  {spec.name:<{width}}  {spec.description}".rstrip())
     print("suites:")
-    for name, suite in SUITES.items():
-        print(f"  {name}: {', '.join(suite.names())}")
+    for name in suite_names():
+        print(f"  {name}: {', '.join(get_suite(name).names())}")
     print("experiments:")
     for name in available_experiments():
         print(f"  {name}")
     print("machines: (see 'repro modes')")
     print(f"  {', '.join(machine_names())}")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    """List every registered workload and suite with its parameters."""
+    specs = workload_specs()
+    width = max(len(spec.name) for spec in specs)
+    print("registered workloads:")
+    for spec in specs:
+        knobs = ", ".join(f"{knob}={value!r}" for knob, value in sorted(spec.knobs.items()))
+        print(f"  {spec.name:<{width}}  base_size={spec.base_size}"
+              + (f"  knobs: {knobs}" if knobs else ""))
+        if spec.description:
+            print(f"  {'':<{width}}  {spec.description}")
+    print("\nregistered suites:")
+    for suite_spec in suite_specs():
+        members = ", ".join(
+            f"{member.name}({member.base_size})" for member in suite_spec.suite
+        )
+        print(f"  {suite_spec.name}: {members}")
+        if suite_spec.description:
+            print(f"    {suite_spec.description}")
+    print(
+        "\nregister more via repro.workloads.registry.register_workload /"
+        " register_suite; any registered name works with 'simulate"
+        " --workload/--suite', 'trace save', repro.api.run_many and the"
+        " sweep engine."
+    )
     return 0
 
 
@@ -295,30 +494,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command")
 
+    def add_machine_arguments(subparser: argparse.ArgumentParser) -> None:
+        # Machine-knob defaults live in the registry (CLI_DEFAULTS) so the
+        # profile builders and the parser can never drift apart.
+        subparser.add_argument(
+            "--machine", choices=machine_names(), default="cooo",
+            help="registered machine organization (see 'repro modes')",
+        )
+        subparser.add_argument("--memory-latency", type=int, default=CLI_DEFAULTS["memory_latency"])
+        subparser.add_argument("--perfect-l2", action="store_true")
+        subparser.add_argument("--window", type=int, default=CLI_DEFAULTS["window"],
+                               help="baseline window size")
+        subparser.add_argument("--iq-size", type=int, default=CLI_DEFAULTS["iq_size"])
+        subparser.add_argument("--sliq-size", type=int, default=CLI_DEFAULTS["sliq_size"])
+        subparser.add_argument("--checkpoints", type=int, default=CLI_DEFAULTS["checkpoints"])
+        subparser.add_argument("--reinsert-delay", type=int, default=CLI_DEFAULTS["reinsert_delay"])
+        subparser.add_argument("--virtual-tags", type=int, default=CLI_DEFAULTS["virtual_tags"])
+        subparser.add_argument("--physical-registers", type=int,
+                               default=CLI_DEFAULTS["physical_registers"])
+        subparser.add_argument("--late-allocation", action="store_true")
+
     simulate = subparsers.add_parser("simulate", help="run one machine over one workload or suite")
-    simulate.add_argument(
-        "--machine", choices=machine_names(), default="cooo",
-        help="registered machine organization (see 'repro modes')",
-    )
-    simulate.add_argument("--workload", choices=sorted(WORKLOADS), default=None)
-    simulate.add_argument("--suite", choices=sorted(SUITES), default=None)
+    # Workload/suite names are validated against the registry at run
+    # time (not argparse choices), so late-registered ones work too.
+    simulate.add_argument("--workload", default=None,
+                          help="registered workload (see 'repro workloads')")
+    simulate.add_argument("--suite", default=None,
+                          help="registered suite (see 'repro workloads')")
     simulate.add_argument("--size", type=int, default=1000,
                           help="workload size parameter (elements/iterations)")
     simulate.add_argument("--scale", type=float, default=0.5, help="suite scale")
-    # Machine-knob defaults live in the registry (CLI_DEFAULTS) so the
-    # profile builders and the parser can never drift apart.
-    simulate.add_argument("--memory-latency", type=int, default=CLI_DEFAULTS["memory_latency"])
-    simulate.add_argument("--perfect-l2", action="store_true")
-    simulate.add_argument("--window", type=int, default=CLI_DEFAULTS["window"],
-                          help="baseline window size")
-    simulate.add_argument("--iq-size", type=int, default=CLI_DEFAULTS["iq_size"])
-    simulate.add_argument("--sliq-size", type=int, default=CLI_DEFAULTS["sliq_size"])
-    simulate.add_argument("--checkpoints", type=int, default=CLI_DEFAULTS["checkpoints"])
-    simulate.add_argument("--reinsert-delay", type=int, default=CLI_DEFAULTS["reinsert_delay"])
-    simulate.add_argument("--virtual-tags", type=int, default=CLI_DEFAULTS["virtual_tags"])
-    simulate.add_argument("--physical-registers", type=int,
-                          default=CLI_DEFAULTS["physical_registers"])
-    simulate.add_argument("--late-allocation", action="store_true")
+    add_machine_arguments(simulate)
     simulate.add_argument("--json", default=None, help="write results to this JSON file")
     simulate.set_defaults(func=cmd_simulate)
 
@@ -347,6 +553,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", help="experiment name (see 'repro list')")
     experiment.add_argument("--scale", type=float, default=None)
     experiment.add_argument("--full", action="store_true", help="use the full parameter grid")
+    experiment.add_argument(
+        "--suite", default=None,
+        help="registered workload suite to run the figure's machines over "
+             "(default: the paper's spec2000fp_like)",
+    )
     experiment.add_argument("--json", default=None, help="write the rows to this JSON file")
     add_engine_arguments(experiment)
     experiment.add_argument(
@@ -358,11 +569,18 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="regenerate experiments through the parallel sweep engine"
     )
     sweep.add_argument(
-        "names", nargs="+", metavar="experiment",
-        help="experiment names (see 'repro list'), or 'all'",
+        "names", nargs="*", metavar="experiment",
+        help="experiment names (see 'repro list'), or 'all'; omit with "
+             "--suite for a machine-grid sweep over one suite",
     )
     sweep.add_argument("--scale", type=float, default=None)
     sweep.add_argument("--full", action="store_true", help="use the full parameter grids")
+    sweep.add_argument(
+        "--suite", default=None,
+        help="registered workload suite: with experiment names, swaps the "
+             "suite under each figure; alone, sweeps the standard machine "
+             "grid over it",
+    )
     sweep.add_argument("--json", default=None, help="write every table to this JSON file")
     add_engine_arguments(sweep)
     sweep.add_argument(
@@ -370,8 +588,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(func=cmd_sweep)
 
+    trace = subparsers.add_parser(
+        "trace", help="save, inspect and replay trace files (gzip-JSON)"
+    )
+    trace_actions = trace.add_subparsers(dest="trace_command")
+
+    trace_save = trace_actions.add_parser(
+        "save", help="generate a workload or suite and save it to trace files"
+    )
+    trace_save.add_argument("--workload", default=None,
+                            help="registered workload (see 'repro workloads')")
+    trace_save.add_argument("--suite", default=None,
+                            help="registered suite: saves one file per member")
+    trace_save.add_argument("--size", type=int, default=1000,
+                            help="workload size parameter (elements/iterations)")
+    trace_save.add_argument("--scale", type=float, default=0.5, help="suite scale")
+    trace_save.add_argument("--out", default=None,
+                            help=f"output file for --workload (default <name>{TRACE_SUFFIX})")
+    trace_save.add_argument("--out-dir", default=None,
+                            help="output directory for --suite (default <suite>-traces/)")
+    trace_save.set_defaults(func=cmd_trace_save)
+
+    trace_info_parser = trace_actions.add_parser(
+        "info", help="print the header of saved trace files"
+    )
+    trace_info_parser.add_argument("paths", nargs="+", metavar="trace-file")
+    trace_info_parser.set_defaults(func=cmd_trace_info)
+
+    trace_run = trace_actions.add_parser(
+        "run", help="simulate one machine over saved trace files"
+    )
+    trace_run.add_argument("paths", nargs="+", metavar="trace-file")
+    add_machine_arguments(trace_run)
+    trace_run.set_defaults(func=cmd_trace_run)
+
     listing = subparsers.add_parser("list", help="list workloads, suites and experiments")
     listing.set_defaults(func=cmd_list)
+
+    workloads_parser = subparsers.add_parser(
+        "workloads", help="list registered workloads and suites with their knobs"
+    )
+    workloads_parser.set_defaults(func=cmd_workloads)
 
     modes = subparsers.add_parser(
         "modes", help="list registered machine organizations"
@@ -383,7 +640,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if not getattr(args, "command", None):
+    if not getattr(args, "command", None) or not hasattr(args, "func"):
+        # No subcommand, or a command group ('trace') without an action.
         parser.print_help()
         return 2
     return args.func(args)

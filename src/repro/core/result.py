@@ -9,6 +9,26 @@ from ..common.config import ProcessorConfig
 from ..common.stats import StatsRegistry, ratio
 
 
+def _restore_int_keys(value: object) -> object:
+    """Undo JSON's stringification of integer dict keys, recursively.
+
+    Stats blobs key distribution weights and histogram buckets by int;
+    after a JSON round trip those keys come back as digit strings.
+    Numeric-looking string keys are therefore assumed to have been ints:
+    the shipped machines never label buckets with digit strings, and
+    custom stats that did would see those labels coerced on a cache load.
+    """
+    if isinstance(value, dict):
+        return {
+            int(key)
+            if isinstance(key, str)
+            and (key.isdigit() or (key.startswith("-") and key[1:].isdigit()))
+            else key: _restore_int_keys(item)
+            for key, item in value.items()
+        }
+    return value
+
+
 @dataclass
 class SimulationResult:
     """Summary of one simulation run (one config × one trace)."""
@@ -88,10 +108,10 @@ class SimulationResult:
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready view, round-trippable via :meth:`from_dict`.
 
-        Integer keys inside nested stats blobs (distribution weights,
-        histogram buckets) become strings after a JSON round trip; every
-        consumer of those blobs already coerces keys, so a cached result
-        behaves identically to a freshly simulated one.
+        JSON stringifies the integer keys inside nested stats blobs
+        (distribution weights, histogram buckets); :meth:`from_dict`
+        restores them, so a cached result is bit-identical to a freshly
+        simulated one.
         """
         return {
             "config_name": self.config_name,
@@ -113,7 +133,7 @@ class SimulationResult:
             cycles=int(data["cycles"]),  # type: ignore[arg-type]
             committed_instructions=int(data["committed_instructions"]),  # type: ignore[arg-type]
             fetched_instructions=int(data["fetched_instructions"]),  # type: ignore[arg-type]
-            stats=dict(data.get("stats") or {}),  # type: ignore[arg-type]
+            stats=_restore_int_keys(dict(data.get("stats") or {})),  # type: ignore[arg-type]
         )
 
     def summary_row(self) -> Dict[str, object]:

@@ -28,6 +28,7 @@ def ablation_spec(
     checkpoints: int = 8,
     policies: Sequence[str] = POLICIES,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the ablation grid: one machine per checkpoint policy."""
     configs = []
@@ -40,7 +41,7 @@ def ablation_spec(
         )
         config.checkpoint = replace(config.checkpoint, policy=policy)
         configs.append(config.validate())
-    return SweepSpec("ablation-checkpoint-policy", configs, scale=scale, workloads=workloads)
+    return SweepSpec("ablation-checkpoint-policy", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_checkpoint_policy_ablation(
@@ -51,12 +52,14 @@ def run_checkpoint_policy_ablation(
     checkpoints: int = 8,
     policies: Optional[Sequence[str]] = None,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Compare checkpoint-taking policies on the same machine."""
     policies = tuple(policies) if policies is not None else POLICIES
     spec = ablation_spec(
-        scale, memory_latency, iq_size, sliq_size, checkpoints, policies, workloads
+        scale, memory_latency, iq_size, sliq_size, checkpoints, policies, workloads,
+        suite=suite,
     )
     outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(

@@ -44,12 +44,13 @@ def figure01_spec(
     windows: Sequence[int] = QUICK_WINDOWS,
     latencies: Sequence[LatencySpec] = QUICK_LATENCIES,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the Figure 1 grid, window-major to match the row order."""
     configs = [
         _baseline_for(window, latency) for window in windows for latency in latencies
     ]
-    return SweepSpec("figure01", configs, scale=scale, workloads=workloads)
+    return SweepSpec("figure01", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure01(
@@ -58,6 +59,7 @@ def run_figure01(
     latencies: Optional[Sequence[LatencySpec]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 1 sweep.
@@ -68,7 +70,7 @@ def run_figure01(
     latencies = (
         tuple(latencies) if latencies is not None else (QUICK_LATENCIES if quick else FULL_LATENCIES)
     )
-    spec = figure01_spec(scale, windows, latencies, workloads)
+    spec = figure01_spec(scale, windows, latencies, workloads, suite=suite)
     outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure01",

@@ -23,10 +23,11 @@ def figure07_spec(
     window: int = 2048,
     memory_latency: int = 500,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the single-configuration Figure 7 instrumentation run."""
     config = scaled_baseline(window=window, memory_latency=memory_latency)
-    return SweepSpec("figure07", [config], scale=scale, workloads=workloads)
+    return SweepSpec("figure07", [config], scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure07(
@@ -35,6 +36,7 @@ def run_figure07(
     memory_latency: int = 500,
     percentiles: Sequence[float] = FIGURE7_PERCENTILES,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 7 occupancy study.
@@ -42,7 +44,7 @@ def run_figure07(
     One row per percentile of the in-flight distribution plus a summary row
     with the average live/in-flight split.
     """
-    spec = figure07_spec(scale, window, memory_latency, workloads)
+    spec = figure07_spec(scale, window, memory_latency, workloads, suite=suite)
     outcome = ensure_engine(engine).run(spec)
     results = outcome.config_results(spec.configs[0])
     profiles = [occupancy_profile(result, percentiles) for result in results.values()]

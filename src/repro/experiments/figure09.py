@@ -36,6 +36,7 @@ def figure09_spec(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the Figure 9 grid: two baselines, then every COoO point."""
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
@@ -52,7 +53,7 @@ def figure09_spec(
         )
         for iq_size, sliq_size in points
     ]
-    return SweepSpec("figure09", configs, scale=scale, workloads=workloads)
+    return SweepSpec("figure09", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure09(
@@ -62,6 +63,7 @@ def run_figure09(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 9 comparison.
@@ -70,7 +72,7 @@ def run_figure09(
     lines, each with the suite-average IPC and its ratio to both baselines.
     """
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
-    spec = figure09_spec(scale, memory_latency, checkpoints, points, quick, workloads)
+    spec = figure09_spec(scale, memory_latency, checkpoints, points, quick, workloads, suite=suite)
     outcome = ensure_engine(engine).run(spec)
     baseline_configs = spec.configs[: len(BASELINE_WINDOWS)]
     cooo_configs = spec.configs[len(BASELINE_WINDOWS) :]

@@ -29,6 +29,7 @@ def figure10_spec(
     iq_sizes: Sequence[int] = QUICK_IQ_SIZES,
     delays: Sequence[int] = QUICK_DELAYS,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the Figure 10 grid, iq-major to match the row order."""
     configs = [
@@ -41,7 +42,7 @@ def figure10_spec(
         for iq_size in iq_sizes
         for delay in delays
     ]
-    return SweepSpec("figure10", configs, scale=scale, workloads=workloads)
+    return SweepSpec("figure10", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure10(
@@ -52,12 +53,13 @@ def run_figure10(
     delays: Optional[Sequence[int]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 10 sensitivity sweep."""
     iq_sizes = tuple(iq_sizes) if iq_sizes is not None else (QUICK_IQ_SIZES if quick else FULL_IQ_SIZES)
     delays = tuple(delays) if delays is not None else (QUICK_DELAYS if quick else FULL_DELAYS)
-    spec = figure10_spec(scale, sliq_size, memory_latency, iq_sizes, delays, workloads)
+    spec = figure10_spec(scale, sliq_size, memory_latency, iq_sizes, delays, workloads, suite=suite)
     outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure10",

@@ -23,12 +23,13 @@ def run_figure11(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 11 in-flight-instruction comparison."""
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
     # Same machines as Figure 9, so the same sweep (shared cache entries).
-    spec = figure09_spec(scale, memory_latency, checkpoints, points, quick, workloads)
+    spec = figure09_spec(scale, memory_latency, checkpoints, points, quick, workloads, suite=suite)
     spec.name = "figure11"
     outcome = ensure_engine(engine).run(spec)
     baseline_configs = spec.configs[: len(BASELINE_WINDOWS)]

@@ -27,6 +27,7 @@ def figure12_spec(
     checkpoints: int = 8,
     points: Sequence[Tuple[int, int]] = QUICK_GRID,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the Figure 12 grid (the COoO points of Figure 9)."""
     configs = [
@@ -38,7 +39,7 @@ def figure12_spec(
         )
         for iq_size, sliq_size in points
     ]
-    return SweepSpec("figure12", configs, scale=scale, workloads=workloads)
+    return SweepSpec("figure12", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure12(
@@ -48,11 +49,12 @@ def run_figure12(
     grid: Optional[Sequence[Tuple[int, int]]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 12 retirement breakdown."""
     points = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
-    spec = figure12_spec(scale, memory_latency, checkpoints, points, workloads)
+    spec = figure12_spec(scale, memory_latency, checkpoints, points, workloads, suite=suite)
     outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure12",

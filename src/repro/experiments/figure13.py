@@ -26,6 +26,7 @@ def figure13_spec(
     physical_registers: int = 2048,
     counts: Sequence[int] = QUICK_CHECKPOINTS,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the Figure 13 grid: the limit machine, then each count."""
     configs = [scaled_baseline(window=4096, memory_latency=memory_latency)]
@@ -39,7 +40,7 @@ def figure13_spec(
         )
         for count in counts
     ]
-    return SweepSpec("figure13", configs, scale=scale, workloads=workloads)
+    return SweepSpec("figure13", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure13(
@@ -50,13 +51,14 @@ def run_figure13(
     checkpoints: Optional[Sequence[int]] = None,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 13 checkpoint-count sweep."""
     counts = tuple(checkpoints) if checkpoints is not None else (
         QUICK_CHECKPOINTS if quick else FULL_CHECKPOINTS
     )
-    spec = figure13_spec(scale, memory_latency, iq_size, physical_registers, counts, workloads)
+    spec = figure13_spec(scale, memory_latency, iq_size, physical_registers, counts, workloads, suite=suite)
     outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(
         "figure13",

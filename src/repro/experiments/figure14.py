@@ -35,6 +35,7 @@ def figure14_spec(
     iq_size: int = 128,
     sliq_size: int = 2048,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
 ) -> SweepSpec:
     """Declare the Figure 14 grid, latency-major to match the row order."""
     configs = []
@@ -53,7 +54,7 @@ def figure14_spec(
                         late_allocation=True,
                     )
                 )
-    return SweepSpec("figure14", configs, scale=scale, workloads=workloads)
+    return SweepSpec("figure14", configs, scale=scale, suite=suite, workloads=workloads)
 
 
 def run_figure14(
@@ -65,6 +66,7 @@ def run_figure14(
     sliq_size: int = 2048,
     quick: bool = True,
     workloads: Optional[Sequence[str]] = None,
+    suite: str = "spec2000fp_like",
     engine: Optional[SweepEngine] = None,
 ) -> ExperimentResult:
     """Regenerate the Figure 14 combined-techniques study."""
@@ -78,7 +80,8 @@ def run_figure14(
         QUICK_PHYSICAL if quick else FULL_PHYSICAL
     )
     spec = figure14_spec(
-        scale, latencies, virtual_tags, physical_registers, iq_size, sliq_size, workloads
+        scale, latencies, virtual_tags, physical_registers, iq_size, sliq_size, workloads,
+        suite=suite,
     )
     outcome = ensure_engine(engine).run(spec)
     experiment = ExperimentResult(

@@ -18,7 +18,7 @@ from ..common.config import ProcessorConfig
 from ..common.stats import arithmetic_mean
 from ..core.result import SimulationResult
 from ..trace.trace import Trace
-from ..workloads.suite import get_suite
+from ..workloads.registry import get_suite
 
 #: Default suite scale used by the benchmark harness: small enough that a
 #: full figure regenerates in tens of seconds of pure-Python simulation,

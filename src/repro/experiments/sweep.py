@@ -50,7 +50,7 @@ from ..api import Simulation
 from ..common.config import ProcessorConfig
 from ..core.result import SimulationResult
 from ..trace.trace import Trace
-from ..workloads.suite import get_suite
+from ..workloads.registry import get_suite
 from .runner import DEFAULT_SCALE, suite_traces
 
 #: Bumped whenever the cache file layout (not the simulator) changes.
@@ -142,7 +142,12 @@ def cell_cache_key(
 
     Any change to the configuration, the trace generator identity
     (suite + workload name), the scale, or the simulator version yields a
-    different key, so stale results can never be returned.
+    different key, so stale results can never be returned.  Workload and
+    suite names come from the registry
+    (:mod:`repro.workloads.registry`); registering new ones never
+    perturbs existing keys, but a registered *name* must keep generating
+    the same trace — change the behaviour, change the name (or bump
+    ``repro.__version__``).
     """
     payload = {
         "config": config.to_dict(),

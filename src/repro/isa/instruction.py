@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from . import registers
 from .opcodes import OpClass, is_branch, is_load, is_memory, is_store
@@ -63,6 +63,48 @@ class Instruction:
     @property
     def writes_register(self) -> bool:
         return self.dest is not None
+
+    # -- serialisation -------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """Plain-dict view of every field, round-trippable via :meth:`from_record`.
+
+        The record is the canonical on-disk representation of one trace
+        entry (``Trace.to_jsonl`` and :mod:`repro.trace.io` both emit it),
+        so it preserves the kernel ``label`` and every other per-instruction
+        field exactly.
+        """
+        return {
+            "pc": self.pc,
+            "op": self.op.value,
+            "dest": self.dest,
+            "srcs": list(self.srcs),
+            "mem_addr": self.mem_addr,
+            "mem_size": self.mem_size,
+            "branch_taken": self.branch_taken,
+            "branch_target": self.branch_target,
+            "raises_exception": self.raises_exception,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Instruction":
+        """Inverse of :meth:`to_record`; validates through ``__post_init__``.
+
+        Raises ``KeyError``/``ValueError``/``TypeError`` on malformed
+        records; trace-level loaders wrap those in ``TraceError``.
+        """
+        return cls(
+            pc=record["pc"],
+            op=OpClass(record["op"]),
+            dest=record.get("dest"),
+            srcs=tuple(record.get("srcs", ())),
+            mem_addr=record.get("mem_addr"),
+            mem_size=record.get("mem_size", 8),
+            branch_taken=record.get("branch_taken", False),
+            branch_target=record.get("branch_target"),
+            raises_exception=record.get("raises_exception", False),
+            label=record.get("label", ""),
+        )
 
     def describe(self) -> str:
         """Compact human-readable rendering used in debug dumps."""

@@ -1,5 +1,15 @@
-"""Execution traces and replayable fetch cursors."""
+"""Execution traces, replayable fetch cursors, and trace file I/O."""
 
+from .io import TRACE_FORMAT, TRACE_FORMAT_VERSION, load_trace, save_trace, trace_info
 from .trace import Trace, TraceCursor, merge_traces
 
-__all__ = ["Trace", "TraceCursor", "merge_traces"]
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_FORMAT_VERSION",
+    "Trace",
+    "TraceCursor",
+    "load_trace",
+    "merge_traces",
+    "save_trace",
+    "trace_info",
+]

@@ -1,0 +1,213 @@
+"""Trace file I/O: versioned gzip-JSON save/load for execution traces.
+
+Trace generation is deterministic but not free — at figure scales a suite
+is tens of thousands of ``Instruction`` constructions, and at the large
+scales the paper's windows want, millions.  This module lets a trace be
+generated once, saved, and replayed across sweeps:
+
+* :func:`save_trace` writes a gzip-compressed file whose first line is a
+  JSON header (format marker, format version, trace name, instruction
+  counts) and whose second line is the JSON body.
+* :func:`load_trace` validates the header and rebuilds the trace,
+  raising :class:`~repro.common.errors.TraceError` — never a bare
+  ``KeyError`` — on malformed or version-mismatched input.
+* :func:`trace_info` reads only the header, so ``repro trace info`` is
+  cheap even for huge files.
+
+The body stores each *distinct* instruction record once plus an index of
+references: execution traces are unrolled loops, so most dynamic
+instructions repeat an earlier one exactly (same pc, operands, label —
+only memory addresses and branch outcomes vary iteration to iteration).
+``Instruction`` is a frozen dataclass, so the loader can share one
+instance across all its occurrences; loading therefore constructs only
+the distinct records and is several times faster than regenerating the
+trace (``benchmarks/test_bench_trace_io.py`` guards the speedup).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List
+
+from ..common.errors import TraceError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+from .trace import Trace
+
+#: Format marker of the first header field; never changes.
+TRACE_FORMAT = "repro-trace"
+
+#: Bumped when the file layout changes incompatibly; loaders reject
+#: versions they do not understand with a TraceError.
+TRACE_FORMAT_VERSION = 1
+
+#: Conventional file suffix used by the CLI when it picks names itself.
+TRACE_SUFFIX = ".trace.gz"
+
+#: Column order of the positional records in the body.  The body carries
+#: this list too, so a reader can detect (and reject) a layout it does
+#: not understand even within one format version.
+RECORD_FIELDS = (
+    "pc",
+    "op",
+    "dest",
+    "srcs",
+    "mem_addr",
+    "mem_size",
+    "branch_taken",
+    "branch_target",
+    "raises_exception",
+    "label",
+)
+
+#: Opcode lookup table; dodges the Enum ``__call__`` machinery on the
+#: hot load path (one lookup per distinct record).
+_OPCODES = {op.value: op for op in OpClass}
+
+
+def save_trace(trace: Trace, path: os.PathLike, compresslevel: int = 6) -> Path:
+    """Write ``trace`` to ``path`` as a versioned gzip-JSON file.
+
+    The write is atomic (temp file + ``os.replace``), so a crashed save
+    never leaves a truncated trace where a good one is expected.
+    """
+    distinct: Dict[Any, int] = {}
+    records: List[List[Any]] = []
+    index: List[int] = []
+    for instr in trace:
+        key = (
+            instr.pc, instr.op, instr.dest, instr.srcs, instr.mem_addr, instr.mem_size,
+            instr.branch_taken, instr.branch_target, instr.raises_exception, instr.label,
+        )
+        slot = distinct.get(key)
+        if slot is None:
+            slot = distinct.setdefault(key, len(records))
+            records.append([
+                instr.pc, instr.op.value, instr.dest, list(instr.srcs), instr.mem_addr,
+                instr.mem_size, instr.branch_taken, instr.branch_target,
+                instr.raises_exception, instr.label,
+            ])
+        index.append(slot)
+    header = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_FORMAT_VERSION,
+        "name": trace.name,
+        "instructions": len(trace),
+        "distinct_instructions": len(records),
+    }
+    body = {"fields": list(RECORD_FIELDS), "records": records, "index": index}
+    destination = Path(path).expanduser()
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    tmp = destination.with_name(f"{destination.name}.tmp.{os.getpid()}")
+    try:
+        with gzip.open(tmp, "wt", encoding="utf-8", compresslevel=compresslevel) as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.write(json.dumps(body))
+        os.replace(tmp, destination)
+    finally:
+        if tmp.exists():  # only on failure; os.replace consumed it otherwise
+            tmp.unlink()
+    return destination
+
+
+def _read_lines(path: Path) -> List[str]:
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return [handle.readline(), handle.readline()]
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, UnicodeDecodeError) as exc:
+        # gzip.BadGzipFile (a plain file, garbage, truncation) is an OSError.
+        raise TraceError(f"{path} is not a readable trace file: {exc}") from exc
+
+
+def _parse_header(path: Path, line: str) -> Dict[str, Any]:
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise TraceError(f"{path}: malformed trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceError(f"{path}: not a {TRACE_FORMAT} file")
+    version = header.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace format version {version!r} "
+            f"(this build reads version {TRACE_FORMAT_VERSION})"
+        )
+    for field in ("name", "instructions"):
+        if field not in header:
+            raise TraceError(f"{path}: trace header is missing {field!r}")
+    count = header["instructions"]
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise TraceError(f"{path}: trace header instruction count {count!r} is not a positive int")
+    return header
+
+
+def trace_info(path: os.PathLike) -> Dict[str, Any]:
+    """The validated header of a saved trace, without loading the body."""
+    source = Path(path).expanduser()
+    return _parse_header(source, _read_lines(source)[0])
+
+
+def load_trace(path: os.PathLike) -> Trace:
+    """Rebuild a trace saved by :func:`save_trace`.
+
+    Every malformed-input failure mode — bad gzip data, truncated files,
+    unknown format versions, records that fail ``Instruction``
+    validation, an index that disagrees with the header — raises
+    :class:`TraceError` with the file path in the message.
+    """
+    source = Path(path).expanduser()
+    header_line, body_line = _read_lines(source)
+    header = _parse_header(source, header_line)
+    try:
+        body = json.loads(body_line)
+        fields = body["fields"]
+        records = body["records"]
+        index = body["index"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TraceError(f"{source}: malformed trace body: {exc}") from exc
+    if tuple(fields) != RECORD_FIELDS:
+        raise TraceError(
+            f"{source}: unsupported record layout {fields!r} "
+            f"(this build reads {list(RECORD_FIELDS)!r})"
+        )
+    try:
+        # Validated construction (Instruction.__post_init__ runs) but with
+        # the constructor inlined: this is the hot path the trace-io
+        # benchmark guards, one construction per *distinct* record.
+        pool = [
+            Instruction(
+                pc=pc,
+                op=_OPCODES[op],
+                dest=dest,
+                srcs=tuple(srcs),
+                mem_addr=mem_addr,
+                mem_size=mem_size,
+                branch_taken=branch_taken,
+                branch_target=branch_target,
+                raises_exception=raises_exception,
+                label=label,
+            )
+            for pc, op, dest, srcs, mem_addr, mem_size,
+                branch_taken, branch_target, raises_exception, label in records
+        ]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceError(f"{source}: malformed instruction record: {exc}") from exc
+    try:
+        if index and min(index) < 0:  # negative slots would alias via Python indexing
+            raise IndexError(f"negative slot {min(index)}")
+        instructions = [pool[slot] for slot in index]
+    except (IndexError, TypeError) as exc:
+        raise TraceError(f"{source}: trace index references a missing record: {exc}") from exc
+    if len(instructions) != header["instructions"]:
+        raise TraceError(
+            f"{source}: header promises {header['instructions']} instructions "
+            f"but the body holds {len(instructions)}"
+        )
+    if not instructions:
+        raise TraceError(f"{source}: trace file contains no instructions")
+    return Trace(instructions, name=header["name"])

@@ -10,7 +10,9 @@ instructions is modelled faithfully.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..common.errors import TraceError
@@ -89,32 +91,30 @@ class Trace:
             name=name or f"{self.name}+{other.name}",
         )
 
+    def relabel(self, label: str, name: Optional[str] = None) -> "Trace":
+        """A copy of this trace with every instruction's kernel label replaced.
+
+        Used by the scenario DSL so that phases of a composed workload stay
+        distinguishable in per-instruction analyses.
+        """
+        relabelled = [
+            instr if instr.label == label else dataclasses.replace(instr, label=label)
+            for instr in self._instructions
+        ]
+        return Trace(relabelled, name=name if name is not None else self.name)
+
     # -- serialisation ----------------------------------------------------
     def to_jsonl(self) -> str:
-        """Serialise to JSON-lines (one instruction per line)."""
-        lines = []
-        for instr in self._instructions:
-            lines.append(
-                json.dumps(
-                    {
-                        "pc": instr.pc,
-                        "op": instr.op.value,
-                        "dest": instr.dest,
-                        "srcs": list(instr.srcs),
-                        "mem_addr": instr.mem_addr,
-                        "mem_size": instr.mem_size,
-                        "branch_taken": instr.branch_taken,
-                        "branch_target": instr.branch_target,
-                        "raises_exception": instr.raises_exception,
-                        "label": instr.label,
-                    }
-                )
-            )
-        return "\n".join(lines)
+        """Serialise to JSON-lines (one instruction record per line)."""
+        return "\n".join(json.dumps(instr.to_record()) for instr in self._instructions)
 
     @classmethod
     def from_jsonl(cls, text: str, name: str = "trace") -> "Trace":
-        """Inverse of :meth:`to_jsonl`."""
+        """Inverse of :meth:`to_jsonl`.
+
+        Raises :class:`~repro.common.errors.TraceError` (never a bare
+        ``KeyError``/``ValueError``) on malformed input.
+        """
         instructions = []
         for line_number, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
@@ -122,23 +122,25 @@ class Trace:
                 continue
             try:
                 record = json.loads(line)
-                instructions.append(
-                    Instruction(
-                        pc=record["pc"],
-                        op=OpClass(record["op"]),
-                        dest=record.get("dest"),
-                        srcs=tuple(record.get("srcs", ())),
-                        mem_addr=record.get("mem_addr"),
-                        mem_size=record.get("mem_size", 8),
-                        branch_taken=record.get("branch_taken", False),
-                        branch_target=record.get("branch_target"),
-                        raises_exception=record.get("raises_exception", False),
-                        label=record.get("label", ""),
-                    )
-                )
-            except (KeyError, ValueError, json.JSONDecodeError) as exc:
+                if not isinstance(record, dict):
+                    raise TypeError(f"expected an instruction record, got {type(record).__name__}")
+                instructions.append(Instruction.from_record(record))
+            except (KeyError, ValueError, TypeError) as exc:
                 raise TraceError(f"malformed trace line {line_number}: {exc}") from exc
         return cls(instructions, name=name)
+
+    def save(self, path: "os.PathLike") -> "os.PathLike":
+        """Persist this trace as a versioned gzip-JSON file (see :mod:`repro.trace.io`)."""
+        from .io import save_trace
+
+        return save_trace(self, path)
+
+    @classmethod
+    def load(cls, path: "os.PathLike") -> "Trace":
+        """Load a trace saved by :meth:`save`; raises ``TraceError`` on bad input."""
+        from .io import load_trace
+
+        return load_trace(path)
 
 
 class TraceCursor:

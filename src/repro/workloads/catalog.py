@@ -1,0 +1,154 @@
+"""Registration of the built-in workloads.
+
+Each shipped kernel is registered as a parameterized
+:class:`~repro.workloads.registry.WorkloadSpec`: ``size`` is the
+generator's primary size knob (elements, iterations, hops — the same
+convention ``repro simulate --size`` always used) and ``knobs`` are the
+remaining tunables with their defaults.  The CLI, :mod:`repro.api` and
+the suites all resolve these by name; registering a new workload
+anywhere makes it available everywhere.
+"""
+
+from __future__ import annotations
+
+from ..trace.trace import Trace
+from . import integer, numerical
+from .registry import register_workload
+
+
+@register_workload(
+    "daxpy",
+    description="streaming y[i] += a*x[i]: independent FP mul-adds, two loads + one store per element",
+    base_size=1000,
+)
+def daxpy(size: int) -> Trace:
+    return numerical.daxpy(elements=size)
+
+
+@register_workload(
+    "triad",
+    description="STREAM triad a[i] = b[i] + s*c[i]: pure bandwidth-bound streaming, no reuse",
+    base_size=1000,
+)
+def triad(size: int) -> Trace:
+    return numerical.stream_triad(elements=size)
+
+
+@register_workload(
+    "stencil3",
+    description="3-point stencil over a vector: strided loads with neighbor reuse, mild dependencies",
+    base_size=1000,
+)
+def stencil3(size: int) -> Trace:
+    return numerical.stencil3(elements=size)
+
+
+@register_workload(
+    "reduction",
+    description="serial FP sum reduction: one long dependence chain, exposes issue-queue blocking",
+    base_size=1000,
+)
+def reduction(size: int) -> Trace:
+    return numerical.reduction(elements=size)
+
+
+@register_workload(
+    "gather",
+    description="random indirect loads over an 8 MiB table: near-100% cache misses, memory-level parallelism",
+    base_size=1000,
+    knobs={"table_elements": 1 << 20, "seed": 12345},
+)
+def gather(size: int, table_elements: int = 1 << 20, seed: int = 12345) -> Trace:
+    return numerical.random_gather(elements=size, table_elements=table_elements, seed=seed)
+
+
+@register_workload(
+    "matvec",
+    description="dense matrix-vector product: row-wise streaming crossed with a per-row reduction",
+    base_size=1000,
+    knobs={"cols": 32},
+)
+def matvec(size: int, cols: int = 32) -> Trace:
+    return numerical.matvec(rows=max(2, size // cols), cols=cols)
+
+
+@register_workload(
+    "blocked",
+    description="cache-blocked daxpy passes: high reuse, low miss rate, compute/memory balanced",
+    base_size=1000,
+    knobs={"block_elements": 512, "passes": 2},
+)
+def blocked(size: int, block_elements: int = 512, passes: int = 2) -> Trace:
+    return numerical.blocked_daxpy(elements=size, block_elements=block_elements, passes=passes)
+
+
+@register_workload(
+    "fp_compute",
+    description="FP-heavy loop with almost no memory traffic: bounded by FP unit latency/count",
+    base_size=1000,
+    knobs={"chain_length": 4},
+)
+def fp_compute(size: int, chain_length: int = 4) -> Trace:
+    return numerical.fp_compute_bound(iterations=size, chain_length=chain_length)
+
+
+@register_workload(
+    "pointer_chase",
+    description="linked-list traversal: serially dependent loads, defeats out-of-order overlap",
+    base_size=1000,
+    knobs={"nodes": 1 << 18, "seed": 7, "work_per_hop": 2},
+)
+def pointer_chase(
+    size: int, nodes: int = 1 << 18, seed: int = 7, work_per_hop: int = 2
+) -> Trace:
+    return integer.pointer_chase(hops=size, nodes=nodes, seed=seed, work_per_hop=work_per_hop)
+
+
+@register_workload(
+    "multi_chase",
+    description="independent pointer chains round-robin: serial per chain, overlappable across chains",
+    base_size=1000,
+    knobs={"chains": 4, "nodes": 1 << 18, "seed": 17},
+)
+def multi_chase(size: int, chains: int = 4, nodes: int = 1 << 18, seed: int = 17) -> Trace:
+    return integer.multi_pointer_chase(hops=size, chains=chains, nodes=nodes, seed=seed)
+
+
+@register_workload(
+    "branchy_int",
+    description="integer loop with data-dependent branches: stresses prediction and rollback",
+    base_size=1000,
+    knobs={"taken_probability": 0.5, "seed": 11},
+)
+def branchy_int(size: int, taken_probability: float = 0.5, seed: int = 11) -> Trace:
+    return integer.branchy_integer(iterations=size, taken_probability=taken_probability, seed=seed)
+
+
+@register_workload(
+    "dense_branches",
+    description="several coin-flip branches per iteration: constant front-end restarts, rollback-bound",
+    base_size=1000,
+    knobs={"branches_per_iteration": 3, "taken_probability": 0.5, "seed": 31},
+)
+def dense_branches(
+    size: int,
+    branches_per_iteration: int = 3,
+    taken_probability: float = 0.5,
+    seed: int = 31,
+) -> Trace:
+    return integer.dense_branches(
+        iterations=size,
+        branches_per_iteration=branches_per_iteration,
+        taken_probability=taken_probability,
+        seed=seed,
+    )
+
+
+@register_workload(
+    "mixed",
+    description="interleaved integer and FP work with moderate branching: a middle-of-the-road blend",
+    base_size=1000,
+    knobs={"seed": 23},
+)
+def mixed(size: int, seed: int = 23) -> Trace:
+    return integer.mixed_int_fp(iterations=size, seed=seed)

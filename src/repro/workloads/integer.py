@@ -46,6 +46,77 @@ def pointer_chase(
     return builder.build()
 
 
+def multi_pointer_chase(
+    hops: int = 2048,
+    chains: int = 4,
+    nodes: int = 1 << 18,
+    seed: int = 17,
+    name: str = "multi_chase",
+) -> Trace:
+    """Several independent pointer chains advanced round-robin.
+
+    Each chain is as serial as :func:`pointer_chase`, but the chains are
+    independent of one another, so a machine that can hold ``chains``
+    outstanding misses overlaps them — the memory-level-parallelism
+    contrast to the single-chain worst case.  ``hops`` counts total hops
+    across all chains.
+    """
+    if not 1 <= chains <= 12:
+        # One architectural register per chain; r1..r12 are reserved here.
+        raise ValueError(f"multi_pointer_chase supports 1..12 chains, got {chains}")
+    builder = TraceBuilder(name=name)
+    rng = random.Random(seed)
+    pointers = [regs.int_reg(1 + c) for c in range(chains)]
+    tmp = regs.int_reg(14)
+    for pointer in pointers:
+        builder.int_op(pointer)
+    loop_pc = builder.pc
+    for hop in range(hops):
+        builder.set_pc(loop_pc)
+        pointer = pointers[hop % len(pointers)]
+        node = rng.randrange(nodes)
+        builder.load(pointer, HEAP_BASE + node * 64, addr_reg=pointer)
+        builder.int_op(tmp, pointer)
+        builder.branch(taken=(hop != hops - 1), target=loop_pc, srcs=(tmp,))
+    return builder.build()
+
+
+def dense_branches(
+    iterations: int = 2048,
+    branches_per_iteration: int = 3,
+    taken_probability: float = 0.5,
+    seed: int = 31,
+    name: str = "dense_branches",
+) -> Trace:
+    """Back-to-back data-dependent branches with almost no work between.
+
+    Where :func:`branchy_integer` mispredicts roughly once per loop
+    iteration, this kernel packs several independent coin-flip branches
+    per iteration, so the front end restarts constantly — the regime
+    where checkpoint rollback cost dominates everything else.
+    """
+    if branches_per_iteration < 1:
+        raise ValueError(
+            f"dense_branches needs at least one branch per iteration, "
+            f"got {branches_per_iteration}"
+        )
+    builder = TraceBuilder(name=name)
+    rng = random.Random(seed)
+    index = regs.int_reg(1)
+    value = regs.int_reg(2)
+    data_base = 0x7800_0000
+    builder.int_op(index)
+    loop_pc = builder.pc
+    for i in range(iterations):
+        builder.set_pc(loop_pc)
+        builder.load(value, data_base + (i % 2048) * ELEMENT_BYTES, addr_reg=index)
+        for _ in range(branches_per_iteration):
+            builder.branch(taken=rng.random() < taken_probability, srcs=(value,))
+        builder.int_op(index, index)
+        builder.branch(taken=(i != iterations - 1), target=loop_pc, srcs=(index,))
+    return builder.build()
+
+
 def branchy_integer(
     iterations: int = 2048,
     taken_probability: float = 0.5,

@@ -1,0 +1,192 @@
+"""The registered scenario suites: pointer-chase, branch-storm, server-mix.
+
+The paper's evaluation suite (``spec2000fp_like``) sits in one corner of
+the behaviour space: L2-miss bound with near-perfect branch prediction.
+These three suites stress the checkpointed machine everywhere else:
+
+``pointer-chase``
+    Memory-bound *dependent* loads.  Chains defeat the window entirely
+    (``chase_cold``), fit in cache (``chase_warm``), overlap across
+    independent chains (``chase_mlp``) or hide latency under per-hop
+    work (``chase_work``) — the spectrum from zero to full
+    memory-level parallelism.
+
+``branch-storm``
+    Low-predictability control flow.  Coin-flip branches at different
+    densities and biases keep the front end restarting, so rollback
+    distance and checkpoint-table pressure dominate performance.
+
+``server-mix``
+    Interleaved phases, declared with the scenario DSL rather than
+    hand-written: a request loop alternating branchy parsing,
+    miss-heavy lookups and FP-heavy response work — at phase
+    granularity (``phased``), at sub-window granularity
+    (``interleaved``) and with randomized phase mixing (``bursty``).
+
+Every member budget is in dynamic instructions (like the built-in
+suites) and every generator is deterministic for a fixed scale, so the
+suites drop straight into the sweep engine's persistent result cache.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..trace.trace import Trace
+from . import integer, numerical
+from .registry import register_suite
+from .scenario import Phase, Scenario, interleave, stream_rng
+from .suite import Suite, SuiteMember
+
+# ---------------------------------------------------------------------------
+# pointer-chase: memory-bound dependent loads
+# ---------------------------------------------------------------------------
+
+
+@register_suite
+def pointer_chase_suite() -> Suite:
+    return Suite(
+        "pointer-chase",
+        description="memory-bound dependent loads: serial chains, cached chains, "
+        "and independent chains exposing memory-level parallelism",
+        members=[
+            # One serial chain over a far-larger-than-L2 node pool: every
+            # hop is an L2 miss that the next hop depends on.
+            SuiteMember(
+                "chase_cold",
+                lambda n: integer.pointer_chase(hops=max(4, n // 4), nodes=1 << 18, seed=101),
+                2400,
+            ),
+            # The same chain over a pool that fits in the data caches.
+            SuiteMember(
+                "chase_warm",
+                lambda n: integer.pointer_chase(hops=max(4, n // 4), nodes=1 << 7, seed=102),
+                2400,
+            ),
+            # Four independent chains: misses overlap if the window holds them.
+            SuiteMember(
+                "chase_mlp",
+                lambda n: integer.multi_pointer_chase(hops=max(4, n // 3), chains=4, seed=103),
+                2400,
+            ),
+            # One chain with real work per hop that can hide some latency.
+            SuiteMember(
+                "chase_work",
+                lambda n: integer.pointer_chase(
+                    hops=max(4, n // 8), work_per_hop=6, seed=104
+                ),
+                2400,
+            ),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# branch-storm: low-predictability control flow
+# ---------------------------------------------------------------------------
+
+
+@register_suite
+def branch_storm_suite() -> Suite:
+    return Suite(
+        "branch-storm",
+        description="low-predictability control flow: coin-flip and biased "
+        "branches at increasing density, rollback-bound throughout",
+        members=[
+            # Worst case for gshare: a 50/50 data-dependent branch per iteration.
+            SuiteMember(
+                "storm_even",
+                lambda n: integer.branchy_integer(
+                    iterations=max(4, n // 5), taken_probability=0.5, seed=201
+                ),
+                2500,
+            ),
+            # Biased but still unpredictable: ~25% surprise rate.
+            SuiteMember(
+                "storm_biased",
+                lambda n: integer.branchy_integer(
+                    iterations=max(4, n // 5), taken_probability=0.75, seed=202
+                ),
+                2500,
+            ),
+            # Several coin flips back-to-back: restarts dominate all work.
+            SuiteMember(
+                "storm_dense",
+                lambda n: integer.dense_branches(
+                    iterations=max(4, n // 6), branches_per_iteration=3, seed=203
+                ),
+                2400,
+            ),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# server-mix: interleaved phases via the scenario DSL
+# ---------------------------------------------------------------------------
+
+#: Shares of the request loop: parse (branchy), look up (memory), respond (FP).
+_SERVER_PHASES = (
+    Phase(
+        "parse",
+        lambda n, rng: integer.branchy_integer(
+            iterations=max(4, n // 5),
+            taken_probability=0.6,
+            seed=rng.randrange(1 << 30),
+        ),
+        weight=1.0,
+    ),
+    Phase(
+        "lookup",
+        lambda n, rng: numerical.random_gather(
+            elements=max(4, n // 6), seed=rng.randrange(1 << 30)
+        ),
+        weight=2.0,
+    ),
+    Phase(
+        "respond",
+        lambda n, rng: numerical.fp_compute_bound(iterations=max(4, n // 7)),
+        weight=1.0,
+    ),
+)
+
+#: Two service cycles of parse -> lookup -> respond.
+SERVER_SCENARIO = Scenario("server-mix", _SERVER_PHASES, repeat=2)
+
+
+def _interleaved_server(n: int) -> Trace:
+    """The same three regimes mixed at sub-window granularity."""
+    rng = stream_rng("server-mix", "interleaved")
+    slices = [
+        integer.branchy_integer(
+            iterations=max(4, n // 4 // 5), taken_probability=0.6, seed=rng.randrange(1 << 30)
+        ),
+        numerical.random_gather(elements=max(4, n // 2 // 6), seed=rng.randrange(1 << 30)),
+        numerical.fp_compute_bound(iterations=max(4, n // 4 // 7)),
+    ]
+    return interleave(slices, block=24, name="server_interleaved")
+
+
+def _bursty_server(n: int) -> Trace:
+    """Randomized block mixing: bursts of each regime in random order."""
+    rng = stream_rng("server-mix", "bursty")
+    slices = [
+        integer.dense_branches(iterations=max(4, n // 3 // 6), seed=rng.randrange(1 << 30)),
+        numerical.random_gather(elements=max(4, n // 3 // 6), seed=rng.randrange(1 << 30)),
+        numerical.daxpy(elements=max(4, n // 3 // 7)),
+    ]
+    return interleave(slices, block=96, name="server_bursty", rng=random.Random(rng.random()))
+
+
+@register_suite
+def server_mix_suite() -> Suite:
+    return Suite(
+        "server-mix",
+        description="interleaved server phases declared with the scenario DSL: "
+        "branchy parsing, miss-heavy lookups, FP-heavy responses",
+        members=[
+            SuiteMember("phased", SERVER_SCENARIO.as_generator(), 3600),
+            SuiteMember("interleaved", _interleaved_server, 3600),
+            SuiteMember("bursty", _bursty_server, 3600),
+        ],
+    )

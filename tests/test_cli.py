@@ -105,3 +105,90 @@ class TestExperimentCommand:
         payload = json.loads(target.read_text())
         assert payload["experiment"] == "figure07"
         assert payload["rows"]
+
+
+class TestWorkloadRegistryCli:
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "registered workloads:" in out
+        assert "registered suites:" in out
+        # knobs and base sizes are shown
+        assert "base_size=" in out
+        assert "taken_probability=0.5" in out
+        # the three scenario suites are catalogued with their members
+        assert "pointer-chase: chase_cold" in out
+        assert "branch-storm: storm_even" in out
+        assert "server-mix: phased" in out
+
+    def test_list_still_shows_new_suites(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pointer-chase" in out
+        assert "dense_branches" in out
+
+    def test_unknown_workload_lists_registered_names(self, capsys):
+        assert main(["simulate", "--machine", "baseline", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "registered workloads" in err
+        assert "daxpy" in err
+
+    def test_unknown_suite_lists_registered_names(self, capsys):
+        assert main(["simulate", "--machine", "baseline", "--suite", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "registered suites" in err
+        assert "spec2000fp_like" in err
+
+    def test_simulate_new_suite_end_to_end(self, capsys):
+        assert main(["simulate", "--machine", "baseline", "--suite", "branch-storm",
+                     "--scale", "0.05", "--memory-latency", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "storm_even" in out
+        assert "suite average IPC" in out
+
+    def test_workloads_view_is_live(self):
+        from repro.workloads.registry import register_workload, unregister_workload
+        from repro.workloads import daxpy
+
+        @register_workload("tmp_cli_view")
+        def tmp(size):
+            return daxpy(elements=max(4, size))
+
+        try:
+            assert "tmp_cli_view" in WORKLOADS
+            assert len(WORKLOADS["tmp_cli_view"](8)) > 0
+        finally:
+            unregister_workload("tmp_cli_view")
+        assert "tmp_cli_view" not in WORKLOADS
+
+
+class TestSuiteSweepCli:
+    def test_sweep_suite_runs_machine_grid(self, capsys, tmp_path):
+        assert main(["sweep", "--suite", "pointer-chase", "--scale", "0.05",
+                     "--no-cache", "--quiet",
+                     "--json", str(tmp_path / "out.json")]) == 0
+        out = capsys.readouterr().out
+        assert "chase_cold" in out
+        assert "mean_ipc" in out
+        assert (tmp_path / "out.json").exists()
+
+    def test_sweep_without_names_or_suite_errors(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--suite" in capsys.readouterr().err
+
+    def test_sweep_unknown_suite_errors(self, capsys):
+        assert main(["sweep", "--suite", "nope", "--no-cache", "--quiet"]) == 2
+        assert "registered suites" in capsys.readouterr().err
+
+    def test_experiment_unknown_suite_errors(self, capsys):
+        assert main(["experiment", "figure07", "--suite", "nope", "--no-cache"]) == 2
+        assert "registered suites" in capsys.readouterr().err
+
+    def test_sweep_names_with_unknown_suite_errors(self, capsys):
+        assert main(["sweep", "figure07", "--suite", "nope", "--no-cache", "--quiet"]) == 2
+        assert "registered suites" in capsys.readouterr().err
+
+    def test_experiment_accepts_suite_override(self, capsys):
+        assert main(["experiment", "figure07", "--scale", "0.05",
+                     "--suite", "branch-storm", "--no-cache"]) == 0
+        assert "figure07" in capsys.readouterr().out

@@ -229,3 +229,59 @@ def test_both_machines_commit_same_instruction_count(seed):
     baseline = simulate(scaled_baseline(window=64, memory_latency=60), trace)
     cooo = simulate(cooo_config(iq_size=16, sliq_size=64, memory_latency=60), trace)
     assert baseline.committed_instructions == cooo.committed_instructions == len(trace)
+
+
+# ---------------------------------------------------------------------------
+# Workload registry: determinism, monotone scaling, save/load fidelity
+# ---------------------------------------------------------------------------
+from repro.workloads.registry import get_suite, workload_specs  # noqa: E402
+
+# Trace generation is cheap but 13 workloads x examples adds up; a
+# handful of scales per workload already exercises the size mapping.
+BUILD_SETTINGS = settings(max_examples=6, deadline=None)
+
+
+@pytest.mark.parametrize("spec", workload_specs(), ids=lambda spec: spec.name)
+@BUILD_SETTINGS
+@given(scale=st.floats(min_value=0.05, max_value=0.5))
+def test_registered_workloads_are_deterministic(spec, scale):
+    first = spec.build(scale=scale)
+    second = spec.build(scale=scale)
+    assert first.to_jsonl() == second.to_jsonl()
+
+
+@pytest.mark.parametrize("spec", workload_specs(), ids=lambda spec: spec.name)
+@BUILD_SETTINGS
+@given(
+    small=st.floats(min_value=0.05, max_value=0.5),
+    growth=st.floats(min_value=1.0, max_value=4.0),
+)
+def test_registered_workloads_scale_monotonically(spec, small, growth):
+    assert len(spec.build(scale=small)) <= len(spec.build(scale=small * growth))
+
+
+@pytest.mark.parametrize(
+    "suite_name", ["pointer-chase", "branch-storm", "server-mix", "spec2000fp_like"]
+)
+def test_suite_scale_grows_every_member(suite_name):
+    suite = get_suite(suite_name)
+    small = suite.build(scale=0.1)
+    large = suite.build(scale=0.4)
+    assert all(len(small[name]) <= len(large[name]) for name in small)
+
+
+@SIM_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    length=st.integers(min_value=20, max_value=120),
+)
+def test_save_load_simulate_is_bit_identical(tmp_path_factory, seed, length):
+    from repro.trace.io import load_trace, save_trace
+
+    trace = _random_trace(seed, length)
+    path = tmp_path_factory.mktemp("traces") / f"t{seed}_{length}.trace.gz"
+    save_trace(trace, path)
+    config = cooo_config(iq_size=12, sliq_size=48, checkpoints=3, memory_latency=80)
+    fresh = simulate(config, trace)
+    replayed = simulate(config, load_trace(path))
+    assert replayed.to_dict() == fresh.to_dict()

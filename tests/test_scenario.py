@@ -1,0 +1,166 @@
+"""Tests for the composable scenario DSL (phases, mixing, RNG streams)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, TraceError
+from repro.workloads import daxpy, fp_compute_bound, random_gather
+from repro.workloads.scenario import (
+    Phase,
+    Scenario,
+    interleave,
+    stream_rng,
+    stream_seed,
+)
+
+
+def _compute(n, rng):
+    return fp_compute_bound(iterations=max(4, n // 7))
+
+
+def _memory(n, rng):
+    return random_gather(elements=max(4, n // 6), seed=rng.randrange(1 << 30))
+
+
+class TestStreams:
+    def test_seed_is_stable(self):
+        assert stream_seed("a", 1) == stream_seed("a", 1)
+
+    def test_seed_depends_on_every_part(self):
+        assert stream_seed("a", 1) != stream_seed("a", 2)
+        assert stream_seed("a", 1) != stream_seed("b", 1)
+        # concatenation cannot collide parts ("ab", "c") vs ("a", "bc")
+        assert stream_seed("ab", "c") != stream_seed("a", "bc")
+
+    def test_rng_streams_are_independent(self):
+        first = stream_rng("x").random()
+        assert first == stream_rng("x").random()
+        assert first != stream_rng("y").random()
+
+
+class TestPhase:
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ConfigurationError):
+            Phase("p", _compute, weight=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Phase("", _compute)
+
+
+class TestScenario:
+    def _scenario(self, **kwargs):
+        return Scenario(
+            "test-scn",
+            [Phase("compute", _compute, weight=1), Phase("memory", _memory, weight=2)],
+            **kwargs,
+        )
+
+    def test_needs_phases(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("empty", [])
+
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("dup", [Phase("p", _compute), Phase("p", _memory)])
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ConfigurationError):
+            self._scenario(repeat=0)
+
+    def test_build_is_deterministic(self):
+        assert self._scenario().build(600).to_jsonl() == self._scenario().build(600).to_jsonl()
+
+    def test_seed_changes_random_phases_only(self):
+        base = self._scenario().build(600)
+        reseeded = self._scenario(seed=1).build(600)
+        assert len(base) == len(reseeded)
+        assert base.to_jsonl() != reseeded.to_jsonl()
+
+    def test_weights_split_budget(self):
+        budgets = self._scenario().phase_budgets(900)
+        assert budgets[1] == 2 * budgets[0]
+
+    def test_phases_are_relabelled_in_order(self):
+        trace = self._scenario().build(600)
+        labels = [instr.label for instr in trace]
+        assert set(labels) == {"test-scn.compute", "test-scn.memory"}
+        # one contiguous run per phase
+        transitions = sum(1 for a, b in zip(labels, labels[1:]) if a != b)
+        assert transitions == 1
+
+    def test_repeat_cycles_phases(self):
+        trace = self._scenario(repeat=2).build(600)
+        labels = [instr.label for instr in trace]
+        transitions = sum(1 for a, b in zip(labels, labels[1:]) if a != b)
+        assert transitions == 3  # compute|memory|compute|memory
+
+    def test_repetitions_of_random_phases_differ(self):
+        trace = self._scenario(repeat=2).build(1200)
+        labels = [instr.label for instr in trace]
+        # split the two memory phases and compare their gather addresses
+        chunks = []
+        current = None
+        for instr, label in zip(trace, labels):
+            if label != current:
+                chunks.append([])
+                current = label
+            chunks[-1].append(instr)
+        memory_chunks = [c for c, l in zip(chunks, ["c", "m", "c", "m"]) if l == "m"]
+        addrs = [tuple(i.mem_addr for i in chunk if i.mem_addr) for chunk in memory_chunks]
+        assert addrs[0] != addrs[1]
+
+    def test_as_generator_matches_build(self):
+        scenario = self._scenario()
+        assert scenario.as_generator()(600).to_jsonl() == scenario.build(600).to_jsonl()
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            self._scenario().build(0)
+
+
+class TestInterleave:
+    def test_round_robin_alternates_blocks(self):
+        a = daxpy(elements=32, name="a")
+        b = fp_compute_bound(iterations=32, name="b")
+        mixed = interleave([a, b], block=8, name="mix")
+        assert len(mixed) == len(a) + len(b)
+        labels = [instr.label for instr in mixed]
+        assert labels[:8] == ["a"] * 8
+        assert labels[8:16] == ["b"] * 8
+
+    def test_preserves_per_trace_order(self):
+        a = daxpy(elements=16, name="a")
+        b = fp_compute_bound(iterations=16, name="b")
+        mixed = interleave([a, b], block=4)
+        assert [i for i in mixed if i.label == "a"] == list(a)
+        assert [i for i in mixed if i.label == "b"] == list(b)
+
+    def test_random_interleave_is_deterministic_for_fixed_rng(self):
+        a = daxpy(elements=16, name="a")
+        b = fp_compute_bound(iterations=16, name="b")
+        first = interleave([a, b], block=4, rng=stream_rng("mix"))
+        second = interleave([a, b], block=4, rng=stream_rng("mix"))
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(TraceError):
+            interleave([])
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(TraceError):
+            interleave([daxpy(elements=8)], block=0)
+
+
+class TestRelabel:
+    def test_relabel_replaces_every_label(self):
+        trace = daxpy(elements=8).relabel("renamed")
+        assert {instr.label for instr in trace} == {"renamed"}
+
+    def test_relabel_keeps_everything_else(self):
+        original = daxpy(elements=8)
+        relabelled = original.relabel("renamed")
+        for before, after in zip(original, relabelled):
+            assert before.pc == after.pc
+            assert before.op == after.op
+            assert before.srcs == after.srcs
+            assert before.mem_addr == after.mem_addr

@@ -258,3 +258,67 @@ class TestSweepCLI:
         code = main(["experiment", "figure07", "--scale", "0.08", "--no-cache"])
         assert code == 0
         assert "figure07" in capsys.readouterr().out
+
+
+class TestCacheKeyStability:
+    """Frozen-hash regression guard for the persistent cache.
+
+    These literals are the cache keys produced when the workload registry
+    landed; if either changes, every user's warm sweep cache is silently
+    invalidated.  Deliberate invalidation must come from bumping
+    ``repro.__version__`` (or the cache schema), not from refactors.
+    """
+
+    def test_default_suite_keys_are_frozen(self):
+        from repro.common.config import cooo_config, scaled_baseline
+
+        assert cell_cache_key(
+            scaled_baseline(window=128), "spec2000fp_like", "daxpy", 0.6
+        ) == "595d4318fc191d5d48024c1f1410613823e9b212c65299259f85ab8d09a4509b"
+        assert cell_cache_key(
+            cooo_config(), "spec2000fp_like", "gather", 0.6
+        ) == "adde09f86e93b513cf6600496a83400dddcab6d7c502490cb964961f99b657f1"
+
+    def test_default_suite_traces_are_frozen(self):
+        import hashlib
+
+        from repro.workloads.suite import spec2000fp_like
+
+        traces = spec2000fp_like(scale=0.6)
+        blob = "\n".join(trace.to_jsonl() for trace in traces.values())
+        digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        assert digest == "06396398d66aee5ea92979d3606bff1913063f01fe56b847c5c88c92c4168e58"
+
+
+class TestRegisteredSuiteSweeps:
+    """The three scenario suites drop into the engine with zero edits."""
+
+    @pytest.mark.parametrize("suite", ["pointer-chase", "branch-storm", "server-mix"])
+    def test_spec_resolves_registered_suite(self, suite):
+        spec = SweepSpec("s", [cooo_config(iq_size=32, sliq_size=512, memory_latency=100)], scale=0.05, suite=suite)
+        assert len(spec.workload_names()) >= 3
+        assert len(spec) == len(spec.workload_names())
+
+    def test_run_many_over_new_suite(self):
+        from repro.api import run_many
+
+        results = run_many([cooo_config(iq_size=32, sliq_size=512, memory_latency=100)], suite="branch-storm", scale=0.05)
+        assert len(results) == 1
+        _, per_workload = results[0]
+        assert set(per_workload) == {"storm_even", "storm_biased", "storm_dense"}
+        assert all(result.ipc > 0 for result in per_workload.values())
+
+    def test_engine_caches_new_suite(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = SweepSpec("s", [cooo_config(iq_size=32, sliq_size=512, memory_latency=100)], scale=0.05, suite="pointer-chase")
+        engine = SweepEngine(jobs=1, cache=cache)
+        cold = engine.run(spec)
+        warm = engine.run(spec)
+        assert cold.simulated == len(spec)
+        assert warm.cached == len(spec)
+        assert [r.to_dict() for r in warm.results] == [r.to_dict() for r in cold.results]
+
+    def test_unknown_suite_error_lists_names(self):
+        spec = SweepSpec("s", [cooo_config(iq_size=32, sliq_size=512, memory_latency=100)], suite="nope")
+        with pytest.raises(KeyError, match="registered suites"):
+            spec.workload_names()

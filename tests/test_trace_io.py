@@ -1,0 +1,285 @@
+"""Tests for trace file I/O (save/load/info) and the hardened round-trip."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.api import run
+from repro.common.config import cooo_config
+from repro.common.errors import TraceError
+from repro.trace.io import (
+    TRACE_FORMAT,
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    save_trace,
+    trace_info,
+)
+from repro.trace.trace import Trace
+from repro.workloads import daxpy, random_gather
+from repro.workloads.registry import get_suite
+
+
+@pytest.fixture
+def gather_trace():
+    return random_gather(elements=200)
+
+
+class TestRoundTrip:
+    def test_save_load_is_exact(self, tmp_path, gather_trace):
+        path = save_trace(gather_trace, tmp_path / "gather.trace.gz")
+        loaded = load_trace(path)
+        assert loaded.name == gather_trace.name
+        assert len(loaded) == len(gather_trace)
+        for original, restored in zip(gather_trace, loaded):
+            assert original == restored  # frozen dataclass: field-exact equality
+
+    def test_labels_and_metadata_preserved(self, tmp_path):
+        trace = get_suite("server-mix").build(scale=0.1)["phased"]
+        loaded = load_trace(save_trace(trace, tmp_path / "phased.trace.gz"))
+        assert [i.label for i in loaded] == [i.label for i in trace]
+        assert [i.srcs for i in loaded] == [i.srcs for i in trace]
+        assert loaded.to_jsonl() == trace.to_jsonl()
+
+    def test_trace_save_method_round_trips(self, tmp_path, gather_trace):
+        path = gather_trace.save(tmp_path / "via_method.trace.gz")
+        assert Trace.load(path).to_jsonl() == gather_trace.to_jsonl()
+
+    def test_dedup_shrinks_file(self, tmp_path):
+        trace = daxpy(elements=500)
+        path = save_trace(trace, tmp_path / "daxpy.trace.gz")
+        header = trace_info(path)
+        assert header["instructions"] == len(trace)
+        assert header["distinct_instructions"] < len(trace) // 2
+
+    def test_loaded_trace_simulates_identically(self, tmp_path, gather_trace):
+        config = cooo_config(iq_size=32, sliq_size=256, memory_latency=200)
+        path = save_trace(gather_trace, tmp_path / "sim.trace.gz")
+        fresh = run(config, gather_trace)
+        replayed = run(config, load_trace(path))
+        assert replayed.to_dict() == fresh.to_dict()
+
+    def test_overwrite_is_atomic_and_clean(self, tmp_path, gather_trace):
+        path = tmp_path / "twice.trace.gz"
+        save_trace(gather_trace, path)
+        save_trace(gather_trace, path)
+        assert load_trace(path).to_jsonl() == gather_trace.to_jsonl()
+        assert list(tmp_path.iterdir()) == [path]  # no temp files left behind
+
+    def test_info_reads_header_only(self, tmp_path, gather_trace):
+        path = save_trace(gather_trace, tmp_path / "info.trace.gz")
+        header = trace_info(path)
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_FORMAT_VERSION
+        assert header["name"] == "gather"
+
+
+def _write_gz(path, lines):
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        handle.write("\n".join(lines))
+    return path
+
+
+class TestMalformedInput:
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "absent.trace.gz")
+
+    def test_not_gzip(self, tmp_path):
+        path = tmp_path / "plain.trace.gz"
+        path.write_text("not gzip at all")
+        with pytest.raises(TraceError, match="not a readable trace file"):
+            load_trace(path)
+
+    def test_garbage_header(self, tmp_path):
+        path = _write_gz(tmp_path / "garbage.trace.gz", ["{not json"])
+        with pytest.raises(TraceError, match="malformed trace header"):
+            load_trace(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = _write_gz(
+            tmp_path / "marker.trace.gz", [json.dumps({"format": "elf", "version": 1})]
+        )
+        with pytest.raises(TraceError, match="not a repro-trace file"):
+            load_trace(path)
+
+    def test_version_mismatch(self, tmp_path):
+        header = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_FORMAT_VERSION + 1,
+            "name": "x",
+            "instructions": 1,
+        }
+        path = _write_gz(tmp_path / "future.trace.gz", [json.dumps(header)])
+        with pytest.raises(TraceError, match="unsupported trace format version"):
+            load_trace(path)
+
+    def test_non_positive_instruction_count_rejected(self, tmp_path):
+        for count in (0, -3, "many", True):
+            header = {"format": TRACE_FORMAT, "version": TRACE_FORMAT_VERSION,
+                      "name": "x", "instructions": count}
+            path = _write_gz(tmp_path / f"count_{count}.trace.gz", [json.dumps(header)])
+            with pytest.raises(TraceError, match="not a positive int"):
+                trace_info(path)
+
+    def test_missing_header_fields(self, tmp_path):
+        header = {"format": TRACE_FORMAT, "version": TRACE_FORMAT_VERSION}
+        path = _write_gz(tmp_path / "partial.trace.gz", [json.dumps(header)])
+        with pytest.raises(TraceError, match="missing"):
+            load_trace(path)
+
+    def _header(self, instructions=1):
+        return json.dumps(
+            {
+                "format": TRACE_FORMAT,
+                "version": TRACE_FORMAT_VERSION,
+                "name": "x",
+                "instructions": instructions,
+            }
+        )
+
+    @staticmethod
+    def _record(dest=None):
+        # One int_alu instruction in the body's positional column order.
+        return [0, "int_alu", dest, [], None, 8, False, None, False, ""]
+
+    def _body(self, records, index):
+        from repro.trace.io import RECORD_FIELDS
+
+        return json.dumps({"fields": list(RECORD_FIELDS), "records": records, "index": index})
+
+    def test_truncated_body(self, tmp_path):
+        path = _write_gz(tmp_path / "nobody.trace.gz", [self._header()])
+        with pytest.raises(TraceError, match="malformed trace body"):
+            load_trace(path)
+
+    def test_unknown_record_layout(self, tmp_path):
+        body = json.dumps({"fields": ["pc", "op"], "records": [], "index": []})
+        path = _write_gz(tmp_path / "layout.trace.gz", [self._header(), body])
+        with pytest.raises(TraceError, match="unsupported record layout"):
+            load_trace(path)
+
+    def test_malformed_record(self, tmp_path):
+        body = self._body([[0, "int_alu"]], [0])  # truncated record
+        path = _write_gz(tmp_path / "badrec.trace.gz", [self._header(), body])
+        with pytest.raises(TraceError, match="malformed instruction record"):
+            load_trace(path)
+
+    def test_unknown_opcode(self, tmp_path):
+        record = self._record()
+        record[1] = "warp_drive"
+        body = self._body([record], [0])
+        path = _write_gz(tmp_path / "badop.trace.gz", [self._header(), body])
+        with pytest.raises(TraceError, match="malformed instruction record"):
+            load_trace(path)
+
+    def test_invalid_register_in_record(self, tmp_path):
+        body = self._body([self._record(dest=999)], [0])
+        path = _write_gz(tmp_path / "badreg.trace.gz", [self._header(), body])
+        with pytest.raises(TraceError, match="malformed instruction record"):
+            load_trace(path)
+
+    def test_dangling_index(self, tmp_path):
+        body = self._body([self._record()], [0, 5])
+        path = _write_gz(tmp_path / "dangling.trace.gz", [self._header(2), body])
+        with pytest.raises(TraceError, match="missing record"):
+            load_trace(path)
+
+    def test_negative_index_rejected(self, tmp_path):
+        # Python's negative indexing must not silently alias records.
+        body = self._body([self._record()], [0, -1])
+        path = _write_gz(tmp_path / "negative.trace.gz", [self._header(2), body])
+        with pytest.raises(TraceError, match="missing record"):
+            load_trace(path)
+
+    def test_non_integer_index_rejected(self, tmp_path):
+        body = self._body([self._record()], [0, "x"])
+        path = _write_gz(tmp_path / "strindex.trace.gz", [self._header(2), body])
+        with pytest.raises(TraceError, match="missing record"):
+            load_trace(path)
+
+    def test_count_mismatch(self, tmp_path):
+        body = self._body([self._record()], [0])
+        path = _write_gz(tmp_path / "count.trace.gz", [self._header(7), body])
+        with pytest.raises(TraceError, match="promises 7 instructions"):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        # An instruction count of zero is already rejected at the header.
+        body = self._body([], [])
+        path = _write_gz(tmp_path / "empty.trace.gz", [self._header(0), body])
+        with pytest.raises(TraceError, match="not a positive int"):
+            load_trace(path)
+
+    def test_empty_body_with_claimed_count_rejected(self, tmp_path):
+        body = self._body([], [])
+        path = _write_gz(tmp_path / "emptybody.trace.gz", [self._header(3), body])
+        with pytest.raises(TraceError, match="promises 3 instructions"):
+            load_trace(path)
+
+    def test_jsonl_round_trip_raises_trace_error_not_key_error(self):
+        # Satellite requirement: malformed jsonl surfaces TraceError.
+        for bad in ('{"op": "int_alu"}', '{"pc": 0}', "[1, 2]", "{broken"):
+            with pytest.raises(TraceError):
+                Trace.from_jsonl(bad)
+
+
+class TestTraceCli:
+    def test_save_info_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "w.trace.gz"
+        assert main(["trace", "save", "--workload", "daxpy", "--size", "60",
+                     "--out", str(out)]) == 0
+        assert main(["trace", "info", str(out)]) == 0
+        assert "daxpy" in capsys.readouterr().out
+        assert main(["trace", "run", str(out), "--machine", "baseline",
+                     "--memory-latency", "100"]) == 0
+        assert "ipc" in capsys.readouterr().out
+
+    def test_save_suite_writes_member_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "suite-traces"
+        assert main(["trace", "save", "--suite", "branch-storm", "--scale", "0.05",
+                     "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        files = sorted(p.name for p in out_dir.iterdir())
+        assert files == [
+            "storm_biased.trace.gz",
+            "storm_dense.trace.gz",
+            "storm_even.trace.gz",
+        ]
+        # header names carry the member name, not the kernel name
+        assert trace_info(out_dir / "storm_even.trace.gz")["name"] == "storm_even"
+
+    def test_unknown_names_error_with_listing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "save", "--workload", "nope"]) == 2
+        assert "registered workloads" in capsys.readouterr().err
+        assert main(["trace", "save", "--suite", "nope"]) == 2
+        assert "registered suites" in capsys.readouterr().err
+
+    def test_save_rejects_mismatched_output_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "save", "--suite", "branch-storm",
+                     "--out", str(tmp_path / "x.trace.gz")]) == 2
+        assert "--out-dir" in capsys.readouterr().err
+        assert main(["trace", "save", "--workload", "daxpy",
+                     "--out-dir", str(tmp_path)]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_info_on_bad_file_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.trace.gz"
+        bad.write_text("junk")
+        assert main(["trace", "info", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_without_action_prints_help(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace"]) == 2

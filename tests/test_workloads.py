@@ -120,6 +120,37 @@ class TestIntegerKernels:
         assert trace.count(OpClass.FP_MUL) > 0
 
 
+class TestNewIntegerKernels:
+    def test_multi_chase_round_robins_chains(self):
+        from repro.workloads import multi_pointer_chase
+
+        trace = multi_pointer_chase(hops=12, chains=3)
+        loads = [i for i in trace if i.is_load]
+        assert len({l.dest for l in loads}) == 3
+        # each chain is serial: a chain's load addresses its own pointer
+        assert all(l.srcs == (l.dest,) for l in loads)
+
+    def test_multi_chase_rejects_out_of_range_chains(self):
+        from repro.workloads import multi_pointer_chase
+
+        with pytest.raises(ValueError):
+            multi_pointer_chase(hops=8, chains=0)
+        with pytest.raises(ValueError):
+            multi_pointer_chase(hops=8, chains=13)
+
+    def test_dense_branches_density(self):
+        from repro.workloads import dense_branches
+
+        trace = dense_branches(iterations=50, branches_per_iteration=3)
+        assert trace.branch_fraction() > 0.6
+
+    def test_dense_branches_rejects_zero_branches(self):
+        from repro.workloads import dense_branches
+
+        with pytest.raises(ValueError):
+            dense_branches(iterations=8, branches_per_iteration=0)
+
+
 class TestSuites:
     def test_spec_suite_membership(self):
         traces = spec2000fp_like(scale=0.1)
