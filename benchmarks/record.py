@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Record simulator throughput numbers into BENCH_simulator.json.
+
+Thin wrapper over :mod:`repro.perf` so the benchmarks can be recorded
+without the CLI installed::
+
+    python benchmarks/record.py                # run + append all benchmarks
+    python benchmarks/record.py --per-cycle    # time the per-cycle debug kernel
+    python benchmarks/record.py --no-record    # print only
+
+``repro bench`` is the same driver behind the CLI.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -108,6 +108,7 @@ class Simulation:
         progress: Optional[ProgressFn] = None,
         progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
         stop_when: Optional[StopFn] = None,
+        force_per_cycle: bool = False,
     ) -> None:
         self.config = config.validate()
         self.probes: List[Probe] = list(probes)
@@ -118,6 +119,9 @@ class Simulation:
             raise ValueError(f"progress_interval must be >= 1, got {progress_interval}")
         self.progress_interval = progress_interval
         self.stop_when = stop_when
+        #: Debug escape hatch: step every simulated cycle instead of the
+        #: event-driven cycle-skipping kernel (results are bit-identical).
+        self.force_per_cycle = force_per_cycle
 
     @property
     def machine(self) -> MachineSpec:
@@ -147,6 +151,7 @@ class Simulation:
             progress=self.progress,
             progress_interval=self.progress_interval,
             stop=self.stop_when,
+            force_per_cycle=self.force_per_cycle,
         )
 
     def run_suite(
@@ -168,6 +173,7 @@ def run(
     progress: Optional[ProgressFn] = None,
     progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
     stop_when: Optional[StopFn] = None,
+    force_per_cycle: bool = False,
 ) -> SimulationResult:
     """Run one trace on one configuration — the canonical one-liner."""
     return Simulation(
@@ -178,6 +184,7 @@ def run(
         progress=progress,
         progress_interval=progress_interval,
         stop_when=stop_when,
+        force_per_cycle=force_per_cycle,
     ).run(trace)
 
 

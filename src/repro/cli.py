@@ -472,6 +472,17 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the simulator throughput benchmarks (see repro.perf).
+
+    The argument set comes from repro.perf.add_bench_arguments, so
+    'repro bench' and 'python benchmarks/record.py' behave identically.
+    """
+    from .perf import run_from_args
+
+    return run_from_args(args)
+
+
 def cmd_modes(args: argparse.Namespace) -> int:
     """List every registered machine organization."""
     specs = machine_specs()
@@ -634,6 +645,16 @@ def build_parser() -> argparse.ArgumentParser:
         "modes", help="list registered machine organizations"
     )
     modes.set_defaults(func=cmd_modes)
+
+    from .perf import add_bench_arguments
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the simulator throughput benchmarks and append results "
+             "to BENCH_simulator.json",
+    )
+    add_bench_arguments(bench)
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -58,6 +58,24 @@ class RunningMean:
         if self.max is None or value > self.max:
             self.max = value
 
+    def sample_many(self, value: float, count: int) -> None:
+        """Record ``count`` observations of the same ``value``.
+
+        Used by the event-driven simulation kernel to integrate a
+        constant occupancy over a span of skipped cycles.  For integer
+        samples (every occupancy is one) ``total`` accumulates exactly
+        the same value as ``count`` individual :meth:`sample` calls, so
+        skipped and per-cycle runs produce bit-identical means.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -127,6 +127,17 @@ class Checkpoint:
 class CheckpointTable:
     """A small, in-order table of checkpoints (8 entries in the paper)."""
 
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "_next_uid",
+        "_created",
+        "_committed",
+        "_rollbacks",
+        "_full_stalls",
+        "_occupancy_samples",
+    )
+
     def __init__(self, capacity: int, stats: StatsRegistry) -> None:
         if capacity <= 0:
             raise CheckpointError("checkpoint table capacity must be positive")
@@ -152,11 +163,11 @@ class CheckpointTable:
     def is_empty(self) -> bool:
         return not self._entries
 
-    def note_full_stall(self) -> None:
-        self._full_stalls.add()
+    def note_full_stall(self, cycles: int = 1) -> None:
+        self._full_stalls.add(cycles)
 
-    def sample_occupancy(self) -> None:
-        self._occupancy_samples.sample(len(self._entries))
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        self._occupancy_samples.sample_many(len(self._entries), cycles)
 
     # -- access ------------------------------------------------------------------
     def oldest(self) -> Optional[Checkpoint]:
@@ -267,6 +278,8 @@ class CheckpointPolicy:
     instructions, or after 64 stores.  The alternative policies are the
     ablations promised as future work in the paper.
     """
+
+    __slots__ = ("config", "_since_last", "_stores_since_last")
 
     def __init__(self, config: CheckpointConfig) -> None:
         config.validate()

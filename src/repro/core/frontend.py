@@ -68,6 +68,16 @@ class FetchUnit:
     def stalled(self) -> bool:
         return self._stall_branch_seq is not None
 
+    @property
+    def resume_cycle(self) -> int:
+        """Earliest cycle at which fetch can deliver again (may be past).
+
+        Used by the event-driven kernel as the "front end wakes up"
+        event when fetch is waiting out an I-cache miss or a redirect
+        penalty.
+        """
+        return self._resume_cycle
+
     def can_fetch(self, cycle: int) -> bool:
         """True if the front end may fetch this cycle."""
         if self.exhausted or self.stalled:

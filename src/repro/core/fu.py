@@ -12,6 +12,8 @@ from ..isa.opcodes import FU_FOR_OP, FUType, OpClass, execution_latency, is_pipe
 class FunctionalUnitPool:
     """A pool of identical units; unpipelined operations hold a unit busy."""
 
+    __slots__ = ("name", "count", "_busy_until", "_issues", "_structural_stalls")
+
     def __init__(self, name: str, count: int, stats: StatsRegistry) -> None:
         self.name = name
         self.count = count
@@ -25,9 +27,10 @@ class FunctionalUnitPool:
         ``occupancy_cycles`` is 1 for fully pipelined operations and the
         full latency for unpipelined ones (the dividers).
         """
-        for index in range(self.count):
-            if self._busy_until[index] <= cycle:
-                self._busy_until[index] = cycle + occupancy_cycles
+        busy = self._busy_until
+        for index, until in enumerate(busy):
+            if until <= cycle:
+                busy[index] = cycle + occupancy_cycles
                 self._issues.add()
                 return True
         self._structural_stalls.add()
@@ -40,6 +43,8 @@ class FunctionalUnitPool:
 
 class ExecutionUnits:
     """All pools of the machine plus the latency lookup."""
+
+    __slots__ = ("fu_config", "_pools")
 
     def __init__(
         self,

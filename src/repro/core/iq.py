@@ -6,6 +6,11 @@ with a :class:`WakeupNetwork`: when a physical register becomes ready the
 waiting instructions are notified directly, so the per-cycle cost does not
 depend on the queue size (important for simulating the paper's unbuildable
 4096-entry baseline queues at tolerable speed).
+
+The queue maintains its waiting population as a set alongside the
+resident set, so the pipeline's "who is still blocked on operands"
+queries (`waiting_residents`) and the event-driven kernel's "is anything
+selectable" query (`has_ready`) never scan the full queue.
 """
 
 from __future__ import annotations
@@ -22,13 +27,20 @@ from .regfile import PhysicalRegisterFile
 class WakeupNetwork:
     """Maps physical registers to the instructions waiting on them."""
 
+    __slots__ = ("_waiters",)
+
     def __init__(self) -> None:
         self._waiters: Dict[int, List[DynInst]] = {}
 
     def register(self, inst: DynInst, pending: Iterable[int]) -> None:
         """Subscribe ``inst`` to the readiness of each register in ``pending``."""
+        waiters = self._waiters
         for preg in pending:
-            self._waiters.setdefault(preg, []).append(inst)
+            entry = waiters.get(preg)
+            if entry is None:
+                waiters[preg] = [inst]
+            else:
+                entry.append(inst)
 
     def notify_ready(self, preg: int) -> List[DynInst]:
         """A register became ready; returns instructions that are now fully ready.
@@ -38,9 +50,9 @@ class WakeupNetwork:
         pending-source sets updated.
         """
         woken: List[DynInst] = []
-        for inst in self._waiters.pop(preg, []):
-            pending: Set[int] = getattr(inst, "pending_srcs", set())
-            if preg not in pending:
+        for inst in self._waiters.pop(preg, ()):
+            pending = inst.pending_srcs
+            if pending is None or preg not in pending:
                 # Stale subscription: the instruction was moved to the SLIQ
                 # and re-inserted (recomputing its pending set), or this is
                 # a duplicate registration from an earlier residency.
@@ -65,6 +77,19 @@ class WakeupNetwork:
 class InstructionQueue:
     """One general-purpose issue queue (wakeup + oldest-first select)."""
 
+    __slots__ = (
+        "name",
+        "capacity",
+        "_occupancy",
+        "_residents",
+        "_waiting",
+        "_ready_heap",
+        "_inserts",
+        "_issues",
+        "_full_stalls",
+        "_occupancy_mean",
+    )
+
     def __init__(self, name: str, capacity: int, stats: StatsRegistry) -> None:
         if capacity <= 0:
             raise StructuralHazardError(f"{name}: capacity must be positive")
@@ -72,6 +97,7 @@ class InstructionQueue:
         self.capacity = capacity
         self._occupancy = 0
         self._residents: Set[DynInst] = set()
+        self._waiting: Set[DynInst] = set()
         self._ready_heap: List[tuple] = []
         self._inserts = stats.counter(f"{name}.inserts")
         self._issues = stats.counter(f"{name}.issues")
@@ -90,11 +116,11 @@ class InstructionQueue:
     def free_entries(self) -> int:
         return self.capacity - self._occupancy
 
-    def note_full_stall(self) -> None:
-        self._full_stalls.add()
+    def note_full_stall(self, cycles: int = 1) -> None:
+        self._full_stalls.add(cycles)
 
-    def sample_occupancy(self) -> None:
-        self._occupancy_mean.sample(self._occupancy)
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        self._occupancy_mean.sample_many(self._occupancy, cycles)
 
     # -- insertion --------------------------------------------------------------------
     def insert(
@@ -104,36 +130,68 @@ class InstructionQueue:
         wakeup: WakeupNetwork,
     ) -> None:
         """Place ``inst`` in the queue and subscribe it to missing operands."""
-        if self.is_full:
+        if self._occupancy >= self.capacity:
             raise StructuralHazardError(f"{self.name} overflow")
-        pending = {p for p in inst.phys_srcs if not regfile.is_ready(p)}
-        inst.pending_srcs = pending  # type: ignore[attr-defined]
+        is_ready = regfile.is_ready
+        pending = {p for p in inst.phys_srcs if not is_ready(p)}
+        inst.pending_srcs = pending
         inst.in_iq = True
-        inst.iq = self  # type: ignore[attr-defined]
+        inst.iq = self
         self._occupancy += 1
         self._residents.add(inst)
         self._inserts.add()
         if pending:
+            self._waiting.add(inst)
             wakeup.register(inst, pending)
         else:
-            self.mark_ready(inst)
+            heapq.heappush(self._ready_heap, (inst.seq, id(inst), inst))
 
     def mark_ready(self, inst: DynInst) -> None:
         """Put ``inst`` into the select pool (all operands ready)."""
+        self._waiting.discard(inst)
         heapq.heappush(self._ready_heap, (inst.seq, id(inst), inst))
+
+    @property
+    def maybe_ready(self) -> bool:
+        """Cheap may-have-ready check (no pruning; stale entries count).
+
+        The issue stage uses this as its early-exit guard; a True answer
+        only means :meth:`pop_ready` is worth calling.
+        """
+        return bool(self._ready_heap)
 
     # -- selection --------------------------------------------------------------------
     def pop_ready(self) -> Optional[DynInst]:
         """Oldest ready instruction still resident in this queue, or None."""
-        while self._ready_heap:
-            _, _, inst = heapq.heappop(self._ready_heap)
+        heap = self._ready_heap
+        while heap:
+            inst = heapq.heappop(heap)[2]
             if (
                 inst.in_iq
                 and inst.state is InstState.DISPATCHED
-                and not getattr(inst, "pending_srcs", None)
+                and not inst.pending_srcs
             ):
                 return inst
         return None
+
+    def has_ready(self) -> bool:
+        """True if :meth:`pop_ready` would return an instruction.
+
+        Prunes the same stale heap entries ``pop_ready`` would discard,
+        so calling it from the event-driven kernel leaves the queue in
+        exactly the state a fruitless per-cycle select would.
+        """
+        heap = self._ready_heap
+        while heap:
+            inst = heap[0][2]
+            if (
+                inst.in_iq
+                and inst.state is InstState.DISPATCHED
+                and not inst.pending_srcs
+            ):
+                return True
+            heapq.heappop(heap)
+        return False
 
     def unpop(self, inst: DynInst) -> None:
         """Return an instruction taken with :meth:`pop_ready` but not issued."""
@@ -150,6 +208,7 @@ class InstructionQueue:
         inst.in_iq = False
         self._occupancy -= 1
         self._residents.discard(inst)
+        self._waiting.discard(inst)
         if self._occupancy < 0:
             raise StructuralHazardError(f"{self.name}: occupancy underflow")
 
@@ -158,11 +217,15 @@ class InstructionQueue:
         return list(self._residents)
 
     def waiting_residents(self) -> List[DynInst]:
-        """Residents that still have unready source operands."""
+        """Residents that still have unready source operands.
+
+        Backed by a maintained set (updated on insert/wakeup/remove), so
+        the query does not scan the whole queue.
+        """
         return [
             inst
-            for inst in self._residents
-            if getattr(inst, "pending_srcs", None) and inst.state is InstState.DISPATCHED
+            for inst in self._waiting
+            if inst.pending_srcs and inst.state is InstState.DISPATCHED
         ]
 
     def drop_squashed(self, insts: Iterable[DynInst]) -> None:

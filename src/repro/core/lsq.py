@@ -26,6 +26,16 @@ def _word_address(addr: int) -> int:
 class LoadStoreQueue:
     """Tracks in-flight memory instructions and store-to-load forwarding."""
 
+    __slots__ = (
+        "capacity",
+        "_occupancy",
+        "_stores_by_word",
+        "_inserts",
+        "_forwards",
+        "_full_stalls",
+        "_occupancy_mean",
+    )
+
     def __init__(self, capacity: int, stats: StatsRegistry) -> None:
         if capacity <= 0:
             raise StructuralHazardError("LSQ capacity must be positive")
@@ -49,11 +59,11 @@ class LoadStoreQueue:
     def free_entries(self) -> int:
         return self.capacity - self._occupancy
 
-    def note_full_stall(self) -> None:
-        self._full_stalls.add()
+    def note_full_stall(self, cycles: int = 1) -> None:
+        self._full_stalls.add(cycles)
 
-    def sample_occupancy(self) -> None:
-        self._occupancy_mean.sample(self._occupancy)
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        self._occupancy_mean.sample_many(self._occupancy, cycles)
 
     # -- allocation ---------------------------------------------------------------------
     def allocate(self, inst: DynInst) -> None:

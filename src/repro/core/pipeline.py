@@ -51,6 +51,11 @@ from .rob import ReorderBuffer
 from .sliq import LongLatencyTracker, SlowLaneQueue
 
 
+def _by_seq(inst: DynInst) -> int:
+    """Sort key for age-ordered selection (module-level: no per-call closure)."""
+    return inst.seq
+
+
 class PipelineBase:
     """Shared machinery of every simulated machine."""
 
@@ -87,12 +92,23 @@ class PipelineBase:
         self.committed = 0
         self.fetched = 0
         self._last_commit_cycle = 0
+        self._dispatched_in_cycle = 0
+        # Hot-loop constants, bound once so the per-cycle stages do not
+        # chase config attribute chains.
+        self._fetch_width = config.core.fetch_width
+        self._fetch_buffer_cap = 2 * config.core.fetch_width
+        self._issue_width = config.core.issue_width
 
         # Probes: the occupancy/liveness accounting of Figures 7 and 11
         # lives in the default OccupancyProbe; ``probes=None`` attaches it,
         # an explicit (possibly empty) sequence replaces the defaults.
         self.occupancy = None  # set by an attaching OccupancyProbe
         self._probes: List[Probe] = []
+        #: Bulk idle-span hooks of skip-aware probes (see Probe.on_idle_cycles).
+        self._hooks_idle_cycles: List[Callable] = []
+        #: True once a probe subscribes to on_cycle without an
+        #: on_idle_cycles counterpart — the kernel then steps every cycle.
+        self._per_cycle_only = False
         for event in PROBE_EVENTS:
             setattr(self, f"_hooks_{event[3:]}", [])
         for probe in default_probes() if probes is None else probes:
@@ -108,13 +124,25 @@ class PipelineBase:
         return tuple(self._probes)
 
     def attach_probe(self, probe: Probe) -> Probe:
-        """Attach an observer; only the events it overrides are bound."""
+        """Attach an observer; only the events it overrides are bound.
+
+        A probe that overrides ``on_cycle`` but not ``on_idle_cycles``
+        needs to see every simulated cycle, so its attachment switches
+        the kernel to per-cycle stepping.  Skip-aware probes (both
+        overridden, like the default :class:`OccupancyProbe`) keep the
+        event-driven fast path.
+        """
         self._probes.append(probe)
         probe.on_attach(self)
+        idle_hook = hook_for(probe, "on_idle_cycles")
+        if idle_hook is not None:
+            self._hooks_idle_cycles.append(idle_hook)
         for event in PROBE_EVENTS:
             hook = hook_for(probe, event)
             if hook is not None:
                 getattr(self, f"_hooks_{event[3:]}").append(hook)
+                if event == "on_cycle" and idle_hook is None:
+                    self._per_cycle_only = True
         return probe
 
     # -- subclass hooks ---------------------------------------------------------
@@ -149,7 +177,7 @@ class PipelineBase:
             for hook in self._hooks_squash:
                 hook(self, inst)
         if inst.in_iq:
-            queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
+            queue: InstructionQueue = inst.iq
             queue.remove(inst)
         if inst.is_memory and inst.lsq_index is not None:
             self.lsq.release(inst)
@@ -170,6 +198,7 @@ class PipelineBase:
         progress: Optional[Callable[["PipelineBase"], None]] = None,
         progress_interval: int = 8192,
         stop: Optional[Callable[["PipelineBase"], bool]] = None,
+        force_per_cycle: bool = False,
     ) -> SimulationResult:
         """Simulate until every trace instruction committed.
 
@@ -177,16 +206,33 @@ class PipelineBase:
         ``progress_interval`` cycles; ``stop`` is an early-stop predicate
         checked each cycle — when it returns True the run ends and the
         (partial) result is built from whatever has committed so far.
+
+        The driver is **event-driven**: whenever no stage can make
+        progress next cycle, the clock jumps to the next interesting
+        cycle (write-back heap head, front-end wake-up, watchdog) in one
+        step, integrating the per-cycle statistics over the skipped span
+        so the result is bit-identical to stepping every cycle.  The
+        kernel falls back to per-cycle stepping when ``force_per_cycle``
+        is set (the debug escape hatch), when a ``stop`` predicate is
+        given (it must be evaluated every cycle), or when an attached
+        probe subscribes to ``on_cycle`` without being skip-aware.
         """
         limit = max_cycles if max_cycles is not None else float("inf")
-        while not self.finished():
+        event_driven = not (force_per_cycle or stop is not None or self._per_cycle_only)
+        progress_stride = progress_interval if progress is not None else 0
+        deadlock_cycles = self.config.deadlock_cycles
+        step = self.step
+        finished = self.finished
+        while not finished():
             if self.cycle >= limit:
                 raise SimulationError(
                     f"exceeded max_cycles={max_cycles} with "
                     f"{self.committed}/{self.total_instructions} committed"
                 )
-            self.step()
-            if self.cycle - self._last_commit_cycle > self.config.deadlock_cycles:
+            if event_driven:
+                self._advance_past_idle(max_cycles, progress_stride)
+            step()
+            if self.cycle - self._last_commit_cycle > deadlock_cycles:
                 raise DeadlockError(self._deadlock_report())
             if progress is not None and self.cycle % progress_interval == 0:
                 progress(self)
@@ -205,7 +251,8 @@ class PipelineBase:
         """Advance the machine by one cycle."""
         self.cycle += 1
         self._commit_stage()
-        self._writeback_stage()
+        if self._writeback_heap:
+            self._writeback_stage()
         self._issue_stage()
         self._dispatch_stage()
         self._fetch_stage()
@@ -215,18 +262,108 @@ class PipelineBase:
                 hook(self)
         self._sample_occupancy()
 
+    # -- event-driven time advance ------------------------------------------------
+    def _advance_past_idle(self, limit: Optional[int], progress_stride: int) -> None:
+        """Jump ``self.cycle`` to just before the next interesting cycle.
+
+        The next cycle is *idle* when every stage is provably a no-op:
+        no write-back is due, the front end cannot deliver, no issue
+        candidate is ready, and the mode-specific stages (dispatch,
+        commit, SLIQ re-insertion, pseudo-ROB drain) can neither move an
+        instruction nor mutate state.  An idle cycle still has per-cycle
+        side effects — occupancy samples and stall counters — which stay
+        constant across the span, so they are applied in bulk by
+        :meth:`_account_idle_cycles` and the clock jumps straight to the
+        earliest of:
+
+        * the write-back heap head (memory completions included — MSHR
+          fill timers are passive and surface through load completions);
+        * the front end's ``resume_cycle`` (I-cache miss / redirect);
+        * the deadlock watchdog threshold, ``max_cycles`` and (when a
+          progress callback is bound) the next reporting cycle, so those
+          fire exactly as they would per cycle.
+        """
+        cycle = self.cycle
+        horizon = cycle + 1
+        target: Optional[int] = None
+        heap = self._writeback_heap
+        if heap:
+            head = heap[0][0]
+            if head <= horizon:
+                return
+            target = head
+        frontend = self.frontend
+        if len(self.fetch_buffer) < self._fetch_buffer_cap and not frontend.exhausted:
+            if frontend.stalled:
+                return  # stall-mode front ends count per-cycle statistics
+            resume = frontend.resume_cycle
+            if resume <= horizon:
+                return
+            if target is None or resume < target:
+                target = resume
+        if self.int_queue.has_ready() or self.fp_queue.has_ready():
+            return
+        idle_effects = self._idle_cycle_effects()
+        if idle_effects is None:
+            return
+        watchdog = self._last_commit_cycle + self.config.deadlock_cycles + 1
+        if target is None or watchdog < target:
+            target = watchdog
+        if limit is not None and limit < target:
+            target = limit
+        if progress_stride:
+            next_report = cycle - cycle % progress_stride + progress_stride
+            if next_report < target:
+                target = next_report
+        skipped = target - horizon
+        if skipped <= 0:
+            return
+        self._account_idle_cycles(skipped, idle_effects)
+        self.cycle = target - 1
+
+    def _idle_cycle_effects(self) -> Optional[Tuple[Callable[[int], None], ...]]:
+        """Can the machine-specific stages do nothing next cycle?
+
+        Returns ``None`` when some stage would make progress or mutate
+        state (no skipping), otherwise the per-cycle statistic effects an
+        idle cycle would have (each called with the number of skipped
+        cycles).  The base implementation refuses to skip, so machines
+        with custom stage behaviour stay correct-by-default; the two
+        shipped machines override this with their exact stall signature.
+        """
+        return None
+
+    def _extra_idle_work(self, cycles: int) -> None:
+        """Bulk counterpart of :meth:`_extra_cycle_work` for skipped spans."""
+
+    def _account_idle_cycles(
+        self, cycles: int, effects: Tuple[Callable[[int], None], ...]
+    ) -> None:
+        """Apply the per-cycle side effects of ``cycles`` idle cycles at once."""
+        for effect in effects:
+            effect(cycles)
+        self.int_queue.sample_occupancy(cycles)
+        self.fp_queue.sample_occupancy(cycles)
+        self.lsq.sample_occupancy(cycles)
+        self._extra_idle_work(cycles)
+        if self._hooks_idle_cycles:
+            for hook in self._hooks_idle_cycles:
+                hook(self, cycles)
+
     # -- fetch ------------------------------------------------------------------------
     def _fetch_stage(self) -> None:
-        if len(self.fetch_buffer) >= 2 * self.config.core.fetch_width:
+        buffer = self.fetch_buffer
+        if len(buffer) >= self._fetch_buffer_cap:
             return
-        for fetched in self.frontend.fetch_block(self.cycle):
+        cycle = self.cycle
+        for fetched in self.frontend.fetch_block(cycle):
             inst = DynInst(seq=self._next_seq, trace_index=fetched.trace_index, instr=fetched.instr)
             self._next_seq += 1
             self.fetched += 1
-            inst.fetch_cycle = self.cycle
+            inst.fetch_cycle = cycle
             inst.predicted_taken = fetched.predicted_taken
             inst.mispredicted = fetched.mispredicted
-            self.fetch_buffer.append(inst)
+            buffer.append(inst)
 
     # -- dispatch helpers shared by both machines -----------------------------------------
     def _queue_for(self, inst: DynInst) -> InstructionQueue:
@@ -248,31 +385,40 @@ class PipelineBase:
 
     # -- issue --------------------------------------------------------------------------
     def _issue_stage(self) -> None:
-        width = self.config.core.issue_width
+        int_queue = self.int_queue
+        fp_queue = self.fp_queue
+        if not int_queue.maybe_ready and not fp_queue.maybe_ready:
+            return
+        width = self._issue_width
         issued = 0
         candidates: List[DynInst] = []
-        for queue in (self.int_queue, self.fp_queue):
+        for queue in (int_queue, fp_queue):
+            pop_ready = queue.pop_ready
             for _ in range(width):
-                inst = queue.pop_ready()
+                inst = pop_ready()
                 if inst is None:
                     break
                 candidates.append(inst)
-        candidates.sort(key=lambda entry: entry.seq)
+        if not candidates:
+            return
+        candidates.sort(key=_by_seq)
+        try_issue = self._try_issue
         for inst in candidates:
-            if issued < width and self._try_issue(inst):
+            if issued < width and try_issue(inst):
                 issued += 1
             else:
-                inst.iq.unpop(inst)  # type: ignore[attr-defined]
+                inst.iq.unpop(inst)
 
     def _try_issue(self, inst: DynInst) -> bool:
-        if not self.units.try_issue(inst.op, self.cycle):
+        cycle = self.cycle
+        if not self.units.try_issue(inst.op, cycle):
             return False
-        queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
+        queue: InstructionQueue = inst.iq
         queue.remove(inst)
         queue.record_issue()
         inst.state = InstState.EXECUTING
-        inst.issue_cycle = self.cycle
-        completion = self.cycle + self._execution_time(inst)
+        inst.issue_cycle = cycle
+        completion = cycle + self._execution_time(inst)
         if self._hooks_issue:
             # After _execution_time, so probes see the L2-miss verdict.
             for hook in self._hooks_issue:
@@ -302,13 +448,16 @@ class PipelineBase:
 
     # -- write-back --------------------------------------------------------------------------
     def _writeback_stage(self) -> None:
-        while self._writeback_heap and self._writeback_heap[0][0] <= self.cycle:
-            _, _, inst = heapq.heappop(self._writeback_heap)
-            if inst.squashed:
+        heap = self._writeback_heap
+        cycle = self.cycle
+        heappop = heapq.heappop
+        while heap and heap[0][0] <= cycle:
+            inst = heappop(heap)[2]
+            if inst.state is InstState.SQUASHED:
                 continue
             if not self._complete_instruction(inst):
                 # Structural stall (late register allocation): retry next cycle.
-                heapq.heappush(self._writeback_heap, (self.cycle + 1, inst.seq, inst))
+                heapq.heappush(heap, (cycle + 1, inst.seq, inst))
 
     def _complete_instruction(self, inst: DynInst) -> bool:
         """Finish one instruction; False requests a retry next cycle."""
@@ -316,10 +465,11 @@ class PipelineBase:
             return False
         inst.state = InstState.DONE
         inst.complete_cycle = self.cycle
-        if inst.phys_dest is not None:
-            self.regfile.set_ready(inst.phys_dest)
-            for waiter in self.wakeup.notify_ready(inst.phys_dest):
-                waiter.iq.mark_ready(waiter)  # type: ignore[attr-defined]
+        phys_dest = inst.phys_dest
+        if phys_dest is not None:
+            self.regfile.set_ready(phys_dest)
+            for waiter in self.wakeup.notify_ready(phys_dest):
+                waiter.iq.mark_ready(waiter)
         if self._hooks_complete:
             for hook in self._hooks_complete:
                 hook(self, inst)
@@ -349,9 +499,15 @@ class PipelineBase:
 
     def _deadlock_report(self) -> str:
         in_flight = self.occupancy.in_flight if self.occupancy is not None else "n/a"
+        # Report the simulated-cycle span without commit progress, not a
+        # loop-iteration count: under the event-driven kernel one driver
+        # iteration can cover thousands of simulated cycles, and the span
+        # is what the deadlock_cycles threshold is measured in.
+        stalled_span = self.cycle - self._last_commit_cycle
         return (
             f"{self.mode} pipeline made no commit progress for "
-            f"{self.config.deadlock_cycles} cycles at cycle {self.cycle}: "
+            f"{stalled_span} simulated cycles "
+            f"(threshold {self.config.deadlock_cycles}) at cycle {self.cycle}: "
             f"committed={self.committed}/{self.total_instructions}, "
             f"in_flight={in_flight}, int_iq={self.int_queue.occupancy}, "
             f"fp_iq={self.fp_queue.occupancy}, lsq={self.lsq.occupancy}, "
@@ -414,6 +570,9 @@ class BaselinePipeline(PipelineBase):
 
     # -- commit ---------------------------------------------------------------------------
     def _commit_stage(self) -> None:
+        head = self.rob.head()
+        if head is None or head.state is not InstState.DONE:
+            return
         for inst in self.rob.committable(self.config.core.commit_width):
             self.rob.commit_head()
             if inst.is_store:
@@ -450,6 +609,36 @@ class BaselinePipeline(PipelineBase):
 
     def _extra_cycle_work(self) -> None:
         self._rob_occupancy_mean.sample(self.rob.occupancy)
+
+    # -- event-driven kernel hooks ----------------------------------------------------
+    def _idle_cycle_effects(self) -> Optional[Tuple[Callable[[int], None], ...]]:
+        """Next-cycle no-op check mirroring ``_dispatch_stage``/``_commit_stage``.
+
+        Skipping is refused (``None``) when the ROB head is completed
+        (commit would retire it) or when dispatch could move the fetch
+        buffer's head into the window.  Otherwise the returned effects
+        are exactly the stall statistics one idle dispatch attempt
+        bumps, in the order the real stage would.
+        """
+        head = self.rob.head()
+        if head is not None and head.state is InstState.DONE:
+            return None
+        if not self.fetch_buffer:
+            return ()
+        inst = self.fetch_buffer[0]
+        if self.rob.is_full:
+            return (self.rob.note_full_stall, self._dispatch_stalls.add)
+        queue = self._queue_for(inst)
+        if queue.is_full:
+            return (queue.note_full_stall, self._dispatch_stalls.add)
+        if inst.is_memory and self.lsq.is_full:
+            return (self.lsq.note_full_stall, self._dispatch_stalls.add)
+        if not self.renamer.can_rename(inst):
+            return (self._dispatch_stalls.add,)
+        return None  # dispatch would make progress
+
+    def _extra_idle_work(self, cycles: int) -> None:
+        self._rob_occupancy_mean.sample_many(self.rob.occupancy, cycles)
 
 
 @register_machine(
@@ -604,7 +793,7 @@ class OoOCommitPipeline(PipelineBase):
         self.pseudo_rob.record_classification(retire_class)
         inst.retire_class = retire_class
         if move_root is not None and self.sliq is not None:
-            queue: InstructionQueue = inst.iq  # type: ignore[attr-defined]
+            queue: InstructionQueue = inst.iq
             queue.remove(inst)
             self.sliq.insert(inst, move_root, self.cycle)
         return True
@@ -671,7 +860,7 @@ class OoOCommitPipeline(PipelineBase):
     def _claim_writeback_resources(self, inst: DynInst) -> bool:
         if self._phys_pool is None or inst.phys_dest is None:
             return True
-        if getattr(inst, "claimed_phys", False):
+        if inst.claimed_phys:
             return True
         if not self._phys_pool.try_claim():
             # Registers are released when redefining instructions complete,
@@ -685,7 +874,7 @@ class OoOCommitPipeline(PipelineBase):
                 return False
             self._phys_pool.force_claim()
             self.stats.counter("prf.late_alloc_forced_claims").add()
-        inst.claimed_phys = True  # type: ignore[attr-defined]
+        inst.claimed_phys = True
         self._claimed_tags.add(inst.phys_dest)
         return True
 
@@ -814,9 +1003,9 @@ class OoOCommitPipeline(PipelineBase):
     def _squash(self, inst: DynInst) -> None:
         if inst.state is InstState.COMMITTED:
             raise SimulationError(f"attempted to squash committed instruction seq={inst.seq}")
-        if getattr(inst, "claimed_phys", False) and self._phys_pool is not None:
+        if inst.claimed_phys and self._phys_pool is not None:
             self._release_claimed_tag(inst.phys_dest)
-            inst.claimed_phys = False  # type: ignore[attr-defined]
+            inst.claimed_phys = False
         self._squash_bookkeeping(inst)
         self._squashed_counter.add()
 
@@ -898,14 +1087,73 @@ class OoOCommitPipeline(PipelineBase):
         # clogging the issue queues can move to the SLIQ and make room for
         # re-insertions — otherwise the machine can deadlock.
         if (
-            getattr(self, "_dispatched_in_cycle", 0) == 0
+            self._dispatched_in_cycle == 0
             and (self.int_queue.is_full or self.fp_queue.is_full)
         ):
-            for _ in range(self.config.core.fetch_width):
+            for _ in range(self._fetch_width):
                 if self.pseudo_rob.is_empty or not self._retire_from_pseudo_rob():
                     break
         self.pseudo_rob.sample_occupancy()
         self.checkpoints.sample_occupancy()
+
+    # -- event-driven kernel hooks ----------------------------------------------------
+    def _idle_cycle_effects(self) -> Optional[Tuple[Callable[[int], None], ...]]:
+        """Next-cycle no-op check for the checkpointed machine.
+
+        Skipping is refused whenever any of this machine's engines has
+        per-cycle work: a draining checkpoint, an oldest checkpoint that
+        will start committing, a non-empty SLIQ re-insertion stream, the
+        stalled-dispatch pseudo-ROB drain, or a dispatch that would
+        create a checkpoint / retire pseudo-ROB entries / move the fetch
+        head into the window.  The returned effects replicate the stall
+        counters an idle dispatch attempt bumps, in stage order.
+        """
+        if self._draining is not None:
+            return None
+        oldest = self.checkpoints.oldest()
+        if (
+            oldest is not None
+            and oldest.ready_to_commit
+            and (oldest.closed or self._end_of_trace())
+        ):
+            return None  # commit starts draining this checkpoint next cycle
+        if self.sliq is not None and self.sliq.reinsert_pending:
+            return None
+        if (self.int_queue.is_full or self.fp_queue.is_full) and not self.pseudo_rob.is_empty:
+            return None  # the stalled-dispatch pseudo-ROB drain runs every cycle
+        if not self.fetch_buffer:
+            return ()
+        inst = self.fetch_buffer[0]
+        effects: List[Callable[[int], None]] = []
+        need = (
+            self.checkpoints.is_empty
+            or self.policy.should_checkpoint(inst)
+            or inst.trace_index in self._careful_indices
+        )
+        if need:
+            if not self.checkpoints.is_full:
+                return None  # dispatch would open a checkpoint
+            effects.append(self.checkpoints.note_full_stall)
+        if self.pseudo_rob.is_full:
+            return None  # dispatch would retire pseudo-ROB entries
+        queue = self._queue_for(inst)
+        if queue.is_full:
+            effects.append(queue.note_full_stall)
+            effects.append(self._dispatch_stalls.add)
+        elif inst.is_memory and self.lsq.is_full:
+            effects.append(self.lsq.note_full_stall)
+            effects.append(self._dispatch_stalls.add)
+        elif not self.renamer.can_rename(inst):
+            effects.append(self._dispatch_stalls.add)
+        else:
+            return None  # dispatch would make progress
+        return tuple(effects)
+
+    def _extra_idle_work(self, cycles: int) -> None:
+        if self.sliq is not None:
+            self.sliq.sample_occupancy(cycles)
+        self.pseudo_rob.sample_occupancy(cycles)
+        self.checkpoints.sample_occupancy(cycles)
 
     def _reinsert_from_sliq(self, inst: DynInst):
         """Callback used by the SLIQ re-insertion engine.

@@ -55,7 +55,24 @@ class Probe:
         """Bound to ``pipeline``; register stats / initialise state here."""
 
     def on_cycle(self, pipeline) -> None:
-        """One simulated cycle finished."""
+        """One simulated cycle finished.
+
+        A probe that overrides ``on_cycle`` forces the simulation kernel
+        back to per-cycle stepping — *unless* it also overrides
+        :meth:`on_idle_cycles`, which lets the event-driven kernel keep
+        skipping idle spans and hand them to the probe in bulk.
+        """
+
+    def on_idle_cycles(self, pipeline, cycles: int) -> None:
+        """The event-driven kernel skipped ``cycles`` consecutive idle cycles.
+
+        During an idle span no architectural state changes, so a
+        sampling probe can integrate its current values with weight
+        ``cycles`` and remain bit-identical to per-cycle stepping (see
+        :class:`OccupancyProbe`).  Overriding this alongside
+        ``on_cycle`` declares the probe skip-aware; ``on_cycle`` still
+        fires for every cycle the kernel actually steps.
+        """
 
     def on_dispatch(self, pipeline, inst: DynInst) -> None:
         """``inst`` entered the window."""
@@ -115,7 +132,7 @@ class CallbackProbe(Probe):
     """
 
     def __init__(self, **callbacks: Callable) -> None:
-        unknown = sorted(set(callbacks) - set(PROBE_EVENTS) - {"on_attach"})
+        unknown = sorted(set(callbacks) - set(PROBE_EVENTS) - {"on_attach", "on_idle_cycles"})
         if unknown:
             raise TypeError(f"unknown probe events {unknown}; valid: {sorted(PROBE_EVENTS)}")
         for event, fn in callbacks.items():
@@ -153,9 +170,10 @@ class OccupancyProbe(Probe):
     def on_dispatch(self, pipeline, inst: DynInst) -> None:
         self.in_flight += 1
         self.live += 1
-        blocked_long = any(p in self.long_pregs for p in inst.phys_srcs)
+        long_pregs = self.long_pregs
+        blocked_long = any(p in long_pregs for p in inst.phys_srcs)
         if blocked_long and inst.phys_dest is not None:
-            self.long_pregs.add(inst.phys_dest)
+            long_pregs.add(inst.phys_dest)
         live_class = None
         if is_fp(inst.op):
             live_class = "fp_long" if blocked_long else "fp_short"
@@ -163,16 +181,16 @@ class OccupancyProbe(Probe):
                 self.live_fp_long += 1
             else:
                 self.live_fp_short += 1
-        inst.live_class = live_class  # type: ignore[attr-defined]
+        inst.live_class = live_class
 
     def _leave_live(self, inst: DynInst) -> None:
         self.live -= 1
-        live_class = getattr(inst, "live_class", None)
+        live_class = inst.live_class
         if live_class == "fp_long":
             self.live_fp_long -= 1
         elif live_class == "fp_short":
             self.live_fp_short -= 1
-        inst.live_class = None  # type: ignore[attr-defined]
+        inst.live_class = None
 
     def on_issue(self, pipeline, inst: DynInst) -> None:
         self._leave_live(inst)
@@ -204,6 +222,17 @@ class OccupancyProbe(Probe):
         self._live_fp_short_mean.sample(self.live_fp_short)
         self._in_flight_dist.sample(self.in_flight)
         self._live_dist.sample(self.live)
+
+    def on_idle_cycles(self, pipeline, cycles: int) -> None:
+        # Nothing enters or leaves the window during an idle span, so
+        # the per-cycle samples are the current values repeated
+        # ``cycles`` times; the weighted forms accumulate identically.
+        self._in_flight_mean.sample_many(self.in_flight, cycles)
+        self._live_mean.sample_many(self.live, cycles)
+        self._live_fp_long_mean.sample_many(self.live_fp_long, cycles)
+        self._live_fp_short_mean.sample_many(self.live_fp_short, cycles)
+        self._in_flight_dist.sample(self.in_flight, cycles)
+        self._live_dist.sample(self.live, cycles)
 
 
 def default_probes() -> List[Probe]:

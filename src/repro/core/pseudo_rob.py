@@ -25,6 +25,15 @@ from ..isa.instruction import DynInst, RetireClass
 class PseudoROB:
     """FIFO window of the most recently dispatched instructions."""
 
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "_inserts",
+        "_retirements",
+        "_occupancy_mean",
+        "_retire_histogram",
+    )
+
     def __init__(self, capacity: int, stats: StatsRegistry) -> None:
         if capacity <= 0:
             raise StructuralHazardError("pseudo-ROB capacity must be positive")
@@ -51,8 +60,8 @@ class PseudoROB:
     def free_entries(self) -> int:
         return self.capacity - len(self._entries)
 
-    def sample_occupancy(self) -> None:
-        self._occupancy_mean.sample(len(self._entries))
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        self._occupancy_mean.sample_many(len(self._entries), cycles)
 
     # -- contents -------------------------------------------------------------------
     def insert(self, inst: DynInst) -> None:

@@ -13,6 +13,8 @@ from ..isa.instruction import DynInst, InstState
 class ReorderBuffer:
     """A FIFO of in-flight instructions committed in program order."""
 
+    __slots__ = ("capacity", "_entries", "_inserts", "_commits", "_full_stalls")
+
     def __init__(self, capacity: int, stats: StatsRegistry) -> None:
         if capacity <= 0:
             raise StructuralHazardError("ROB capacity must be positive")
@@ -38,9 +40,9 @@ class ReorderBuffer:
     def free_entries(self) -> int:
         return self.capacity - len(self._entries)
 
-    def note_full_stall(self) -> None:
+    def note_full_stall(self, cycles: int = 1) -> None:
         """Statistic hook called by dispatch when it stalls on a full ROB."""
-        self._full_stalls.add()
+        self._full_stalls.add(cycles)
 
     # -- contents ---------------------------------------------------------------
     def insert(self, inst: DynInst) -> None:

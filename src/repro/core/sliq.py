@@ -21,6 +21,11 @@ Two cooperating pieces implement the paper's Section 3:
   *re-filed* under that producer instead of occupying an issue-queue slot
   (the same policy the WIB design uses), which keeps the tiny issue queues
   free for instructions that can actually execute.
+
+Waiting entries are stored bucketed by wake-up register (insertion order
+preserved within a bucket), so a wake-up touches exactly the entries it
+wakes instead of scanning the whole buffer — the buffer is by design the
+largest structure in the machine (2048 entries in Table 1).
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ ReinsertResult = Union[bool, int]
 class LongLatencyTracker:
     """The logical-register dependence mask of the SLIQ mechanism."""
 
+    __slots__ = ("_mask",)
+
     def __init__(self) -> None:
         # logical register -> physical register of the root long-latency load
         self._mask: Dict[int, int] = {}
@@ -56,8 +63,11 @@ class LongLatencyTracker:
 
     def dependence_root(self, inst: DynInst) -> Optional[int]:
         """Root wake-up register if ``inst`` reads any marked register."""
+        mask = self._mask
+        if not mask:
+            return None
         for src in inst.srcs:
-            root = self._mask.get(src)
+            root = mask.get(src)
             if root is not None:
                 return root
         return None
@@ -91,6 +101,23 @@ class LongLatencyTracker:
 class SlowLaneQueue:
     """The SLIQ buffer plus its paced re-insertion engine."""
 
+    __slots__ = (
+        "config",
+        "capacity",
+        "_ready_fn",
+        "_waiting",
+        "_waiting_count",
+        "_reinsert_stream",
+        "_parked_dests",
+        "_startup_delay",
+        "_inserts",
+        "_refiles",
+        "_reinserts",
+        "_full_stalls",
+        "_occupancy_mean",
+        "_wakeups",
+    )
+
     def __init__(
         self,
         config: SLIQConfig,
@@ -101,9 +128,10 @@ class SlowLaneQueue:
         self.config = config
         self.capacity = config.size
         self._ready_fn = ready_fn
-        self._entries: Deque[DynInst] = deque()
+        # wake-up register -> waiting entries filed under it, oldest first.
+        self._waiting: Dict[int, List[DynInst]] = {}
+        self._waiting_count = 0
         self._reinsert_stream: Deque[DynInst] = deque()
-        self._waiting_keys: Dict[int, int] = {}
         self._parked_dests: Dict[int, int] = {}
         self._startup_delay = 0
         self._inserts = stats.counter("sliq.inserts")
@@ -116,7 +144,7 @@ class SlowLaneQueue:
     # -- capacity ---------------------------------------------------------------------
     @property
     def occupancy(self) -> int:
-        return len(self._entries) + len(self._reinsert_stream)
+        return self._waiting_count + len(self._reinsert_stream)
 
     @property
     def is_full(self) -> bool:
@@ -126,46 +154,45 @@ class SlowLaneQueue:
     def is_empty(self) -> bool:
         return self.occupancy == 0
 
-    def note_full_stall(self) -> None:
-        self._full_stalls.add()
+    @property
+    def reinsert_pending(self) -> bool:
+        """True while the re-insertion engine has per-cycle work to do."""
+        return bool(self._reinsert_stream)
 
-    def sample_occupancy(self) -> None:
-        self._occupancy_mean.sample(self.occupancy)
+    def note_full_stall(self, cycles: int = 1) -> None:
+        self._full_stalls.add(cycles)
+
+    def sample_occupancy(self, cycles: int = 1) -> None:
+        self._occupancy_mean.sample_many(self.occupancy, cycles)
 
     # -- queries used by the pipeline ----------------------------------------------------
     def has_waiters(self, preg: int) -> bool:
         """True if some SLIQ entry is filed under ``preg``."""
-        return preg in self._waiting_keys
+        return preg in self._waiting
 
     def is_parked_dest(self, preg: int) -> bool:
         """True if the producer of ``preg`` is currently parked in the SLIQ."""
         return preg in self._parked_dests
 
     # -- bookkeeping helpers ---------------------------------------------------------------
-    def _register(self, inst: DynInst, wakeup_preg: int, waiting: bool) -> None:
+    def _park(self, inst: DynInst, wakeup_preg: int) -> None:
         inst.in_sliq = True
-        inst.sliq_wakeup_preg = wakeup_preg  # type: ignore[attr-defined]
-        if inst.phys_dest is not None:
-            self._parked_dests[inst.phys_dest] = self._parked_dests.get(inst.phys_dest, 0) + 1
-        if waiting:
-            self._waiting_keys[wakeup_preg] = self._waiting_keys.get(wakeup_preg, 0) + 1
+        inst.sliq_wakeup_preg = wakeup_preg
+        dest = inst.phys_dest
+        if dest is not None:
+            parked = self._parked_dests
+            parked[dest] = parked.get(dest, 0) + 1
 
-    def _forget(self, inst: DynInst, waiting: bool) -> None:
+    def _unpark(self, inst: DynInst) -> None:
         inst.in_sliq = False
-        if inst.phys_dest is not None:
-            count = self._parked_dests.get(inst.phys_dest, 0) - 1
+        dest = inst.phys_dest
+        if dest is not None:
+            parked = self._parked_dests
+            count = parked.get(dest, 0) - 1
             if count > 0:
-                self._parked_dests[inst.phys_dest] = count
+                parked[dest] = count
             else:
-                self._parked_dests.pop(inst.phys_dest, None)
-        if waiting:
-            preg = getattr(inst, "sliq_wakeup_preg", None)
-            if preg is not None:
-                count = self._waiting_keys.get(preg, 0) - 1
-                if count > 0:
-                    self._waiting_keys[preg] = count
-                else:
-                    self._waiting_keys.pop(preg, None)
+                parked.pop(dest, None)
 
     # -- insertion ------------------------------------------------------------------------
     def insert(self, inst: DynInst, wakeup_preg: int, cycle: int, force: bool = False) -> None:
@@ -177,44 +204,40 @@ class SlowLaneQueue:
         overshoot and is used only by the issue-queue pressure eviction,
         which immediately removes another entry from the stream.
         """
-        if self.is_full and not force:
+        if not force and self.occupancy >= self.capacity:
             raise StructuralHazardError("SLIQ overflow")
         if inst.sliq_enter_cycle is None:
             inst.sliq_enter_cycle = cycle
             self._inserts.add()
         else:
             self._refiles.add()
-        already_ready = self._ready_fn(wakeup_preg) if self._ready_fn is not None else False
+        ready_fn = self._ready_fn
+        already_ready = ready_fn(wakeup_preg) if ready_fn is not None else False
+        self._park(inst, wakeup_preg)
         if already_ready:
-            self._register(inst, wakeup_preg, waiting=False)
             self._push_stream([inst])
         else:
-            self._register(inst, wakeup_preg, waiting=True)
-            self._entries.append(inst)
+            bucket = self._waiting.get(wakeup_preg)
+            if bucket is None:
+                self._waiting[wakeup_preg] = [inst]
+            else:
+                bucket.append(inst)
+            self._waiting_count += 1
 
     # -- wakeup --------------------------------------------------------------------------
     def notify_ready(self, preg: int) -> None:
         """Register ``preg`` was written: wake every entry filed under it."""
-        if preg not in self._waiting_keys:
+        bucket = self._waiting.pop(preg, None)
+        if bucket is None:
             return
         self._wakeups.add()
+        self._waiting_count -= len(bucket)
         matched: List[DynInst] = []
-        kept: Deque[DynInst] = deque()
-        for inst in self._entries:
-            if getattr(inst, "sliq_wakeup_preg", None) == preg and not inst.squashed:
+        for inst in bucket:
+            if inst.squashed:
+                self._unpark(inst)
+            else:
                 matched.append(inst)
-            elif getattr(inst, "sliq_wakeup_preg", None) == preg and inst.squashed:
-                self._forget(inst, waiting=True)
-            else:
-                kept.append(inst)
-        self._entries = kept
-        for inst in matched:
-            # They stay "parked" but are no longer waiting on a key.
-            count = self._waiting_keys.get(preg, 0) - 1
-            if count > 0:
-                self._waiting_keys[preg] = count
-            else:
-                self._waiting_keys.pop(preg, None)
         self._push_stream(matched)
 
     # Backwards-compatible alias used by older call sites and tests.
@@ -238,23 +261,24 @@ class SlowLaneQueue:
         under (it still depends on a parked producer).  Returns the number
         of instructions taken out of the stream this cycle.
         """
-        if not self._reinsert_stream:
+        stream = self._reinsert_stream
+        if not stream:
             return 0
         if self._startup_delay > 0:
             self._startup_delay -= 1
             return 0
         processed = 0
-        while self._reinsert_stream and processed < self.config.reinsert_width:
-            inst = self._reinsert_stream[0]
+        while stream and processed < self.config.reinsert_width:
+            inst = stream[0]
             if inst.squashed:
-                self._reinsert_stream.popleft()
-                self._forget(inst, waiting=False)
+                stream.popleft()
+                self._unpark(inst)
                 continue
             result = reinsert_callback(inst)
             if result is False:
                 break
-            self._reinsert_stream.popleft()
-            self._forget(inst, waiting=False)
+            stream.popleft()
+            self._unpark(inst)
             processed += 1
             if result is True:
                 self._reinserts.add()
@@ -266,15 +290,25 @@ class SlowLaneQueue:
     # -- squash ---------------------------------------------------------------------------------
     def remove_squashed(self) -> List[DynInst]:
         """Drop squashed instructions from the buffer and the stream."""
-        removed = [inst for inst in self._entries if inst.squashed]
-        for inst in removed:
-            self._forget(inst, waiting=True)
+        removed: List[DynInst] = []
+        for preg in list(self._waiting):
+            bucket = self._waiting[preg]
+            dead = [inst for inst in bucket if inst.squashed]
+            if not dead:
+                continue
+            for inst in dead:
+                self._unpark(inst)
+            removed.extend(dead)
+            self._waiting_count -= len(dead)
+            kept = [inst for inst in bucket if not inst.squashed]
+            if kept:
+                self._waiting[preg] = kept
+            else:
+                del self._waiting[preg]
         stream_removed = [inst for inst in self._reinsert_stream if inst.squashed]
-        for inst in stream_removed:
-            self._forget(inst, waiting=False)
-        if removed:
-            self._entries = deque(inst for inst in self._entries if not inst.squashed)
         if stream_removed:
+            for inst in stream_removed:
+                self._unpark(inst)
             self._reinsert_stream = deque(
                 inst for inst in self._reinsert_stream if not inst.squashed
             )

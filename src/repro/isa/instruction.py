@@ -10,7 +10,7 @@ from . import registers
 from .opcodes import OpClass, is_branch, is_load, is_memory, is_store
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One entry of an execution trace.
 
@@ -31,35 +31,32 @@ class Instruction:
     branch_target: Optional[int] = None
     raises_exception: bool = False
     label: str = ""
+    # Classification flags, precomputed once at construction: the
+    # pipeline stages test them on every dispatch/retire/commit, and a
+    # stored bool is much cheaper than re-hashing the op into the
+    # OpClass sets each time.  Excluded from equality (fully derived).
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_memory: bool = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        op = self.op
+        object.__setattr__(self, "is_load", is_load(op))
+        object.__setattr__(self, "is_store", is_store(op))
+        object.__setattr__(self, "is_memory", is_memory(op))
+        object.__setattr__(self, "is_branch", is_branch(op))
         if self.dest is not None and not registers.is_valid(self.dest):
             raise ValueError(f"invalid destination register {self.dest}")
         registers.validate_regs(self.srcs)
-        if is_memory(self.op) and self.mem_addr is None:
+        if self.is_memory and self.mem_addr is None:
             raise ValueError(f"memory instruction at pc={self.pc:#x} has no address")
-        if is_store(self.op) and self.dest is not None:
+        if self.is_store and self.dest is not None:
             raise ValueError("store instructions must not have a destination register")
-        if self.op is OpClass.BRANCH and self.branch_taken and self.branch_target is None:
+        if op is OpClass.BRANCH and self.branch_taken and self.branch_target is None:
             raise ValueError("taken branch requires a target")
 
     # -- classification helpers ---------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return is_load(self.op)
-
-    @property
-    def is_store(self) -> bool:
-        return is_store(self.op)
-
-    @property
-    def is_memory(self) -> bool:
-        return is_memory(self.op)
-
-    @property
-    def is_branch(self) -> bool:
-        return is_branch(self.op)
-
     @property
     def writes_register(self) -> bool:
         return self.dest is not None
@@ -106,6 +103,14 @@ class Instruction:
             label=record.get("label", ""),
         )
 
+    # Explicit pickle support: frozen+slots dataclasses fail default
+    # pickling on Python 3.10 (setattr on a frozen instance); traces
+    # cross process boundaries in the parallel sweep engine.  Routing
+    # through to_record/from_record keeps one canonical serialization
+    # path, so new fields only ever need to be added there.
+    def __reduce__(self):
+        return (_instruction_from_record, (self.to_record(),))
+
     def describe(self) -> str:
         """Compact human-readable rendering used in debug dumps."""
         parts = [f"{self.op.value}"]
@@ -118,6 +123,11 @@ class Instruction:
         if self.is_branch:
             parts.append("taken" if self.branch_taken else "not-taken")
         return " ".join(parts)
+
+
+def _instruction_from_record(record: Mapping[str, Any]) -> Instruction:
+    """Module-level pickle rebuild hook (bound classmethods don't pickle)."""
+    return Instruction.from_record(record)
 
 
 class InstState(enum.Enum):
@@ -143,7 +153,7 @@ class RetireClass(enum.Enum):
     STORE = "store"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class DynInst:
     """A dynamic, in-flight instance of a trace instruction.
 
@@ -154,6 +164,12 @@ class DynInst:
     squash.  They carry the renamed operands, the structures they occupy
     (ROB slot, checkpoint index, LSQ slot, pseudo-ROB/SLIQ membership) and
     per-stage timestamps used by the analysis modules.
+
+    The class is slotted: one ``DynInst`` is allocated per fetched
+    instruction and its fields are the hottest attribute accesses in the
+    simulator, so the queue/scheduler bookkeeping that used to ride
+    along as ad-hoc attributes (``pending_srcs``, ``iq``, ...) is
+    declared here instead.
     """
 
     seq: int
@@ -192,6 +208,18 @@ class DynInst:
     commit_cycle: Optional[int] = None
     sliq_enter_cycle: Optional[int] = None
     sliq_exit_cycle: Optional[int] = None
+
+    # Scheduler/probe bookkeeping (owned by iq/sliq/probes) ----------------
+    #: Physical source registers still unready (maintained by the issue queue).
+    pending_srcs: Optional[Any] = None
+    #: The issue queue currently (or last) holding this instruction.
+    iq: Optional[Any] = None
+    #: Wake-up register this instruction is filed under in the SLIQ.
+    sliq_wakeup_preg: Optional[int] = None
+    #: Late allocation: the physical register was claimed at write-back.
+    claimed_phys: bool = False
+    #: OccupancyProbe liveness class ("fp_long" / "fp_short" / None).
+    live_class: Optional[str] = None
 
     # -- convenience -----------------------------------------------------
     @property

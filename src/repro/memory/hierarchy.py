@@ -18,7 +18,7 @@ from .mshr import MSHRFile
 from .prefetch import build_prefetcher
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of one data access."""
 

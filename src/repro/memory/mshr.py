@@ -16,6 +16,8 @@ from ..common.stats import StatsRegistry
 class MSHRFile:
     """Tracks outstanding line fills for one cache level."""
 
+    __slots__ = ("name", "capacity", "_outstanding", "_allocations", "_merges")
+
     def __init__(self, name: str, stats: StatsRegistry, capacity: Optional[int] = None) -> None:
         self.name = name
         self.capacity = capacity

@@ -25,6 +25,8 @@ from ..common.stats import StatsRegistry
 class PrefetchEngine:
     """Base class: decides which line addresses to prefetch after an access."""
 
+    __slots__ = ("line_bytes", "degree", "_issued", "_useful")
+
     name = "none"
 
     def __init__(self, line_bytes: int, degree: int, stats: StatsRegistry) -> None:
@@ -56,6 +58,8 @@ class PrefetchEngine:
 class NextLinePrefetcher(PrefetchEngine):
     """Sequential (next-N-lines) prefetching triggered by demand misses."""
 
+    __slots__ = ()
+
     name = "next_line"
 
     def addresses_after(self, addr: int, was_miss: bool, key: Optional[int] = None) -> List[int]:
@@ -77,6 +81,8 @@ class StridePrefetcher(PrefetchEngine):
     non-zero stride arm the entry, after which each access prefetches
     ``degree`` steps ahead of the stream.
     """
+
+    __slots__ = ("table_size", "_table")
 
     name = "stride"
 

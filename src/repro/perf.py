@@ -1,0 +1,281 @@
+"""Simulator throughput benchmarks and the ``BENCH_simulator.json`` recorder.
+
+Not paper figures: these benchmarks measure the *simulator's* own speed
+(simulated cycles and committed instructions per wall-clock second) so
+the performance trajectory of the codebase is tracked release over
+release.  The headline benchmarks put each machine in the regime the
+paper (and ROADMAP) cares most about — a kilo-instruction window waiting
+on ~500-cycle main-memory loads — which is exactly where the
+event-driven cycle-skipping kernel pays off; the ``*-daxpy`` variants
+keep the fully-busy (no skippable cycles) path honest.
+
+Three entry points share this module:
+
+* ``repro bench`` — the CLI subcommand;
+* ``benchmarks/record.py`` — the standalone script;
+* ``benchmarks/test_bench_simulator_throughput.py`` — the pytest
+  benchmarks and the CI speedup guard, which import :data:`BENCHMARKS`
+  so all three always measure the same thing.
+
+Results append to ``BENCH_simulator.json`` (a JSON array, one entry per
+recording) via :func:`append_record`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .common.config import ProcessorConfig, cooo_config, scaled_baseline
+from .trace.trace import Trace
+
+
+def _default_record_path() -> str:
+    """The tracked BENCH_simulator.json when run from a source checkout.
+
+    Resolved against the repository root (two levels above this
+    package) so ``repro bench`` appends to the committed history
+    regardless of the invoking directory; outside a checkout (installed
+    package, no repo file) it falls back to the working directory.
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    candidate = os.path.join(repo_root, "BENCH_simulator.json")
+    if os.path.exists(candidate):
+        return candidate
+    return "BENCH_simulator.json"
+
+
+#: Default output file for recorded results.
+DEFAULT_RECORD_PATH = _default_record_path()
+
+#: Memory latency of the headline regime (the paper's Figure 9 midpoint).
+BENCH_MEMORY_LATENCY = 500
+
+
+def _chase_trace() -> Trace:
+    """The headline workload: four dependent pointer chains, 500-cycle misses.
+
+    Serial within each chain, so kilo-instruction windows spend most
+    cycles waiting on main memory — the paper's target regime and the
+    simulator's historical worst case.
+    """
+    from .workloads import multi_pointer_chase
+
+    return multi_pointer_chase(hops=1200, chains=4)
+
+
+def _daxpy_trace() -> Trace:
+    """The busy-path workload: streaming FP with full memory parallelism."""
+    from .workloads import daxpy
+
+    return daxpy(elements=300)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One named throughput benchmark: a machine config over a trace."""
+
+    name: str
+    config_factory: Callable[[], ProcessorConfig]
+    trace_factory: Callable[[], Trace]
+
+    def config(self) -> ProcessorConfig:
+        return self.config_factory()
+
+    def trace(self) -> Trace:
+        return self.trace_factory()
+
+
+#: The tracked benchmarks, headline (memory-bound) first.
+BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec(
+        "baseline-128",
+        lambda: scaled_baseline(window=128, memory_latency=BENCH_MEMORY_LATENCY),
+        _chase_trace,
+    ),
+    BenchmarkSpec(
+        "baseline-4096",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _chase_trace,
+    ),
+    BenchmarkSpec(
+        "cooo-64-1024",
+        lambda: cooo_config(iq_size=64, sliq_size=1024, memory_latency=BENCH_MEMORY_LATENCY),
+        _chase_trace,
+    ),
+    BenchmarkSpec(
+        "baseline-4096-daxpy",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _daxpy_trace,
+    ),
+    BenchmarkSpec(
+        "cooo-64-1024-daxpy",
+        lambda: cooo_config(iq_size=64, sliq_size=1024, memory_latency=BENCH_MEMORY_LATENCY),
+        _daxpy_trace,
+    ),
+]
+
+
+def benchmark_names() -> List[str]:
+    return [spec.name for spec in BENCHMARKS]
+
+
+def run_benchmark(
+    spec: BenchmarkSpec, *, force_per_cycle: bool = False, repeats: int = 3
+) -> Dict[str, object]:
+    """Time one benchmark (best of ``repeats``) and return its result row."""
+    from .api import run as simulate
+
+    trace = spec.trace()
+    config = spec.config()
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = simulate(config, trace, force_per_cycle=force_per_cycle)
+        best = min(best, time.perf_counter() - started)
+    assert result is not None
+    return {
+        "name": spec.name,
+        "seconds": round(best, 6),
+        "cycles": result.cycles,
+        "instructions": result.committed_instructions,
+        "sim_cycles_per_sec": round(result.cycles / best) if best else None,
+        "sim_instructions_per_sec": (
+            round(result.committed_instructions / best) if best else None
+        ),
+        "ipc": round(result.ipc, 4),
+        "kernel": "per-cycle" if force_per_cycle else "event-driven",
+    }
+
+
+def run_benchmarks(
+    names: Optional[Sequence[str]] = None,
+    *,
+    force_per_cycle: bool = False,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Run the named benchmarks (default: all) and return their rows."""
+    selected = list(BENCHMARKS)
+    if names:
+        by_name = {spec.name: spec for spec in BENCHMARKS}
+        unknown = sorted(set(names) - set(by_name))
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s) {unknown}; available: {benchmark_names()}"
+            )
+        selected = [by_name[name] for name in names]
+    return [
+        run_benchmark(spec, force_per_cycle=force_per_cycle, repeats=repeats)
+        for spec in selected
+    ]
+
+
+def append_record(
+    path: str,
+    results: Sequence[Dict[str, object]],
+    *,
+    note: str = "",
+) -> Dict[str, object]:
+    """Append one recording to the JSON-array file at ``path``.
+
+    The file holds the machine-readable performance trajectory: each
+    entry is ``{timestamp, version, python, platform, note, results}``.
+    A missing or empty file starts a new array; a corrupt file raises
+    rather than silently discarding history.
+    """
+    from . import __version__
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "note": note,
+        "results": list(results),
+    }
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read().strip()
+        history = json.loads(content) if content else []
+        if not isinstance(history, list):
+            raise ValueError(f"{path} does not hold a JSON array")
+    except FileNotFoundError:
+        history = []
+    history.append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    return entry
+
+
+def add_bench_arguments(parser) -> None:
+    """Attach the benchmark driver's arguments to an argparse parser.
+
+    Shared between the standalone driver (:func:`main`, used by
+    ``benchmarks/record.py``) and the ``repro bench`` subcommand, so
+    both expose the exact same interface.
+    """
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=f"benchmarks to run (default: all of {', '.join(benchmark_names())})",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_RECORD_PATH,
+        help=f"JSON file to append results to (default: {DEFAULT_RECORD_PATH})",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true", help="print results without recording them"
+    )
+    parser.add_argument(
+        "--per-cycle",
+        action="store_true",
+        help="benchmark the force_per_cycle debug kernel instead of the event-driven one",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repetitions per benchmark (best kept)"
+    )
+    parser.add_argument("--note", default="", help="free-form note stored with the record")
+
+
+def run_from_args(args) -> int:
+    """Execute the benchmark driver for parsed :func:`add_bench_arguments` args."""
+    try:
+        results = run_benchmarks(
+            args.names or None, force_per_cycle=args.per_cycle, repeats=args.repeats
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    header = f"{'benchmark':<22} {'seconds':>9} {'cycles':>9} {'Mcycles/s':>10} {'ipc':>7}"
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        mcps = (row["sim_cycles_per_sec"] or 0) / 1e6
+        print(
+            f"{row['name']:<22} {row['seconds']:>9.3f} {row['cycles']:>9} "
+            f"{mcps:>10.2f} {row['ipc']:>7.3f}"
+        )
+    if not args.no_record:
+        entry = append_record(args.out, results, note=args.note)
+        print(f"\nappended to {args.out} ({entry['timestamp']}, kernel={results[0]['kernel']})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line driver shared by ``repro bench`` and benchmarks/record.py."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the simulator throughput benchmarks and record the results",
+    )
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
