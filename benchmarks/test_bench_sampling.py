@@ -1,0 +1,119 @@
+"""Benchmark guard for sampled execution on XL-scale traces.
+
+The ISSUE-5 acceptance contract: a sampled run of an XL trace must be at
+least 10x faster wall-clock than the exact event-driven run of the same
+trace, with |IPC error| <= 5% on the stationary benchmark.  The specs
+come from :data:`repro.perf.XL_BENCHMARKS` so ``repro bench``, the CI
+gate and this guard all measure the same thing.
+
+The margins are wide in practice (~15x and <1% error on the streaming
+benchmark), so the guard has plenty of headroom against CI timer noise.
+"""
+
+import time
+
+import pytest
+
+from repro.api import run as simulate
+from repro.perf import XL_BENCHMARKS, compare_latest, run_benchmarks
+
+_SPECS = {spec.name: spec for spec in XL_BENCHMARKS}
+
+
+def _timed(config, trace, sampling=None):
+    started = time.perf_counter()
+    result = simulate(config, trace, sampling=sampling)
+    return time.perf_counter() - started, result
+
+
+def test_sampled_xl_speedup_and_accuracy_guard():
+    """Sampled >= 10x faster than exact on the XL trace, |IPC error| <= 5%."""
+    exact_spec = _SPECS["baseline-daxpy-xl"]
+    sampled_spec = _SPECS["baseline-daxpy-xl-sampled"]
+    trace = exact_spec.trace()
+    config = exact_spec.config()
+
+    exact_seconds, exact = _timed(config, trace)
+    sampled_seconds, sampled = _timed(config, trace, sampling=sampled_spec.sampling)
+
+    assert sampled.sampled and len(sampled.windows) >= 3
+    speedup = exact_seconds / sampled_seconds
+    error = abs(sampled.ipc - exact.ipc) / exact.ipc
+    print(
+        f"\nbaseline-daxpy-xl: exact {exact_seconds:.2f}s ipc {exact.ipc:.4f} | "
+        f"sampled {sampled_seconds:.2f}s ipc {sampled.ipc:.4f}"
+        f"+-{sampled.ipc_ci95:.4f} | speedup {speedup:.1f}x error {100 * error:.2f}%"
+    )
+    assert speedup >= 10.0, f"sampled speedup {speedup:.1f}x below the 10x guard"
+    assert error <= 0.05, f"sampled IPC error {100 * error:.1f}% above the 5% guard"
+
+
+def test_sampled_xl_branchy_within_confidence_interval():
+    """Branch-storm XL: the exact IPC lands inside the sampled 95% CI.
+
+    gshare self-trains only under detailed execution, so the branchy
+    plan (long warmup) trades speedup for fidelity; the reported CI must
+    cover the exact value.
+    """
+    exact_spec = _SPECS["baseline-branches-xl"]
+    sampled_spec = _SPECS["baseline-branches-xl-sampled"]
+    trace = exact_spec.trace()
+    config = exact_spec.config()
+
+    exact_seconds, exact = _timed(config, trace)
+    sampled_seconds, sampled = _timed(config, trace, sampling=sampled_spec.sampling)
+
+    low, high = sampled.ipc_interval
+    print(
+        f"\nbaseline-branches-xl: exact {exact.ipc:.4f} in {exact_seconds:.2f}s | "
+        f"sampled [{low:.4f}, {high:.4f}] in {sampled_seconds:.2f}s "
+        f"(speedup {exact_seconds / sampled_seconds:.1f}x)"
+    )
+    assert sampled.ipc_ci95 > 0
+    assert low <= exact.ipc <= high
+    assert exact_seconds / sampled_seconds >= 2.0
+
+
+def test_bench_compare_gate(tmp_path, capsys):
+    """repro bench --compare flags >25% wall-clock regressions, nonzero exit."""
+    import json
+
+    path = tmp_path / "bench.json"
+
+    def record(seconds_by_name):
+        history = json.loads(path.read_text()) if path.exists() else []
+        history.append(
+            {
+                "timestamp": f"t{len(history)}",
+                "note": "synthetic",
+                "results": [
+                    {"name": name, "seconds": seconds}
+                    for name, seconds in seconds_by_name.items()
+                ],
+            }
+        )
+        path.write_text(json.dumps(history))
+
+    record({"a": 1.0, "b": 2.0})
+    record({"a": 1.1, "b": 2.1})  # < 25% slower: clean
+    assert compare_latest(str(path)) == 0
+    assert "no benchmark regressed" in capsys.readouterr().out
+
+    record({"a": 1.6, "b": 2.0})  # a regressed 45% vs the 1.1 entry
+    assert compare_latest(str(path)) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # Fewer than two entries (or unreadable) is a gate failure, not a pass.
+    short = tmp_path / "short.json"
+    short.write_text(json.dumps([{"timestamp": "t", "results": []}]))
+    assert compare_latest(str(short)) == 2
+    assert compare_latest(str(tmp_path / "missing.json")) == 2
+
+
+def test_sampled_benchmark_rows_carry_plan_metadata():
+    """run_benchmarks rows for sampled specs record the plan and CI."""
+    rows = run_benchmarks(["baseline-daxpy-xl-sampled"], repeats=1)
+    (row,) = rows
+    assert row["sampling"] == _SPECS["baseline-daxpy-xl-sampled"].sampling.to_dict()
+    assert row["trace_instructions"] == 210_003
+    assert "ipc_ci95" in row

@@ -32,6 +32,7 @@ from .common.config import (
     MemoryConfig,
     ProcessorConfig,
     RegisterAllocationConfig,
+    SamplingPlan,
     SLIQConfig,
     cooo_config,
     scaled_baseline,
@@ -93,6 +94,7 @@ __all__ = [
     "MemoryConfig",
     "ProcessorConfig",
     "RegisterAllocationConfig",
+    "SamplingPlan",
     "SLIQConfig",
     "cooo_config",
     "scaled_baseline",

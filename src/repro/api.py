@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .common.config import ProcessorConfig
+from .common.config import ProcessorConfig, SamplingPlan
 from .common.stats import StatsRegistry
 from .core.probes import CallbackProbe, OccupancyProbe, Probe
 from .core.registry_machines import (
@@ -59,6 +59,7 @@ from .core.registry_machines import (
     unregister_machine,
 )
 from .core.result import SimulationResult
+from .core.sampling import run_sampled
 from .trace.io import load_trace, save_trace, trace_info
 from .trace.trace import Trace
 from .workloads.registry import (
@@ -109,6 +110,7 @@ class Simulation:
         progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
         stop_when: Optional[StopFn] = None,
         force_per_cycle: bool = False,
+        sampling: Optional[SamplingPlan] = None,
     ) -> None:
         self.config = config.validate()
         self.probes: List[Probe] = list(probes)
@@ -122,6 +124,18 @@ class Simulation:
         #: Debug escape hatch: step every simulated cycle instead of the
         #: event-driven cycle-skipping kernel (results are bit-identical).
         self.force_per_cycle = force_per_cycle
+        #: Opt-in statistical sampling (see :mod:`repro.core.sampling`):
+        #: fast-forward between detailed windows and extrapolate IPC with
+        #: a confidence interval.  ``None`` (the default) simulates every
+        #: cycle exactly as before.
+        if sampling is not None:
+            sampling.validate()
+            if stop_when is not None:
+                raise ValueError(
+                    "stop_when cannot be combined with sampling: a sampled run "
+                    "is a sequence of window simulations, not one early-stoppable run"
+                )
+        self.sampling = sampling
 
     @property
     def machine(self) -> MachineSpec:
@@ -145,6 +159,18 @@ class Simulation:
 
     def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimulationResult:
         """Simulate ``trace`` to completion (or early stop) on a fresh pipeline."""
+        if self.sampling is not None:
+            return run_sampled(
+                self.config,
+                trace,
+                self.sampling,
+                probes=self.probes,
+                default_probes=self.default_probes,
+                force_per_cycle=self.force_per_cycle,
+                max_cycles=max_cycles if max_cycles is not None else self.max_cycles,
+                progress=self.progress,
+                progress_interval=self.progress_interval,
+            )
         pipeline = self.pipeline(trace)
         return pipeline.run(
             max_cycles=max_cycles if max_cycles is not None else self.max_cycles,
@@ -174,6 +200,7 @@ def run(
     progress_interval: int = DEFAULT_PROGRESS_INTERVAL,
     stop_when: Optional[StopFn] = None,
     force_per_cycle: bool = False,
+    sampling: Optional[SamplingPlan] = None,
 ) -> SimulationResult:
     """Run one trace on one configuration — the canonical one-liner."""
     return Simulation(
@@ -185,6 +212,7 @@ def run(
         progress_interval=progress_interval,
         stop_when=stop_when,
         force_per_cycle=force_per_cycle,
+        sampling=sampling,
     ).run(trace)
 
 
@@ -202,6 +230,7 @@ def run_many(
     stop_when: Optional[StopFn] = None,
     progress: Optional[Callable[[str], None]] = None,
     name: str = "api-run-many",
+    sampling: Optional[SamplingPlan] = None,
 ) -> List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]]:
     """Run every config over every workload; results in config order.
 
@@ -214,6 +243,10 @@ def run_many(
       ``progress`` messages.  Probes cannot cross process/cache
       boundaries, so ``probes``/``stop_when``/``max_cycles`` must be
       unset.
+    ``sampling`` applies a :class:`~repro.common.config.SamplingPlan` to
+    every cell in either mode; sampled cells get their own cache keys,
+    so sampled and exact results never collide.
+
     * **Explicit-trace mode** (``traces`` given): each config runs the
       given traces serially in-process, with probe/early-stop support
       and no caching.  The *same* probe instances observe every
@@ -236,7 +269,11 @@ def run_many(
         out: List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]] = []
         for config in configs:
             sim = Simulation(
-                config, probes=probes, max_cycles=max_cycles, stop_when=stop_when
+                config,
+                probes=probes,
+                max_cycles=max_cycles,
+                stop_when=stop_when,
+                sampling=sampling,
             )
             results: Dict[str, SimulationResult] = {}
             for workload, trace in traces.items():
@@ -260,6 +297,7 @@ def run_many(
         scale=scale if scale is not None else DEFAULT_SCALE,
         suite=suite,
         workloads=workloads,
+        sampling=sampling,
     )
     engine = SweepEngine(jobs=jobs, cache=cache, progress=progress)
     return list(engine.run(spec).per_config())
@@ -271,6 +309,7 @@ __all__ = [
     "MachineSpec",
     "OccupancyProbe",
     "Probe",
+    "SamplingPlan",
     "Simulation",
     "SuiteSpec",
     "WorkloadSpec",
@@ -287,6 +326,7 @@ __all__ = [
     "register_workload",
     "run",
     "run_many",
+    "run_sampled",
     "save_trace",
     "suite_names",
     "suite_specs",

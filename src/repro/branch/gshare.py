@@ -69,6 +69,27 @@ class GSharePredictor(BranchPredictor):
         else:
             self._counters[index] = max(0, counter - 1)
 
+    def warm(self, pc: int, taken: bool) -> None:
+        """Fast-forward warming: evolve the history, leave the table alone.
+
+        The detailed front end runs gshare deeply speculatively: with
+        many unresolved branches in flight, predictions index the table
+        through histories containing *predicted* bits (corrected only
+        when a misprediction resolves), and squashed wrong-path fetches
+        train entries at those speculative indexes before the replay
+        trains the architectural ones.  A functional pass knows only the
+        architectural outcome sequence, so the best it could do is train
+        at clean-history indexes — which the detailed machine largely
+        never looks up again.  Measured on the branch-storm suite, that
+        clean-history training performs *worse* than leaving the table
+        at its weakly-taken initialisation (it pollutes entries that
+        structural always-taken branches alias into), so warming only
+        advances the history register; the sampled driver relies on the
+        detailed warmup span to let the machine self-train its table
+        (see the architecture docs on sampled-simulation bias).
+        """
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
     def correct_history(self, history_before: int, taken: bool) -> None:
         """Rebuild history after a misprediction of a branch predicted with
         ``history_before``: shift in the *actual* outcome."""

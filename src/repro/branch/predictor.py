@@ -37,6 +37,19 @@ class BranchPredictor(ABC):
         if predicted != actual:
             self._mispredictions.add()
 
+    def warm(self, pc: int, taken: bool) -> None:
+        """Train on one fast-forwarded branch without accuracy statistics.
+
+        Used by the sampled-execution fast-forward engine.  The default
+        trains the pattern table with the architectural outcome, which
+        is exact for pc-indexed predictors (bimodal: the functional pass
+        produces the same table a detailed run would) and a no-op for
+        the static predictors.  History-based predictors override this —
+        see ``GSharePredictor.warm`` for why gshare only advances its
+        history register.
+        """
+        self.update(pc, taken)
+
     @property
     def accuracy(self) -> float:
         """Fraction of predictions that were correct so far."""

@@ -49,6 +49,9 @@ Examples::
     python -m repro simulate --machine cooo --workload daxpy --memory-latency 1000
     python -m repro simulate --machine baseline --window 128 --suite spec2000fp_like
     python -m repro simulate --machine cooo --suite branch-storm --scale 0.4
+    python -m repro simulate --machine baseline --suite spec2000fp-xl --scale 1.0 \
+        --sample 50000:8000:4000                            # sampled XL run with CI
+    python -m repro sweep --suite chase-xl --sample 50000:8000:4000 --jobs 4
     python -m repro experiment figure09 --scale 0.5
     python -m repro experiment figure09 --jobs 4 --suite pointer-chase
     python -m repro sweep figure09 figure11 --jobs 8        # two figures, shared cache
@@ -75,8 +78,8 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 from .analysis.report import format_table
 from .api import Simulation
-from .common.config import ProcessorConfig, cooo_config, scaled_baseline
-from .common.errors import TraceError
+from .common.config import ProcessorConfig, SamplingPlan, cooo_config, scaled_baseline
+from .common.errors import ConfigurationError, TraceError
 from .core.registry_machines import (
     CLI_DEFAULTS,
     get_machine,
@@ -130,7 +133,7 @@ def build_machine(args: argparse.Namespace) -> ProcessorConfig:
 
 
 def _result_row(name: str, result: SimulationResult) -> Dict[str, object]:
-    return {
+    row: Dict[str, object] = {
         "workload": name,
         "ipc": round(result.ipc, 4),
         "cycles": result.cycles,
@@ -139,10 +142,31 @@ def _result_row(name: str, result: SimulationResult) -> Dict[str, object]:
         "branch_acc": round(result.branch_accuracy, 4),
         "l2_miss%": round(100 * result.l2_load_miss_fraction, 2),
     }
+    if result.sampled:
+        row["ipc_ci95"] = round(result.ipc_ci95, 4)
+        row["windows"] = len(result.windows)
+    return row
+
+
+def parse_sampling(args: argparse.Namespace) -> Optional[SamplingPlan]:
+    """The --sample flag as a SamplingPlan (None when absent).
+
+    Raises SystemExit(2) with a clean message on a malformed spec, so
+    every subcommand reports sampling errors identically.
+    """
+    spec = getattr(args, "sample", None)
+    if not spec:
+        return None
+    try:
+        return SamplingPlan.parse(spec)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = build_machine(args)
+    sampling = parse_sampling(args)
     # Workload and suite names resolve through the registry at run time,
     # so registered plugins are usable without parser edits; unknown
     # names error out listing every registered one (like 'repro modes').
@@ -157,7 +181,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    simulation = Simulation(config)
+    simulation = Simulation(config, sampling=sampling)
     rows: List[Dict[str, object]] = []
     results = {}
     for name, trace in traces.items():
@@ -165,6 +189,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         results[name] = result
         rows.append(_result_row(name, result))
     print(f"machine: {config.name or config.mode}")
+    if sampling is not None:
+        print(f"sampling: {sampling.describe()}")
     print(format_table(rows))
     if len(rows) > 1:
         mean_ipc = sum(row["ipc"] for row in rows) / len(rows)  # type: ignore[arg-type]
@@ -349,7 +375,14 @@ def cmd_suite_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     scale = args.scale if args.scale is not None else DEFAULT_SCALE
-    spec = SweepSpec(f"suite-{args.suite}", _suite_grid_configs(), scale=scale, suite=args.suite)
+    sampling = parse_sampling(args)
+    spec = SweepSpec(
+        f"suite-{args.suite}",
+        _suite_grid_configs(),
+        scale=scale,
+        suite=args.suite,
+        sampling=sampling,
+    )
     engine = build_engine(args, progress=not args.quiet)
     outcome = engine.run(spec)
     rows = []
@@ -360,6 +393,8 @@ def cmd_suite_sweep(args: argparse.Namespace) -> int:
         row["mean_ipc"] = round(sum(r.ipc for r in results.values()) / len(results), 4)
         rows.append(row)
     print(f"suite: {args.suite} ({', '.join(suite.names())}) at scale {scale}")
+    if sampling is not None:
+        print(f"sampling: {sampling.describe()}")
     print(format_table(rows))
     print(
         f"cells: {outcome.simulated} simulated, {outcome.cached} cached "
@@ -382,6 +417,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(
             "error: provide experiment names (see 'repro list'), or --suite "
             "for a machine-grid sweep over one suite",
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "sample", None):
+        print(
+            "error: --sample applies to suite-grid sweeps (--suite without "
+            "experiment names); the figure experiments reproduce the paper's "
+            "exact numbers",
             file=sys.stderr,
         )
         return 2
@@ -525,6 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
                                default=CLI_DEFAULTS["physical_registers"])
         subparser.add_argument("--late-allocation", action="store_true")
 
+    def add_sampling_argument(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--sample", default=None, metavar="PERIOD:WINDOW[:WARMUP[:SEED]]",
+            help="sampled execution: functionally fast-forward between detailed "
+                 "windows and extrapolate IPC with a 95%% confidence interval "
+                 "(e.g. --sample 50000:8000:4000 for XL suites)",
+        )
+
     simulate = subparsers.add_parser("simulate", help="run one machine over one workload or suite")
     # Workload/suite names are validated against the registry at run
     # time (not argparse choices), so late-registered ones work too.
@@ -535,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--size", type=int, default=1000,
                           help="workload size parameter (elements/iterations)")
     simulate.add_argument("--scale", type=float, default=0.5, help="suite scale")
+    add_sampling_argument(simulate)
     add_machine_arguments(simulate)
     simulate.add_argument("--json", default=None, help="write results to this JSON file")
     simulate.set_defaults(func=cmd_simulate)
@@ -593,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
              "grid over it",
     )
     sweep.add_argument("--json", default=None, help="write every table to this JSON file")
+    add_sampling_argument(sweep)
     add_engine_arguments(sweep)
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress reporting"

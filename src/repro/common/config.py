@@ -231,6 +231,141 @@ class RegisterAllocationConfig:
         _positive("regalloc.virtual_tags", self.virtual_tags)
 
 
+@dataclass(frozen=True)
+class SamplingPlan:
+    """How a sampled (fast-forward + detailed windows) run slices a trace.
+
+    The trace is divided into periods of ``period`` dynamic instructions.
+    Within each period the simulator runs ``warmup`` instructions in
+    detailed mode to refill the pipeline (unmeasured), measures the next
+    ``window`` instructions cycle-accurately, and *functionally
+    fast-forwards* the remaining ``period - warmup - window``
+    instructions — retiring them in program order while still driving
+    the caches, prefetchers and branch predictors so the next detailed
+    window starts warm.  ``seed`` deterministically randomizes where in
+    the first period the first detailed window sits (0 keeps it at the
+    period start), decorrelating the windows from periodic program
+    structure.
+
+    ``period == warmup + window`` leaves nothing to fast-forward: the
+    run degenerates to one continuous detailed simulation whose result
+    (cycles, IPC, every statistic) is bit-identical to the unsampled
+    run, with per-window attribution layered on top.
+    """
+
+    period: int
+    window: int
+    warmup: int = 0
+    seed: int = 0
+
+    def validate(self) -> "SamplingPlan":
+        _positive("sampling.period", self.period)
+        _positive("sampling.window", self.window)
+        _non_negative("sampling.warmup", self.warmup)
+        _non_negative("sampling.seed", self.seed)
+        if self.warmup + self.window > self.period:
+            raise ConfigurationError(
+                f"sampling: warmup + window ({self.warmup} + {self.window}) "
+                f"must fit in the period ({self.period})"
+            )
+        return self
+
+    @property
+    def fast_forward_per_period(self) -> int:
+        """Instructions functionally fast-forwarded in each full period."""
+        return self.period - self.warmup - self.window
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of the trace simulated in detailed (cycle-level) mode."""
+        return (self.warmup + self.window) / self.period
+
+    def first_window_offset(self) -> int:
+        """Trace position where the first detailed region (warmup) starts.
+
+        Deterministic in ``seed``: seed 0 pins the window to the period
+        start; any other seed places it uniformly within the period's
+        fast-forward slack.
+        """
+        slack = self.fast_forward_per_period
+        if self.seed == 0 or slack == 0:
+            return 0
+        import random
+
+        return random.Random(self.seed).randrange(slack + 1)
+
+    def schedule(self, total: int) -> list:
+        """Split ``total`` instructions into ``(skip, warmup, measure)`` triples.
+
+        ``skip`` instructions are fast-forwarded, ``warmup`` run detailed
+        but unmeasured, ``measure`` run detailed and measured.  The
+        triples cover the trace exactly; a tail too short to hold a
+        warmed window becomes a pure fast-forward segment.
+        """
+        self.validate()
+        segments = []
+        pos = 0
+        next_detail = self.first_window_offset()
+        while pos < total:
+            skip = min(max(0, next_detail - pos), total - pos)
+            remaining = total - pos - skip
+            if remaining <= self.warmup:
+                # Tail too short for a measured window: fast-forward it all.
+                segments.append((skip + remaining, 0, 0))
+                break
+            warm = min(self.warmup, remaining)
+            measure = min(self.window, remaining - warm)
+            segments.append((skip, warm, measure))
+            pos += skip + warm + measure
+            next_detail += self.period
+        return segments
+
+    # -- serialization / identity ------------------------------------------
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "period": self.period,
+            "window": self.window,
+            "warmup": self.warmup,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SamplingPlan":
+        return cls(
+            period=int(data["period"]),
+            window=int(data["window"]),
+            warmup=int(data.get("warmup", 0)),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "SamplingPlan":
+        """Parse the CLI form ``PERIOD:WINDOW[:WARMUP[:SEED]]``."""
+        parts = spec.split(":")
+        if not 2 <= len(parts) <= 4:
+            raise ConfigurationError(
+                f"sampling spec {spec!r} must be PERIOD:WINDOW[:WARMUP[:SEED]]"
+            )
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError as exc:
+            raise ConfigurationError(f"sampling spec {spec!r}: {exc}") from None
+        plan = cls(
+            period=numbers[0],
+            window=numbers[1],
+            warmup=numbers[2] if len(numbers) > 2 else 0,
+            seed=numbers[3] if len(numbers) > 3 else 0,
+        )
+        return plan.validate()
+
+    def describe(self) -> str:
+        return (
+            f"period={self.period} window={self.window} "
+            f"warmup={self.warmup} seed={self.seed} "
+            f"({100 * self.detail_fraction:.1f}% detailed)"
+        )
+
+
 @dataclass
 class ProcessorConfig:
     """Complete description of one simulated machine.

@@ -116,6 +116,12 @@ class PipelineBase:
         self._exceptions_delivered = self.stats.counter("exceptions.delivered")
         self._dispatch_stalls = self.stats.counter("dispatch.stall_cycles")
         self._committed_counter = self.stats.counter("commit.instructions")
+        #: Commit watermarks (sampled execution): ascending committed-count
+        #: targets still to be crossed, and the (target, cycle, fetched)
+        #: records of the ones already crossed.  Empty unless ``run`` was
+        #: given ``commit_marks``, so the per-commit check is one falsy test.
+        self._pending_marks: List[int] = []
+        self.commit_mark_records: List[Tuple[int, int, int]] = []
 
     # -- probe plumbing ---------------------------------------------------------
     @property
@@ -144,6 +150,24 @@ class PipelineBase:
                 if event == "on_cycle" and idle_hook is None:
                     self._per_cycle_only = True
         return probe
+
+    # -- sampled execution ------------------------------------------------------
+    def adopt_warm_state(self, hierarchy, predictor=None, btb=None) -> None:
+        """Swap in pre-warmed long-lived structures before :meth:`run`.
+
+        The sampled-execution driver keeps one memory hierarchy, branch
+        predictor and BTB alive across fast-forward and detailed phases;
+        each detailed window builds a fresh pipeline (empty queues, seq 0,
+        cycle 0) and adopts the warm structures through this hook.  Every
+        cached reference is rebound, so subclasses that stash their own
+        must override and chain up.
+        """
+        self.hierarchy = hierarchy
+        self.frontend.hierarchy = hierarchy
+        if predictor is not None:
+            self.frontend.predictor = predictor
+        if btb is not None:
+            self.frontend.btb = btb
 
     # -- subclass hooks ---------------------------------------------------------
     def _register_identifier_count(self) -> int:
@@ -199,6 +223,7 @@ class PipelineBase:
         progress_interval: int = 8192,
         stop: Optional[Callable[["PipelineBase"], bool]] = None,
         force_per_cycle: bool = False,
+        commit_marks: Optional[Sequence[int]] = None,
     ) -> SimulationResult:
         """Simulate until every trace instruction committed.
 
@@ -206,6 +231,17 @@ class PipelineBase:
         ``progress_interval`` cycles; ``stop`` is an early-stop predicate
         checked each cycle — when it returns True the run ends and the
         (partial) result is built from whatever has committed so far.
+
+        ``commit_marks`` is a sequence of committed-instruction counts;
+        as the run first reaches (or passes) each, a ``(target, cycle,
+        fetched)`` record is appended to :attr:`commit_mark_records`.
+        The sampled-execution driver uses these to attribute cycles to
+        measurement windows without per-cycle callbacks: commit-time
+        crossings at *both* window boundaries carry the same pipeline
+        and memory-latency offset, which therefore cancels out of the
+        measured span.  Marks never disturb the event-driven fast path
+        (commits cannot happen inside a skipped span, so crossing cycles
+        are exact).
 
         The driver is **event-driven**: whenever no stage can make
         progress next cycle, the clock jumps to the next interesting
@@ -218,6 +254,9 @@ class PipelineBase:
         probe subscribes to ``on_cycle`` without being skip-aware.
         """
         limit = max_cycles if max_cycles is not None else float("inf")
+        if commit_marks:
+            self._pending_marks = sorted(commit_marks)
+            self.commit_mark_records = []
         event_driven = not (force_per_cycle or stop is not None or self._per_cycle_only)
         progress_stride = progress_interval if progress is not None else 0
         deadlock_cycles = self.config.deadlock_cycles
@@ -496,6 +535,10 @@ class PipelineBase:
         self.committed += count
         self._committed_counter.add(count)
         self._last_commit_cycle = self.cycle
+        if self._pending_marks:
+            marks = self._pending_marks
+            while marks and self.committed >= marks[0]:
+                self.commit_mark_records.append((marks.pop(0), self.cycle, self.fetched))
 
     def _deadlock_report(self) -> str:
         in_flight = self.occupancy.in_flight if self.occupancy is not None else "n/a"

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import ProcessorConfig
 from ..common.stats import StatsRegistry, ratio
@@ -31,7 +31,18 @@ def _restore_int_keys(value: object) -> object:
 
 @dataclass
 class SimulationResult:
-    """Summary of one simulation run (one config × one trace)."""
+    """Summary of one simulation run (one config × one trace).
+
+    For a **sampled** run (``sampled=True``) the scalar fields cover the
+    *measured* portion only: ``cycles`` and ``committed_instructions``
+    sum over the detailed measurement windows, so :attr:`ipc` is the
+    sampled IPC estimator (the instruction-weighted ratio estimator),
+    ``windows`` records each window's position and per-window IPC, and
+    ``ipc_ci95`` is the half-width of the 95% confidence interval on the
+    extrapolated IPC.  ``stats`` covers detailed execution (warmup
+    included); fast-forwarded instructions only appear under the
+    ``sampling.*`` counters.
+    """
 
     config_name: str
     mode: str
@@ -40,11 +51,28 @@ class SimulationResult:
     committed_instructions: int
     fetched_instructions: int
     stats: Dict[str, object] = field(default_factory=dict)
+    #: True when this result was extrapolated from detailed sample windows.
+    sampled: bool = False
+    #: Per-window records: {start, instructions, cycles, ipc}.
+    windows: List[Dict[str, object]] = field(default_factory=list)
+    #: Half-width of the 95% CI on :attr:`ipc` (0.0 for exact runs).
+    ipc_ci95: float = 0.0
 
     @property
     def ipc(self) -> float:
-        """Committed instructions per cycle — the paper's figure of merit."""
+        """Committed instructions per cycle — the paper's figure of merit.
+
+        For sampled runs this is the extrapolated estimate; the true IPC
+        lies within :attr:`ipc_interval` with ~95% confidence (assuming
+        window IPCs are identically distributed — see the architecture
+        docs for when that assumption breaks).
+        """
         return ratio(self.committed_instructions, self.cycles)
+
+    @property
+    def ipc_interval(self) -> Tuple[float, float]:
+        """(low, high) 95% confidence bounds on :attr:`ipc`."""
+        return (max(0.0, self.ipc - self.ipc_ci95), self.ipc + self.ipc_ci95)
 
     @property
     def replay_overhead(self) -> float:
@@ -111,9 +139,11 @@ class SimulationResult:
         JSON stringifies the integer keys inside nested stats blobs
         (distribution weights, histogram buckets); :meth:`from_dict`
         restores them, so a cached result is bit-identical to a freshly
-        simulated one.
+        simulated one.  The sampling fields are only emitted for sampled
+        runs, keeping exact-run cache files byte-identical to earlier
+        releases.
         """
-        return {
+        data: Dict[str, object] = {
             "config_name": self.config_name,
             "mode": self.mode,
             "workload": self.workload,
@@ -122,6 +152,11 @@ class SimulationResult:
             "fetched_instructions": self.fetched_instructions,
             "stats": self.stats,
         }
+        if self.sampled:
+            data["sampled"] = True
+            data["windows"] = self.windows
+            data["ipc_ci95"] = self.ipc_ci95
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
@@ -134,6 +169,9 @@ class SimulationResult:
             committed_instructions=int(data["committed_instructions"]),  # type: ignore[arg-type]
             fetched_instructions=int(data["fetched_instructions"]),  # type: ignore[arg-type]
             stats=_restore_int_keys(dict(data.get("stats") or {})),  # type: ignore[arg-type]
+            sampled=bool(data.get("sampled", False)),
+            windows=[dict(window) for window in data.get("windows") or []],  # type: ignore[union-attr]
+            ipc_ci95=float(data.get("ipc_ci95", 0.0) or 0.0),  # type: ignore[arg-type]
         )
 
     def summary_row(self) -> Dict[str, object]:

@@ -1,0 +1,361 @@
+"""Sampled execution: functional fast-forward plus detailed sample windows.
+
+Detailed cycle-level simulation costs tens of microseconds per
+instruction; the regimes this paper cares about (thousands of in-flight
+instructions hiding ~kilocycle memory latencies) only show up on long
+traces.  This module implements the standard way out — statistical
+sampling in the SMARTS tradition:
+
+1. most of the trace is **functionally fast-forwarded**: instructions
+   retire in program order with no pipeline timing, but every one still
+   drives the memory hierarchy (tag/LRU/dirty state, prefetcher
+   training, MSHR-free fills) and the branch predictor/BTB, so
+   long-lived microarchitectural state stays warm;
+2. periodically a **detailed window** runs on the real pipeline: a
+   ``warmup`` span refills the (short-lived) pipeline structures
+   unmeasured, then ``window`` instructions are measured
+   cycle-accurately;
+3. per-window IPCs feed a CLT confidence interval and the
+   instruction-weighted ratio estimator extrapolates whole-trace IPC.
+
+The orchestration lives in :func:`run_sampled`; the schedule comes from
+:class:`~repro.common.config.SamplingPlan`.  Each detailed window is an
+independent pipeline over a trace slice that *adopts* the shared warm
+hierarchy/predictor state (``PipelineBase.adopt_warm_state``), which
+makes "drain in-flight state at window boundaries" exact by
+construction: a window runs to completion, and the hierarchy's MSHR
+timers are retired between windows (:meth:`CacheHierarchy.drain`).
+
+Sampling is strictly opt-in.  Nothing here runs unless a
+:class:`SamplingPlan` is passed to :class:`repro.api.Simulation` /
+:func:`repro.api.run` / ``run_many`` or ``--sample`` on the CLI, and a
+plan whose period leaves nothing to fast-forward degenerates to one
+continuous detailed run whose result is bit-identical to the unsampled
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..branch import BranchTargetBuffer, build_predictor
+from ..common.config import ProcessorConfig, SamplingPlan
+from ..common.stats import StatsRegistry, ratio
+from ..memory.hierarchy import CacheHierarchy
+from ..trace.trace import Trace
+from .registry_machines import create_pipeline
+from .result import SimulationResult
+
+
+class FunctionalWarmer:
+    """Retires instructions in program order without modeling timing.
+
+    The warmer owns nothing: it drives the *shared* hierarchy, direction
+    predictor and BTB that the detailed windows adopt.  Per instruction
+    it touches the instruction side, trains the branch structures with
+    the trace outcome (predictors end in exactly the state a detailed
+    front end would leave — see ``GSharePredictor.warm``), and performs
+    the MSHR-free data-access path (fills, recency, prefetcher
+    training).  Only the ``sampling.*`` accounting counters are bumped,
+    so detailed-mode statistics stay uncontaminated.
+    """
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        hierarchy: CacheHierarchy,
+        predictor,
+        btb: BranchTargetBuffer,
+        stats: StatsRegistry,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.btb = btb
+        self._perfect_branches = config.branch.perfect
+        self._fast_forwarded = stats.counter("sampling.fast_forwarded_instructions")
+
+    def fast_forward(self, trace: Trace, start: int, count: int) -> int:
+        """Functionally retire ``trace[start:start+count]``; returns the new position."""
+        hierarchy = self.hierarchy
+        warm_inst = hierarchy.warm_inst
+        warm_data = hierarchy.warm_data
+        predictor_warm = self.predictor.warm
+        btb_update = self.btb.update
+        train_branches = not self._perfect_branches
+        # The detailed front end touches the I-cache once per fetch block,
+        # not per instruction; warming at line granularity matches that
+        # (and is the hot-loop win — most instructions share a line).
+        line_shift = hierarchy.config.il1.line_bytes.bit_length() - 1
+        last_line = -1
+        for instr in trace.instructions_between(start, start + count):
+            pc = instr.pc
+            pc_line = pc >> line_shift
+            if pc_line != last_line:
+                warm_inst(pc)
+                last_line = pc_line
+            if instr.is_branch:
+                if train_branches:
+                    predictor_warm(pc, instr.branch_taken)
+                    if instr.branch_taken:
+                        btb_update(pc, instr.branch_target or 0)
+            elif instr.is_memory:
+                warm_data(instr.mem_addr or 0, instr.is_store, pc=pc)
+        self._fast_forwarded.add(count)
+        return start + count
+
+
+#: Two-sided 97.5% Student-t quantiles by degrees of freedom; sampled runs
+#: often have only a handful of windows, where the normal 1.96 would
+#: undercover badly (df=2 needs 4.30).
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_quantile(df: int) -> float:
+    """Quantile for ``df`` degrees of freedom, never narrower than the truth.
+
+    Between table entries the quantile decreases with df, so rounding
+    *down* to the largest tabulated df at or below the requested one
+    always yields a multiplier at least as wide as the exact value.
+    """
+    exact = _T_975.get(df)
+    if exact is not None:
+        return exact
+    return _T_975[max(key for key in _T_975 if key <= df)]
+
+
+def _confidence_interval(ipcs: Sequence[float]) -> float:
+    """Half-width of the 95% CI on the mean of per-window IPCs.
+
+    Student-t with ``n - 1`` degrees of freedom: window counts are often
+    small (an XL trace under the default plans yields 3-7 windows), so
+    the small-sample multiplier matters for honest coverage.
+    """
+    n = len(ipcs)
+    if n < 2:
+        return 0.0
+    mean = sum(ipcs) / n
+    variance = sum((value - mean) ** 2 for value in ipcs) / (n - 1)
+    return _t_quantile(n - 1) * math.sqrt(variance / n)
+
+
+def _window_record(start: int, instructions: int, cycles: int) -> Dict[str, object]:
+    return {
+        "start": start,
+        "instructions": instructions,
+        "cycles": cycles,
+        "ipc": ratio(instructions, cycles),
+    }
+
+
+def _merge_marked_windows(
+    boundaries: List[Tuple[int, int]], start: int = 0
+) -> List[Dict[str, object]]:
+    """Per-window records from (committed, cycle) boundaries.
+
+    ``start`` is the trace position of the first boundary; subsequent
+    window starts accumulate from it.  On the checkpointed machine
+    commits arrive a whole checkpoint at a time, so consecutive
+    boundaries can share a cycle; zero-cycle spans are folded into the
+    following window (or the previous one at the tail) to keep every
+    reported window's IPC finite.
+    """
+    windows: List[Dict[str, object]] = []
+    acc_instr = 0
+    acc_cycles = 0
+    win_start = start
+    previous = boundaries[0]
+    for boundary in boundaries[1:]:
+        acc_instr += boundary[0] - previous[0]
+        acc_cycles += boundary[1] - previous[1]
+        previous = boundary
+        if acc_instr > 0 and acc_cycles > 0:
+            windows.append(_window_record(win_start, acc_instr, acc_cycles))
+            win_start += acc_instr
+            acc_instr = 0
+            acc_cycles = 0
+    if acc_instr or acc_cycles:
+        if windows:
+            last = windows[-1]
+            last["instructions"] = int(last["instructions"]) + acc_instr
+            last["cycles"] = int(last["cycles"]) + acc_cycles
+            last["ipc"] = ratio(last["instructions"], last["cycles"])
+        elif acc_instr:
+            windows.append(_window_record(win_start, acc_instr, acc_cycles))
+    return windows
+
+
+def _run_continuous(
+    config: ProcessorConfig,
+    trace: Trace,
+    plan: SamplingPlan,
+    *,
+    probes: Sequence = (),
+    default_probes: bool = True,
+    force_per_cycle: bool = False,
+    max_cycles: Optional[int] = None,
+    progress=None,
+    progress_interval: int = 8192,
+) -> SimulationResult:
+    """Fully-detailed degenerate case: window attribution over one exact run.
+
+    Used when the plan leaves nothing to fast-forward (``period ==
+    warmup + window``) or the trace is too short to hold a warmed
+    window.  The underlying simulation is the ordinary kernel, so
+    cycles, IPC and every statistic are bit-identical to the unsampled
+    run; only the sampling metadata (windows, CI) is layered on top.
+    """
+    import dataclasses
+
+    pipeline = create_pipeline(
+        config, trace, None, probes=probes, default_probes=default_probes
+    )
+    total = len(trace)
+    marks = list(range(plan.window, total, plan.window))
+    result = pipeline.run(
+        max_cycles=max_cycles,
+        progress=progress,
+        progress_interval=progress_interval,
+        force_per_cycle=force_per_cycle,
+        commit_marks=marks,
+    )
+    boundaries = [(0, 0)]
+    boundaries.extend(
+        (target, cycle) for target, cycle, _fetched in pipeline.commit_mark_records
+    )
+    if not boundaries or boundaries[-1][0] < result.committed_instructions:
+        boundaries.append((result.committed_instructions, result.cycles))
+    windows = _merge_marked_windows(boundaries)
+    ipcs = [float(window["ipc"]) for window in windows]
+    return dataclasses.replace(
+        result, sampled=True, windows=windows, ipc_ci95=_confidence_interval(ipcs)
+    )
+
+
+def run_sampled(
+    config: ProcessorConfig,
+    trace: Trace,
+    plan: SamplingPlan,
+    *,
+    probes: Sequence = (),
+    default_probes: bool = True,
+    force_per_cycle: bool = False,
+    max_cycles: Optional[int] = None,
+    progress=None,
+    progress_interval: int = 8192,
+) -> SimulationResult:
+    """Run ``trace`` under ``plan``; returns an extrapolated result.
+
+    The returned :class:`SimulationResult` has ``sampled=True``:
+    ``cycles``/``committed_instructions`` cover the measured windows (so
+    ``ipc`` is the instruction-weighted sampled estimator), ``windows``
+    holds the per-window records behind ``ipc_ci95``, and ``stats``
+    covers detailed execution — fast-forwarded instructions appear only
+    under ``sampling.fast_forwarded_instructions``.
+
+    ``max_cycles`` bounds each detailed window individually (one window
+    is one pipeline run); ``probes`` attach to every window's pipeline
+    in turn.
+    """
+    config.validate()
+    plan.validate()
+    segments = plan.schedule(len(trace))
+    if plan.fast_forward_per_period == 0 or not any(
+        measure for _skip, _warm, measure in segments
+    ):
+        # Nothing to fast-forward (period == warmup + window) or nothing
+        # to sample around: the whole trace is one detailed run.
+        return _run_continuous(
+            config,
+            trace,
+            plan,
+            probes=probes,
+            default_probes=default_probes,
+            force_per_cycle=force_per_cycle,
+            max_cycles=max_cycles,
+            progress=progress,
+            progress_interval=progress_interval,
+        )
+
+    stats = StatsRegistry()
+    hierarchy = CacheHierarchy(config.memory, stats)
+    predictor = build_predictor(config.branch, stats)
+    btb = BranchTargetBuffer(config.branch, stats)
+    warmer = FunctionalWarmer(config, hierarchy, predictor, btb, stats)
+    window_counter = stats.counter("sampling.windows")
+    detailed_counter = stats.counter("sampling.detailed_instructions")
+    degenerate_counter = stats.counter("sampling.degenerate_windows")
+    commit_width = config.core.commit_width
+
+    windows: List[Dict[str, object]] = []
+    measured_cycles = 0
+    measured_instructions = 0
+    measured_fetched = 0
+    position = 0
+    for skip, warmup, measure in segments:
+        if skip:
+            position = warmer.fast_forward(trace, position, skip)
+        detailed = warmup + measure
+        if detailed == 0:
+            continue
+        segment_trace = trace.slice(position, position + detailed)
+        pipeline = create_pipeline(
+            config, segment_trace, stats, probes=probes, default_probes=default_probes
+        )
+        pipeline.adopt_warm_state(hierarchy, predictor, btb)
+        hierarchy.drain()
+        segment_result = pipeline.run(
+            max_cycles=max_cycles,
+            progress=progress,
+            progress_interval=progress_interval,
+            force_per_cycle=force_per_cycle,
+            commit_marks=[warmup] if warmup else None,
+        )
+        detailed_counter.add(detailed)
+        if warmup and pipeline.commit_mark_records:
+            _target, warm_cycle, warm_fetched = pipeline.commit_mark_records[0]
+        else:
+            warm_cycle, warm_fetched = 0, 0
+        # Both boundaries are commit events (the warmup crossing and the
+        # segment's final commit), so the pipeline-depth and memory-latency
+        # offset each carries cancels out of the measured span.  On the
+        # checkpointed machine the crossing snaps to a checkpoint drain;
+        # windows spanning several checkpoint quanta keep that snap small.
+        window_cycles = segment_result.cycles - warm_cycle
+        window_instructions = detailed - warmup
+        window_start = position + warmup
+        if window_cycles <= 0 or window_instructions > window_cycles * commit_width:
+            # A window thinner than the machine's commit quantum: the whole
+            # segment committed in one drain burst and the boundary span
+            # implies a physically impossible rate (above commit width).
+            # Fall back to whole-segment measurement — biased by fill and
+            # drain, but sane — and flag it so callers can widen the plan.
+            window_cycles = segment_result.cycles
+            window_instructions = detailed
+            window_start = position
+            warm_fetched = 0
+            degenerate_counter.add()
+        windows.append(_window_record(window_start, window_instructions, window_cycles))
+        window_counter.add()
+        measured_cycles += window_cycles
+        measured_instructions += window_instructions
+        measured_fetched += max(0, segment_result.fetched_instructions - warm_fetched)
+        position += detailed
+    ipcs = [float(window["ipc"]) for window in windows]
+    return SimulationResult(
+        config_name=config.name or config.mode,
+        mode=config.mode,
+        workload=trace.name,
+        cycles=measured_cycles,
+        committed_instructions=measured_instructions,
+        fetched_instructions=measured_fetched,
+        stats=stats.snapshot(),
+        sampled=True,
+        windows=windows,
+        ipc_ci95=_confidence_interval(ipcs),
+    )

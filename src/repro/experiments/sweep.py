@@ -47,7 +47,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import __version__ as SIMULATOR_VERSION
 from ..api import Simulation
-from ..common.config import ProcessorConfig
+from ..common.config import ProcessorConfig, SamplingPlan
 from ..core.result import SimulationResult
 from ..trace.trace import Trace
 from ..workloads.registry import get_suite
@@ -100,6 +100,9 @@ class SweepSpec:
     scale: float = DEFAULT_SCALE
     suite: str = "spec2000fp_like"
     workloads: Optional[Sequence[str]] = None
+    #: Optional statistical-sampling plan applied to every cell; part of
+    #: each cell's cache key, so sampled results never shadow exact ones.
+    sampling: Optional[SamplingPlan] = None
 
     def workload_names(self) -> List[str]:
         """Resolved workload list (the whole suite unless filtered)."""
@@ -137,17 +140,20 @@ def cell_cache_key(
     workload: str,
     scale: float,
     simulator_version: str = SIMULATOR_VERSION,
+    sampling: Optional[SamplingPlan] = None,
 ) -> str:
     """Stable content hash identifying one simulation cell.
 
     Any change to the configuration, the trace generator identity
-    (suite + workload name), the scale, or the simulator version yields a
-    different key, so stale results can never be returned.  Workload and
-    suite names come from the registry
+    (suite + workload name), the scale, the sampling plan, or the
+    simulator version yields a different key, so stale results can never
+    be returned.  Workload and suite names come from the registry
     (:mod:`repro.workloads.registry`); registering new ones never
     perturbs existing keys, but a registered *name* must keep generating
     the same trace — change the behaviour, change the name (or bump
-    ``repro.__version__``).
+    ``repro.__version__``).  The ``sampling`` component is only added to
+    the payload when a plan is set, so every pre-sampling cache key is
+    byte-for-byte unchanged.
     """
     payload = {
         "config": config.to_dict(),
@@ -157,6 +163,8 @@ def cell_cache_key(
         "simulator_version": simulator_version,
         "cache_schema": CACHE_SCHEMA_VERSION,
     }
+    if sampling is not None:
+        payload["sampling"] = sampling.to_dict()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -193,7 +201,11 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Everything a truncated, hand-edited or wrong-shaped JSON file
+            # can throw — including AttributeError when the top-level value
+            # is valid JSON but not an object — counts as a corrupt entry:
+            # remove it and report a miss so the cell is re-simulated.
             self.corrupt += 1
             self.misses += 1
             try:
@@ -245,6 +257,11 @@ class ResultCache:
 #: Per-worker-process trace cache: (suite, rounded scale) -> workload -> Trace.
 _WORKER_TRACES: Dict[Tuple[str, float], Dict[str, Trace]] = {}
 
+#: Traces actually generated by this process's :func:`_worker_trace` (cache
+#: misses only).  Tests use it to assert that workload-major task ordering
+#: lets the per-worker cache hit instead of rebuilding every trace.
+TRACE_BUILDS = 0
+
 
 def _worker_trace(suite: str, scale: float, workload: str) -> Trace:
     """Build (and cache per process) one workload's trace.
@@ -252,24 +269,63 @@ def _worker_trace(suite: str, scale: float, workload: str) -> Trace:
     Trace generation is deterministic (fixed seeds), so a trace built in
     a worker is identical to one built in the parent.
     """
+    global TRACE_BUILDS
     key = (suite, round(scale, 6))
     per_suite = _WORKER_TRACES.setdefault(key, {})
     if workload not in per_suite:
         for member in get_suite(suite):
             if member.name == workload:
                 per_suite[workload] = member.build(scale)
+                TRACE_BUILDS += 1
                 break
         else:
             raise KeyError(f"unknown workload {workload!r} in suite {suite!r}")
     return per_suite[workload]
 
 
-def _simulate_cell(task: Tuple[Dict[str, object], str, float, str]) -> SimulationResult:
+def _simulate_cell(
+    task: Tuple[Dict[str, object], str, float, str, Optional[Dict[str, int]]]
+) -> SimulationResult:
     """Pool worker entry point: rebuild the config, build the trace, run."""
-    config_data, suite, scale, workload = task
+    config_data, suite, scale, workload, sampling_data = task
     config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
+    sampling = SamplingPlan.from_dict(sampling_data) if sampling_data else None
     trace = _worker_trace(suite, scale, workload)
-    return Simulation(config).run(trace)
+    return Simulation(config, sampling=sampling).run(trace)
+
+
+def _workload_major(
+    cells: Sequence[SweepCell],
+    slots: Sequence[Optional[SimulationResult]],
+    spec: SweepSpec,
+) -> List[SweepCell]:
+    """Pending cells reordered workload-major for worker trace locality.
+
+    Specs enumerate config-major, which hands a round-robin pool one
+    cell of *every* workload — each worker then rebuilds each trace
+    instead of hitting its per-process ``_WORKER_TRACES`` cache.
+    Grouping all configs of one workload together (stable, so config
+    order within a workload is preserved) makes consecutive tasks share
+    a trace; results still land in declared order via ``cell.index``.
+    """
+    order = {name: rank for rank, name in enumerate(spec.workload_names())}
+    pending = [cell for cell in cells if slots[cell.index] is None]
+    pending.sort(key=lambda cell: order.get(cell.workload, len(order)))
+    return pending
+
+
+def _locality_chunksize(pending: Sequence[SweepCell], workers: int) -> int:
+    """An ``imap`` chunk size that keeps one workload's run on one worker.
+
+    A chunk should cover several same-workload cells (so the worker's
+    trace cache pays off) but never much more than one workload's run
+    (so the tail doesn't serialize on one worker).
+    """
+    if not pending or workers < 1:
+        return 1
+    per_workload = len(pending) // max(1, len({cell.workload for cell in pending}))
+    fair_share = -(-len(pending) // workers)  # ceil division
+    return max(1, min(per_workload, fair_share))
 
 
 # ---------------------------------------------------------------------------
@@ -355,7 +411,9 @@ class SweepEngine:
             return slots, [""] * len(cells)
         keys: List[str] = []
         for cell in cells:
-            key = cell_cache_key(cell.config, spec.suite, cell.workload, spec.scale)
+            key = cell_cache_key(
+                cell.config, spec.suite, cell.workload, spec.scale, sampling=spec.sampling
+            )
             keys.append(key)
             slots[cell.index] = self.cache.load(key)
         return slots, keys
@@ -375,7 +433,7 @@ class SweepEngine:
             if slots[cell.index] is not None:
                 continue
             if simulation is None or simulation_config is not cell.config:
-                simulation = Simulation(cell.config)
+                simulation = Simulation(cell.config, sampling=spec.sampling)
                 simulation_config = cell.config
             result = simulation.run(traces[cell.workload])
             slots[cell.index] = result
@@ -391,9 +449,10 @@ class SweepEngine:
         slots: List[Optional[SimulationResult]],
         keys: Sequence[str],
     ) -> None:
-        pending = [cell for cell in cells if slots[cell.index] is None]
+        pending = _workload_major(cells, slots, spec)
+        sampling_data = spec.sampling.to_dict() if spec.sampling is not None else None
         tasks = [
-            (cell.config.to_dict(), spec.suite, spec.scale, cell.workload)
+            (cell.config.to_dict(), spec.suite, spec.scale, cell.workload, sampling_data)
             for cell in pending
         ]
         try:
@@ -402,8 +461,11 @@ class SweepEngine:
             context = multiprocessing.get_context("spawn")
         workers = min(self.jobs, len(pending))
         done = sum(1 for slot in slots if slot is not None)
+        chunksize = _locality_chunksize(pending, workers)
         with context.Pool(processes=workers) as pool:
-            for cell, result in zip(pending, pool.imap(_simulate_cell, tasks, chunksize=1)):
+            for cell, result in zip(
+                pending, pool.imap(_simulate_cell, tasks, chunksize=chunksize)
+            ):
                 slots[cell.index] = result
                 if self.cache is not None:
                     self.cache.store(keys[cell.index], result)

@@ -69,6 +69,34 @@ class Cache:
         self._misses.add()
         return False
 
+    def warm_access(self, addr: int, is_write: bool = False) -> bool:
+        """Functional-warming lookup: like :meth:`access` but uncounted.
+
+        Used by the sampled-execution fast-forward engine, which must
+        evolve tag/LRU/dirty state exactly as demand accesses would
+        while keeping the hit/miss statistics scoped to detailed
+        execution.
+        """
+        cache_set = self._sets[self._set_index(addr)]
+        tag = self._tag(addr)
+        if tag in cache_set:
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or is_write
+            return True
+        return False
+
+    def warm_fill(self, addr: int, dirty: bool = False) -> None:
+        """Functional-warming install: like :meth:`fill` but uncounted."""
+        cache_set = self._sets[self._set_index(addr)]
+        tag = self._tag(addr)
+        if tag in cache_set:
+            existing_dirty = cache_set.pop(tag)
+            cache_set[tag] = existing_dirty or dirty
+            return
+        if len(cache_set) >= self.config.assoc:
+            cache_set.popitem(last=False)
+        cache_set[tag] = dirty
+
     def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
         """Install the line containing ``addr``.
 

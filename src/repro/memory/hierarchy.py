@@ -176,6 +176,60 @@ class CacheHierarchy:
         self._dl1_mshr.allocate(line, cycle + latency, from_memory=True)
         return AccessResult(latency, "memory", True, True)
 
+    # -- functional warming (sampled execution) ---------------------------------
+    def warm_inst(self, pc: int) -> None:
+        """Touch the instruction side for one fast-forwarded instruction.
+
+        Evolves IL1/L2 tag and recency state exactly like
+        :meth:`inst_access` but without latency or hit/miss statistics —
+        the MSHR-free access path used while functionally fast-forwarding
+        between detailed sample windows.
+        """
+        if not self.il1.warm_access(pc):
+            if not self.l2.warm_access(pc):
+                self.l2.warm_fill(pc)
+            self.il1.warm_fill(pc)
+
+    def warm_data(self, addr: int, is_store: bool, pc: Optional[int] = None) -> bool:
+        """Retire one fast-forwarded data access functionally.
+
+        Mirrors the fill decisions of :meth:`data_access` — DL1/L2
+        lookup, write-allocate fills, prefetcher training and prefetch
+        fills — without MSHR timing or the demand-access statistics, so
+        detailed windows observe the same cache contents they would have
+        seen had the skipped span been simulated in full.  Returns True
+        when the access would have gone to main memory.
+        """
+        config = self.config
+        if config.perfect_dl1:
+            return False
+        l2_miss = False
+        if not self.dl1.warm_access(addr, is_write=is_store):
+            if not config.perfect_l2 and not self.l2.warm_access(addr, is_write=is_store):
+                l2_miss = True
+                self.l2.warm_fill(addr, dirty=is_store)
+            self.dl1.warm_fill(addr, dirty=is_store)
+        if self.prefetcher is not None:
+            for target in self.prefetcher.addresses_after(addr, l2_miss, key=pc):
+                if config.perfect_l2 or self.l2.probe(target):
+                    continue
+                self.l2.warm_fill(target)
+                self._prefetched_lines.add(self.l2.line_address(target))
+        return l2_miss
+
+    def drain(self) -> None:
+        """Complete every in-flight fill (cache contents are kept).
+
+        Called at sampled-execution window boundaries: each detailed
+        window starts a fresh cycle counter, so cycle-stamped MSHR
+        entries from the previous window must be treated as arrived.
+        The lines themselves were already installed at allocation time,
+        so dropping the timers is exactly "all outstanding fills have
+        landed".
+        """
+        self._dl1_mshr.clear()
+        self._l2_mshr.clear()
+
     # -- probes used by tests and analysis ------------------------------------------
     def would_miss_l2(self, addr: int, cycle: int = 0) -> bool:
         """Non-destructive check: would an access now behave like an L2 miss?

@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .common.config import ProcessorConfig, cooo_config, scaled_baseline
+from .common.config import ProcessorConfig, SamplingPlan, cooo_config, scaled_baseline
 from .trace.trace import Trace
 
 
@@ -76,13 +76,44 @@ def _daxpy_trace() -> Trace:
     return daxpy(elements=300)
 
 
+def _daxpy_xl_trace() -> Trace:
+    """XL-scale streaming FP (~200k instructions): the sampled-execution regime."""
+    from .workloads import daxpy
+
+    return daxpy(elements=30_000)
+
+
+def _dense_branches_xl_trace() -> Trace:
+    """XL-scale branch storm (~160k instructions): predictor-warmth stressor."""
+    from .workloads import dense_branches
+
+    return dense_branches(iterations=20_000)
+
+
+#: Plan used by the streaming ``*-sampled`` benchmarks: ~4% of the trace
+#: simulated in detail; windows sized for the in-order-commit baseline (see
+#: XL_SAMPLING in repro.workloads.xl for checkpointed-machine sizing).
+BENCH_SAMPLING = SamplingPlan(period=50_000, window=1_500, warmup=500)
+
+#: Plan for the branch-storm benchmark: gshare self-trains its table only
+#: under detailed execution (see GSharePredictor.warm), so branchy regimes
+#: need a long detailed warmup before each measured window.
+BENCH_BRANCHY_SAMPLING = SamplingPlan(period=50_000, window=4_000, warmup=5_000)
+
+
 @dataclass(frozen=True)
 class BenchmarkSpec:
-    """One named throughput benchmark: a machine config over a trace."""
+    """One named throughput benchmark: a machine config over a trace.
+
+    ``sampling`` makes the benchmark a sampled-execution run (the
+    wall-clock then measures fast-forward + detailed windows, and the
+    recorded IPC is the extrapolated estimate).
+    """
 
     name: str
     config_factory: Callable[[], ProcessorConfig]
     trace_factory: Callable[[], Trace]
+    sampling: Optional[SamplingPlan] = None
 
     def config(self) -> ProcessorConfig:
         return self.config_factory()
@@ -120,27 +151,69 @@ BENCHMARKS: List[BenchmarkSpec] = [
     ),
 ]
 
+#: XL-scale benchmarks: too slow for the default ``repro bench`` run (the
+#: exact entries exist as the denominator of the sampled-speedup guard),
+#: runnable by name and from benchmarks/test_bench_sampling.py.
+XL_BENCHMARKS: List[BenchmarkSpec] = [
+    BenchmarkSpec(
+        "baseline-daxpy-xl",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _daxpy_xl_trace,
+    ),
+    BenchmarkSpec(
+        "baseline-daxpy-xl-sampled",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _daxpy_xl_trace,
+        sampling=BENCH_SAMPLING,
+    ),
+    BenchmarkSpec(
+        "baseline-branches-xl",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _dense_branches_xl_trace,
+    ),
+    BenchmarkSpec(
+        "baseline-branches-xl-sampled",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _dense_branches_xl_trace,
+        sampling=BENCH_BRANCHY_SAMPLING,
+    ),
+]
+
+
+def all_benchmarks() -> List[BenchmarkSpec]:
+    """Every defined benchmark (default set plus the XL/sampled set)."""
+    return list(BENCHMARKS) + list(XL_BENCHMARKS)
+
 
 def benchmark_names() -> List[str]:
-    return [spec.name for spec in BENCHMARKS]
+    return [spec.name for spec in all_benchmarks()]
 
 
 def run_benchmark(
-    spec: BenchmarkSpec, *, force_per_cycle: bool = False, repeats: int = 3
+    spec: BenchmarkSpec,
+    *,
+    force_per_cycle: bool = False,
+    repeats: int = 3,
+    sampling: Optional[SamplingPlan] = None,
 ) -> Dict[str, object]:
-    """Time one benchmark (best of ``repeats``) and return its result row."""
+    """Time one benchmark (best of ``repeats``) and return its result row.
+
+    ``sampling`` overrides the spec's own plan (``--sample`` on the CLI);
+    the spec's plan applies when the override is None.
+    """
     from .api import run as simulate
 
     trace = spec.trace()
     config = spec.config()
+    plan = sampling if sampling is not None else spec.sampling
     best = float("inf")
     result = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        result = simulate(config, trace, force_per_cycle=force_per_cycle)
+        result = simulate(config, trace, force_per_cycle=force_per_cycle, sampling=plan)
         best = min(best, time.perf_counter() - started)
     assert result is not None
-    return {
+    row: Dict[str, object] = {
         "name": spec.name,
         "seconds": round(best, 6),
         "cycles": result.cycles,
@@ -152,6 +225,11 @@ def run_benchmark(
         "ipc": round(result.ipc, 4),
         "kernel": "per-cycle" if force_per_cycle else "event-driven",
     }
+    if plan is not None:
+        row["sampling"] = plan.to_dict()
+        row["trace_instructions"] = len(trace)
+        row["ipc_ci95"] = round(result.ipc_ci95, 4)
+    return row
 
 
 def run_benchmarks(
@@ -159,11 +237,17 @@ def run_benchmarks(
     *,
     force_per_cycle: bool = False,
     repeats: int = 3,
+    sampling: Optional[SamplingPlan] = None,
 ) -> List[Dict[str, object]]:
-    """Run the named benchmarks (default: all) and return their rows."""
+    """Run the named benchmarks (default: the core set) and return their rows.
+
+    The XL benchmarks only run when named explicitly — their exact
+    variants take several seconds each, which would make a casual
+    ``repro bench`` sluggish.
+    """
     selected = list(BENCHMARKS)
     if names:
-        by_name = {spec.name: spec for spec in BENCHMARKS}
+        by_name = {spec.name: spec for spec in all_benchmarks()}
         unknown = sorted(set(names) - set(by_name))
         if unknown:
             raise KeyError(
@@ -171,7 +255,9 @@ def run_benchmarks(
             )
         selected = [by_name[name] for name in names]
     return [
-        run_benchmark(spec, force_per_cycle=force_per_cycle, repeats=repeats)
+        run_benchmark(
+            spec, force_per_cycle=force_per_cycle, repeats=repeats, sampling=sampling
+        )
         for spec in selected
     ]
 
@@ -214,6 +300,71 @@ def append_record(
     return entry
 
 
+#: ``repro bench --compare`` fails on wall-clock regressions beyond this.
+COMPARE_THRESHOLD = 0.25
+
+
+def compare_latest(path: str, threshold: float = COMPARE_THRESHOLD) -> int:
+    """Diff the two newest recordings in ``path``; nonzero on regression.
+
+    For every benchmark name present in both of the two most recent
+    entries, compares wall-clock seconds; a benchmark that got more than
+    ``threshold`` (default 25%) slower is a regression.  Returns 0 when
+    clean, 1 on any regression, 2 when the file has fewer than two
+    entries or no common benchmarks (nothing to compare is a gate
+    failure, not a pass).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(history, list) or len(history) < 2:
+        print(
+            f"error: {path} holds {len(history) if isinstance(history, list) else 0} "
+            f"recording(s); --compare needs at least two",
+            file=sys.stderr,
+        )
+        return 2
+    older, newer = history[-2], history[-1]
+    older_rows = {row["name"]: row for row in older.get("results", [])}
+    newer_rows = {row["name"]: row for row in newer.get("results", [])}
+    common = [name for name in newer_rows if name in older_rows]
+    if not common:
+        print(
+            f"error: the two newest recordings in {path} share no benchmark names",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"comparing {older.get('timestamp')} ({older.get('note') or 'no note'}) -> "
+        f"{newer.get('timestamp')} ({newer.get('note') or 'no note'})"
+    )
+    header = f"{'benchmark':<28} {'before s':>10} {'after s':>10} {'change':>8}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for name in common:
+        before = float(older_rows[name]["seconds"])
+        after = float(newer_rows[name]["seconds"])
+        change = (after - before) / before if before else 0.0
+        flag = ""
+        if before and change > threshold:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        print(f"{name:<28} {before:>10.3f} {after:>10.3f} {change:>+7.1%}{flag}")
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno benchmark regressed more than {threshold:.0%}")
+    return 0
+
+
 def add_bench_arguments(parser) -> None:
     """Attach the benchmark driver's arguments to an argparse parser.
 
@@ -221,10 +372,13 @@ def add_bench_arguments(parser) -> None:
     ``benchmarks/record.py``) and the ``repro bench`` subcommand, so
     both expose the exact same interface.
     """
+    core_names = ", ".join(spec.name for spec in BENCHMARKS)
+    xl_names = ", ".join(spec.name for spec in XL_BENCHMARKS)
     parser.add_argument(
         "names",
         nargs="*",
-        help=f"benchmarks to run (default: all of {', '.join(benchmark_names())})",
+        help=f"benchmarks to run (default: {core_names}; the XL set runs "
+        f"only when named: {xl_names})",
     )
     parser.add_argument(
         "--out",
@@ -243,13 +397,40 @@ def add_bench_arguments(parser) -> None:
         "--repeats", type=int, default=3, help="timing repetitions per benchmark (best kept)"
     )
     parser.add_argument("--note", default="", help="free-form note stored with the record")
+    parser.add_argument(
+        "--sample",
+        default=None,
+        metavar="PERIOD:WINDOW[:WARMUP[:SEED]]",
+        help="run the benchmarks under this sampling plan "
+        "(overrides any per-benchmark plan)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="instead of running, diff the two newest recordings in --out and "
+        f"exit nonzero on a >{COMPARE_THRESHOLD:.0%} wall-clock regression",
+    )
 
 
 def run_from_args(args) -> int:
     """Execute the benchmark driver for parsed :func:`add_bench_arguments` args."""
+    if getattr(args, "compare", False):
+        return compare_latest(args.out)
+    sampling = None
+    if getattr(args, "sample", None):
+        from .common.errors import ConfigurationError
+
+        try:
+            sampling = SamplingPlan.parse(args.sample)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         results = run_benchmarks(
-            args.names or None, force_per_cycle=args.per_cycle, repeats=args.repeats
+            args.names or None,
+            force_per_cycle=args.per_cycle,
+            repeats=args.repeats,
+            sampling=sampling,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)

@@ -84,6 +84,19 @@ class Trace:
             raise TraceError(f"invalid slice [{start}, {stop}) of trace of length {len(self)}")
         return Trace(self._instructions[start:stop], name=f"{self.name}[{start}:{stop}]")
 
+    def instructions_between(self, start: int, stop: int) -> List[Instruction]:
+        """The raw instruction list for ``[start, stop)`` — no Trace wrapper.
+
+        O(stop - start) regardless of ``start``; used by the sampled
+        execution fast-forward loop, which walks a long trace in many
+        consecutive ranges and must not pay for re-skipping the prefix.
+        """
+        if not 0 <= start <= stop <= len(self):
+            raise TraceError(
+                f"invalid range [{start}, {stop}) of trace of length {len(self)}"
+            )
+        return self._instructions[start:stop]
+
     def concat(self, other: "Trace", name: Optional[str] = None) -> "Trace":
         """Concatenate two traces into a new one."""
         return Trace(

@@ -75,7 +75,8 @@ def _ensure_builtins() -> None:
     # cleared on failure so the real ImportError resurfaces next query.
     _BUILTINS_LOADED = True
     try:
-        from . import catalog, scenarios, suite  # noqa: F401  (registration side effects)
+        # xl last: it derives its suites from the ones the others register.
+        from . import catalog, scenarios, suite, xl  # noqa: F401  (registration side effects)
     except BaseException:
         _BUILTINS_LOADED = False
         raise

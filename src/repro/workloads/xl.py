@@ -1,0 +1,80 @@
+"""XL-scale suites: the base suites at 50–100x dynamic instruction counts.
+
+The paper's machines exist to hide *kilocycle* memory latencies behind
+*thousands* of in-flight instructions — regimes that only settle into
+steady state over hundreds of thousands of dynamic instructions.  The
+base suites top out at a few thousand instructions per member (sized for
+exact cycle-level simulation); these XL derivatives scale every member's
+base size by 50–100x, which is impractical to simulate exactly but
+routine under sampled execution (``--sample`` /
+``repro.api.run(..., sampling=SamplingPlan(...))``).
+
+Each XL suite reuses the *same registered generators* as its base suite
+(same per-member names, same knobs, same determinism guarantees), so an
+XL member at scale ``s`` is bit-identical to the base member at scale
+``s * factor`` — only the default instruction budget changes.  Sweep
+cache keys include the suite name, so XL results never collide with
+base-suite results.
+
+``XL_SAMPLING`` is the suggested starting plan for these sizes: windows
+long enough to span several checkpoint-commit quanta of the cooo
+machine, periods sparse enough for an order-of-magnitude speedup.
+"""
+
+from __future__ import annotations
+
+from ..common.config import SamplingPlan
+from .registry import get_suite, register_suite
+from .suite import Suite, SuiteMember
+
+#: Suggested sampling plan for XL-sized traces (see module docstring):
+#: windows long enough to span several checkpoint-commit quanta of the
+#: cooo machine, warmup long enough for gshare to self-train on branchy
+#: members.  Streaming FP members tolerate far thinner windows (see
+#: ``repro.perf.BENCH_SAMPLING``).
+XL_SAMPLING = SamplingPlan(period=50_000, window=6_000, warmup=4_000)
+
+
+def _scaled_members(base: Suite, factor: int):
+    """The base suite's members with ``factor``-times instruction budgets."""
+    return [
+        SuiteMember(member.name, member.generator, member.base_size * factor)
+        for member in base.members
+    ]
+
+
+@register_suite
+def spec2000fp_xl_suite() -> Suite:
+    """The FP evaluation suite at 60x: ~200k dynamic instructions per member."""
+    base = get_suite("spec2000fp_like")
+    return Suite(
+        "spec2000fp-xl",
+        description="spec2000fp_like at 60x instruction budgets (~200k dynamic "
+        "instructions per member); practical under sampled execution only",
+        members=_scaled_members(base, 60),
+    )
+
+
+@register_suite
+def chase_xl_suite() -> Suite:
+    """The pointer-chase suite at 75x: ~180k dynamic instructions per member."""
+    base = get_suite("pointer-chase")
+    return Suite(
+        "chase-xl",
+        description="pointer-chase at 75x instruction budgets: serial kilocycle "
+        "miss chains long enough to reach window steady state",
+        members=_scaled_members(base, 75),
+    )
+
+
+@register_suite
+def server_mix_xl_suite() -> Suite:
+    """The server-mix scenario suite at 50x: ~180k dynamic instructions per member."""
+    base = get_suite("server-mix")
+    return Suite(
+        "server-mix-xl",
+        description="server-mix at 50x instruction budgets: enough service "
+        "cycles for phase behaviour to recur (sampling's hardest case — "
+        "see the architecture docs on phased-workload bias)",
+        members=_scaled_members(base, 50),
+    )

@@ -322,3 +322,143 @@ class TestRegisteredSuiteSweeps:
         spec = SweepSpec("s", [cooo_config(iq_size=32, sliq_size=512, memory_latency=100)], suite="nope")
         with pytest.raises(KeyError, match="registered suites"):
             spec.workload_names()
+
+
+class TestCorruptCacheResilience:
+    """A damaged cache entry is a miss (removed + re-simulated), never an error."""
+
+    def _damage_and_recover(self, tmp_path, damage):
+        cache = ResultCache(tmp_path)
+        baseline = SweepEngine(cache=cache).run(small_spec())
+        victim = sorted(tmp_path.glob("*.json"))[0]
+        damage(victim)
+        recovery_cache = ResultCache(tmp_path)
+        outcome = SweepEngine(cache=recovery_cache).run(small_spec())
+        assert recovery_cache.corrupt == 1
+        assert outcome.simulated == 1 and outcome.cached == 3
+        assert rows_of(outcome) == rows_of(baseline)
+        # The bad file was removed and rewritten with a good entry.
+        third = SweepEngine(cache=ResultCache(tmp_path)).run(small_spec())
+        assert third.simulated == 0
+
+    def test_hand_truncated_entry_is_a_miss(self, tmp_path):
+        def truncate(path):
+            payload = path.read_text()
+            path.write_text(payload[: len(payload) // 2])
+
+        self._damage_and_recover(tmp_path, truncate)
+
+    def test_non_object_json_entry_is_a_miss(self, tmp_path):
+        """A valid-JSON file whose top level is not an object used to raise
+        AttributeError out of ``payload.get``; it must count as corrupt."""
+        self._damage_and_recover(
+            tmp_path, lambda path: path.write_text(json.dumps([1, 2, 3]))
+        )
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        self._damage_and_recover(tmp_path, lambda path: path.write_text(""))
+
+    def test_load_returns_none_and_unlinks(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("deadbeef")
+        path.write_text("[:truncated")
+        assert cache.load("deadbeef") is None
+        assert cache.corrupt == 1 and cache.misses == 1
+        assert not path.exists()
+
+
+class TestParallelTraceLocality:
+    """Workload-major ordering + chunking keep worker trace caches hot."""
+
+    def _grid_spec(self):
+        configs = [
+            scaled_baseline(window=32, memory_latency=100),
+            scaled_baseline(window=64, memory_latency=100),
+            cooo_config(iq_size=16, sliq_size=256, memory_latency=100),
+            cooo_config(iq_size=32, sliq_size=512, memory_latency=100),
+        ]
+        return SweepSpec("locality", configs, scale=SCALE, workloads=WORKLOADS)
+
+    @staticmethod
+    def _builds_for(ordered_cells, chunksize, workers):
+        """Traces each simulated worker would build under pool chunking.
+
+        ``imap`` hands out consecutive chunks of ``chunksize`` tasks
+        round-robin; each worker builds one trace per distinct workload
+        it sees (the per-process ``_WORKER_TRACES`` cache).
+        """
+        chunks = [
+            ordered_cells[i : i + chunksize]
+            for i in range(0, len(ordered_cells), chunksize)
+        ]
+        per_worker = [set() for _ in range(workers)]
+        for index, chunk in enumerate(chunks):
+            per_worker[index % workers].update(cell.workload for cell in chunk)
+        return sum(len(seen) for seen in per_worker)
+
+    def test_pending_cells_are_workload_major(self):
+        from repro.experiments.sweep import _workload_major
+
+        spec = self._grid_spec()
+        cells = spec.cells()
+        ordered = _workload_major(cells, [None] * len(cells), spec)
+        workloads_seen = [cell.workload for cell in ordered]
+        # All cells of one workload are contiguous, workloads in suite order.
+        assert workloads_seen == sorted(
+            workloads_seen, key=lambda w: spec.workload_names().index(w)
+        )
+        # Config order is preserved within each workload block.
+        for workload in WORKLOADS:
+            block = [c.config.name for c in ordered if c.workload == workload]
+            assert block == [c.name for c in spec.configs]
+        # Cached cells are excluded.
+        slots = [None] * len(cells)
+        slots[cells[0].index] = object()
+        assert len(_workload_major(cells, slots, spec)) == len(cells) - 1
+
+    def test_ordering_and_chunksize_reduce_trace_builds(self):
+        from repro.experiments.sweep import _locality_chunksize, _workload_major
+
+        spec = self._grid_spec()
+        cells = spec.cells()
+        # 3 workers: config-major chunksize-1 distribution hands every
+        # worker a mix of workloads (with 2 workers the 4x2 grid happens
+        # to alternate into alignment, hiding the problem).
+        workers = 3
+        naive_builds = self._builds_for(cells, 1, workers)  # pre-PR behavior
+        ordered = _workload_major(cells, [None] * len(cells), spec)
+        chunksize = _locality_chunksize(ordered, workers)
+        assert chunksize > 1
+        tuned_builds = self._builds_for(ordered, chunksize, workers)
+        assert tuned_builds < naive_builds
+        # Two workers with workload-sized chunks: each worker sees exactly
+        # one workload's run — the minimum possible build count.
+        two_worker_builds = self._builds_for(
+            ordered, _locality_chunksize(ordered, 2), 2
+        )
+        assert two_worker_builds == len(WORKLOADS)
+
+    def test_worker_trace_build_counter(self):
+        from repro.experiments import sweep as sweep_module
+        from repro.experiments.sweep import _simulate_cell, _workload_major
+
+        spec = self._grid_spec()
+        cells = spec.cells()
+        ordered = _workload_major(cells, [None] * len(cells), spec)
+        tasks = [
+            (cell.config.to_dict(), spec.suite, spec.scale, cell.workload, None)
+            for cell in ordered
+        ]
+        sweep_module._WORKER_TRACES.clear()
+        sweep_module.TRACE_BUILDS = 0
+        for task in tasks:
+            _simulate_cell(task)
+        # One build per workload, not one per cell.
+        assert sweep_module.TRACE_BUILDS == len(WORKLOADS)
+        assert len(tasks) == len(WORKLOADS) * len(spec.configs)
+
+    def test_parallel_run_matches_serial_with_reordering(self):
+        spec = self._grid_spec()
+        serial = SweepEngine(jobs=1).run(spec)
+        parallel = SweepEngine(jobs=2).run(spec)
+        assert rows_of(parallel) == rows_of(serial)
