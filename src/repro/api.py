@@ -44,6 +44,7 @@ deprecation shims over this module.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .common.config import ProcessorConfig, SamplingPlan
@@ -225,6 +226,7 @@ def run_many(
     workloads: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache=None,
+    use_cache: bool = True,
     probes: Sequence[Probe] = (),
     max_cycles: Optional[int] = None,
     stop_when: Optional[StopFn] = None,
@@ -247,6 +249,11 @@ def run_many(
     every cell in either mode; sampled cells get their own cache keys,
     so sampled and exact results never collide.
 
+    ``use_cache=False`` is a hard guard that forces every cell to
+    simulate live, overriding any ``cache`` argument — validation runs
+    (the fuzzer, the differential oracles) use it so their results can
+    neither poison nor be poisoned by the persistent sweep cache.
+
     * **Explicit-trace mode** (``traces`` given): each config runs the
       given traces serially in-process, with probe/early-stop support
       and no caching.  The *same* probe instances observe every
@@ -259,6 +266,9 @@ def run_many(
     """
     from .experiments.runner import DEFAULT_SCALE
     from .experiments.sweep import SweepEngine, SweepSpec
+
+    if not use_cache:
+        cache = None
 
     if traces is not None:
         if jobs != 1 or cache is not None:
@@ -303,6 +313,30 @@ def run_many(
     return list(engine.run(spec).per_config())
 
 
+def fuzz(cases: int, *, seed: int = 0, **kwargs):
+    """Run a coverage-guided differential fuzz campaign; see :mod:`repro.fuzz`.
+
+    A thin face over :func:`repro.fuzz.run_fuzz` (imported lazily — the
+    fuzzer sits above this module).  Campaigns always simulate live
+    through :func:`run`; they never touch the persistent sweep cache.
+    Returns a :class:`repro.fuzz.FuzzReport`.
+    """
+    from .fuzz import run_fuzz
+
+    return run_fuzz(cases, seed=seed, **kwargs)
+
+
+def replay_fuzz_corpus(directory, **kwargs):
+    """Replay every fuzz repro file under ``directory``; see :mod:`repro.fuzz`.
+
+    Returns ``[(path, [OracleVerdict, ...]), ...]`` in file-name order;
+    every verdict of a healthy corpus is ``ok``.
+    """
+    from .fuzz import replay_corpus
+
+    return replay_corpus(Path(directory), **kwargs)
+
+
 __all__ = [
     "DEFAULT_PROGRESS_INTERVAL",
     "CallbackProbe",
@@ -315,6 +349,7 @@ __all__ = [
     "WorkloadSpec",
     "build_workload",
     "create_pipeline",
+    "fuzz",
     "get_machine",
     "get_suite",
     "get_workload",
@@ -324,6 +359,7 @@ __all__ = [
     "register_machine",
     "register_suite",
     "register_workload",
+    "replay_fuzz_corpus",
     "run",
     "run_many",
     "run_sampled",

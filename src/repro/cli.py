@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 ``simulate``
     Run one machine configuration over one workload (or a whole suite) and
@@ -44,6 +44,15 @@ Seven subcommands cover the common workflows:
     :func:`repro.core.registry_machines.register_machine` appears here
     and in ``--machine`` automatically.
 
+``fuzz``
+    Coverage-guided differential fuzzing (see :mod:`repro.fuzz`):
+    generate seeded random scenario compositions, run each on every
+    registered machine under the differential oracles (event-driven vs
+    per-cycle bit-equality, sampled-IPC containment, deadlock watchdog,
+    trace save/load round-trip), minimize failures to tiny repro specs
+    and write them to a corpus directory.  ``--replay DIR`` re-checks a
+    committed corpus as regressions.
+
 Examples::
 
     python -m repro simulate --machine cooo --workload daxpy --memory-latency 1000
@@ -61,6 +70,8 @@ Examples::
     python -m repro trace save --suite pointer-chase --scale 0.6 --out-dir traces/
     python -m repro trace info traces/chase_cold.trace.gz
     python -m repro trace run gather.trace.gz --machine cooo --iq-size 64
+    python -m repro fuzz --cases 40 --seed 7 --corpus-dir tests/corpus
+    python -m repro fuzz --replay tests/corpus
     python -m repro list
     python -m repro workloads
     python -m repro modes
@@ -526,6 +537,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a coverage-guided differential fuzz campaign (or replay the corpus).
+
+    Every generated case runs on every requested machine under the
+    differential oracles (kernel equivalence, sampled-CI containment,
+    deadlock watchdog, trace round-trip); failing cases are delta-debugged
+    to minimal repros and, with --corpus-dir, written as permanent JSON
+    regression files.  Exit status 1 on any oracle violation.
+    """
+    from .fuzz import replay_corpus, run_fuzz
+
+    progress = None if args.quiet else lambda message: print(message, file=sys.stderr)
+
+    if args.replay is not None:
+        directory = Path(args.replay)
+        if not directory.is_dir():
+            print(f"error: corpus directory not found: {directory}", file=sys.stderr)
+            return 2
+        outcomes = replay_corpus(
+            directory, progress=progress, sampling_tolerance=args.sampling_tolerance
+        )
+        failing = [
+            (path, [verdict for verdict in verdicts if not verdict.ok])
+            for path, verdicts in outcomes
+        ]
+        failing = [(path, verdicts) for path, verdicts in failing if verdicts]
+        total = sum(len(verdicts) for _, verdicts in outcomes)
+        print(
+            f"replayed {len(outcomes)} corpus case(s): {total} verdicts, "
+            f"{len(failing)} file(s) failing"
+        )
+        for path, verdicts in failing:
+            for verdict in verdicts:
+                print(f"  {path.name}: {verdict}")
+        return 1 if failing else 0
+
+    report = run_fuzz(
+        args.cases,
+        seed=args.seed,
+        machines=args.machines,
+        oracles=args.oracles,
+        corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+        progress=progress,
+        sampling_tolerance=args.sampling_tolerance,
+        shrink_failures=not args.no_shrink,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(failure.describe())
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_modes(args: argparse.Namespace) -> int:
     """List every registered machine organization."""
     specs = machine_specs()
@@ -698,6 +767,58 @@ def build_parser() -> argparse.ArgumentParser:
         "modes", help="list registered machine organizations"
     )
     modes.set_defaults(func=cmd_modes)
+
+    from .fuzz import DEFAULT_SAMPLING_TOLERANCE, oracle_names
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing across registered machines",
+        description="Generate seeded random scenario compositions, run each on "
+                    "every requested machine under the differential oracles, "
+                    "minimize failures and (with --corpus-dir) write them as "
+                    "replayable JSON repro files.  Deterministic per --seed.",
+    )
+    fuzz.add_argument(
+        "--cases", type=positive_int, default=40,
+        help="number of generated cases (default 40)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; same seed means same cases, verdicts and coverage",
+    )
+    fuzz.add_argument(
+        "--machines", nargs="+", choices=machine_names(), default=None,
+        metavar="MACHINE",
+        help=f"machines to differentially test (default: all registered: "
+             f"{', '.join(machine_names())})",
+    )
+    fuzz.add_argument(
+        "--oracles", nargs="+", choices=oracle_names(), default=None,
+        metavar="ORACLE",
+        help=f"oracles to apply (default: all: {', '.join(oracle_names())})",
+    )
+    fuzz.add_argument(
+        "--corpus-dir", default=None,
+        help="write minimized failing cases here as .case.json repro files",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="DIR",
+        help="replay every corpus file under DIR instead of generating cases",
+    )
+    fuzz.add_argument(
+        "--sampling-tolerance", type=float, default=DEFAULT_SAMPLING_TOLERANCE,
+        help="max sampled/exact IPC ratio the sampled-ci oracle accepts "
+             "(default %(default)s)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging minimization of failing cases",
+    )
+    fuzz.add_argument("--json", default=None, help="write the campaign report to this JSON file")
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress on stderr"
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     from .perf import add_bench_arguments
 

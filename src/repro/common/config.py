@@ -338,24 +338,41 @@ class SamplingPlan:
             seed=int(data.get("seed", 0)),
         )
 
+    #: Field names of the CLI form, in positional order.
+    PARSE_FIELDS = ("period", "window", "warmup", "seed")
+
     @classmethod
     def parse(cls, spec: str) -> "SamplingPlan":
-        """Parse the CLI form ``PERIOD:WINDOW[:WARMUP[:SEED]]``."""
+        """Parse the CLI form ``PERIOD:WINDOW[:WARMUP[:SEED]]``.
+
+        Raises :class:`ConfigurationError` (a ``ValueError``) naming the
+        offending field: too few/many ``:``-separated fields, a
+        non-integer field, a non-positive period or window, a negative
+        warmup or seed, or a window+warmup that overflows the period.
+        """
         parts = spec.split(":")
         if not 2 <= len(parts) <= 4:
             raise ConfigurationError(
-                f"sampling spec {spec!r} must be PERIOD:WINDOW[:WARMUP[:SEED]]"
+                f"sampling spec {spec!r} must be PERIOD:WINDOW[:WARMUP[:SEED]] "
+                f"(2 to 4 ':'-separated integers, got {len(parts)} fields)"
             )
-        try:
-            numbers = [int(part) for part in parts]
-        except ValueError as exc:
-            raise ConfigurationError(f"sampling spec {spec!r}: {exc}") from None
+        numbers = []
+        for name, part in zip(cls.PARSE_FIELDS, parts):
+            try:
+                numbers.append(int(part))
+            except ValueError:
+                raise ConfigurationError(
+                    f"sampling spec {spec!r}: {name} must be an integer, "
+                    f"got {part!r}"
+                ) from None
         plan = cls(
             period=numbers[0],
             window=numbers[1],
             warmup=numbers[2] if len(numbers) > 2 else 0,
             seed=numbers[3] if len(numbers) > 3 else 0,
         )
+        # validate() names the bad field too (e.g. "sampling.period must
+        # be > 0"), so every rejection points at what to fix.
         return plan.validate()
 
     def describe(self) -> str:

@@ -11,8 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
-class ConfigurationError(ReproError):
-    """Raised when a configuration object is internally inconsistent."""
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Also a :class:`ValueError`: malformed user input (a bad ``--sample``
+    spec, an out-of-range knob) is a value error to callers that do not
+    know the package hierarchy.
+    """
 
 
 class TraceError(ReproError):

@@ -38,6 +38,7 @@ class Checkpoint:
         "instructions",
         "closed",
         "created_cycle",
+        "history",
     )
 
     def __init__(
@@ -47,11 +48,16 @@ class Checkpoint:
         resume_seq: int,
         snapshot: RenameSnapshot,
         created_cycle: int,
+        history: Optional[int] = None,
     ) -> None:
         self.uid = uid
         self.resume_index = resume_index
         self.resume_seq = resume_seq
         self.snapshot = snapshot
+        #: Branch-history register as of fetching the checkpointed
+        #: instruction; restored on rollback so re-execution re-predicts
+        #: under the state it was originally fetched with.
+        self.history = history
         self.pending_count = 0
         self.instruction_count = 0
         self.store_count = 0
@@ -196,6 +202,7 @@ class CheckpointTable:
         snapshot: RenameSnapshot,
         harvested_future_free: Set[int],
         cycle: int,
+        history: Optional[int] = None,
     ) -> Checkpoint:
         """Open a new (youngest) checkpoint.
 
@@ -211,7 +218,9 @@ class CheckpointTable:
             previous.to_free |= harvested_future_free
         elif harvested_future_free:
             raise CheckpointError("future-free registers harvested with no open checkpoint")
-        checkpoint = Checkpoint(self._next_uid, resume_index, resume_seq, snapshot, cycle)
+        checkpoint = Checkpoint(
+            self._next_uid, resume_index, resume_seq, snapshot, cycle, history
+        )
         self._next_uid += 1
         self._entries.append(checkpoint)
         self._created.add()

@@ -34,6 +34,9 @@ class FetchedInstruction:
     instr: Instruction
     predicted_taken: Optional[bool]
     mispredicted: bool
+    #: Global branch history as of fetching this instruction (gshare
+    #: only); checkpoints snapshot it for rollback repair.
+    history: Optional[int] = None
 
 
 class FetchUnit:
@@ -53,8 +56,17 @@ class FetchUnit:
         self.fetch_width = fetch_width
         self.predictor = build_predictor(branch_config, stats)
         self.btb = BranchTargetBuffer(branch_config, stats)
+        self._gshare = isinstance(self.predictor, GSharePredictor)
         self._stall_branch_seq: Optional[int] = None
         self._resume_cycle = 0
+        #: Trace indices of branches the back end has already resolved
+        #: through a checkpoint rollback.  A trace index names one
+        #: *dynamic* branch, so its outcome is architecturally known on
+        #: re-fetch: recovery hardware resumes on the correct path
+        #: rather than re-predicting (and re-training on) the same
+        #: branch — re-prediction is what makes a deterministic
+        #: mispredict-rollback-replay livelock possible.
+        self._resolved_branches: set = set()
         self._fetched = stats.counter("fetch.instructions")
         self._stall_cycles = stats.counter("fetch.mispredict_stall_cycles")
         self._redirects = stats.counter("fetch.redirects")
@@ -111,20 +123,42 @@ class FetchUnit:
             trace_index = self.cursor.position
             self.cursor.fetch()
             self._fetched.add()
+            # History *before* this instruction's own prediction: the
+            # state a re-fetch after a checkpoint rollback must resume
+            # under (otherwise the rolled-back wrong path leaves the
+            # history register polluted and the same branch can
+            # mispredict on every re-execution — a commit livelock).
+            history = self.predictor.snapshot_history() if self._gshare else None
             predicted: Optional[bool] = None
             mispredicted = False
             if instr.is_branch:
-                predicted, mispredicted = self._handle_branch(instr)
-            block.append(FetchedInstruction(trace_index, instr, predicted, mispredicted))
+                predicted, mispredicted = self._handle_branch(instr, trace_index)
+            block.append(
+                FetchedInstruction(trace_index, instr, predicted, mispredicted, history)
+            )
             if instr.is_branch and instr.branch_taken:
                 self._redirects.add()
                 break
         return block
 
-    def _handle_branch(self, instr: Instruction) -> tuple:
+    def _handle_branch(self, instr: Instruction, trace_index: int) -> tuple:
         """Predict one branch, train the tables and detect a misprediction."""
         if self.config.perfect:
             return instr.branch_taken, False
+        if trace_index in self._resolved_branches:
+            # This dynamic branch already resolved and caused a checkpoint
+            # rollback; its re-fetch takes the known-correct path.  The
+            # history register still sees the outcome (so younger
+            # predictions stay consistent) but the tables are not trained
+            # again — repeat training on the same dynamic branch is what
+            # sustains counter oscillation.
+            actual = instr.branch_taken
+            if actual:
+                self.btb.update(instr.pc, instr.branch_target or 0)
+            self.predictor.record_outcome(actual, actual)
+            if isinstance(self.predictor, GSharePredictor):
+                self.predictor.warm(instr.pc, actual)
+            return actual, False
         history = None
         if isinstance(self.predictor, GSharePredictor):
             history = self.predictor.snapshot_history()
@@ -178,3 +212,21 @@ class FetchUnit:
     def rewind(self, trace_index: int) -> None:
         """Move the fetch cursor back for checkpoint-rollback re-execution."""
         self.cursor.rewind_to(trace_index)
+
+    def note_resolved(self, trace_index: int) -> None:
+        """Record that the dynamic branch at ``trace_index`` has resolved.
+
+        Called on checkpoint rollback; every later fetch of this index
+        predicts the (now architecturally known) outcome.
+        """
+        self._resolved_branches.add(trace_index)
+
+    def repair_history(self, history: Optional[int]) -> None:
+        """Restore the gshare history register after a checkpoint rollback.
+
+        ``history`` is the fetch-time snapshot the checkpointed
+        instruction was predicted under (``None`` for non-gshare front
+        ends, where there is nothing to repair).
+        """
+        if self._gshare and history is not None:
+            self.predictor.repair_history(history)

@@ -19,13 +19,8 @@ sweep-cache keys, since ``mode`` is part of every cache key).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
 from ..common.config import ProcessorConfig
-from ..common.stats import StatsRegistry
-from ..trace.trace import Trace
 from .pipeline import BaselinePipeline
-from .probes import Probe
 from .registry_machines import register_machine
 
 
@@ -36,21 +31,17 @@ from .registry_machines import register_machine
 class PerfectL2Pipeline(BaselinePipeline):
     """Baseline machine in front of a perfect L2.
 
-    The memory hierarchy flag is forced at construction, so any baseline
-    config re-aimed at ``mode="perfect-l2"`` becomes the paper's
-    perfect-memory reference machine.
+    The memory hierarchy flag is forced through :meth:`effective_config`
+    (applied at construction and by the sampled-execution warmer), so
+    any baseline config re-aimed at ``mode="perfect-l2"`` becomes the
+    paper's perfect-memory reference machine on every execution path.
     """
 
-    def __init__(
-        self,
-        config: ProcessorConfig,
-        trace: Trace,
-        stats: Optional[StatsRegistry] = None,
-        probes: Optional[Sequence[Probe]] = None,
-    ) -> None:
-        config = config.copy()
+    @classmethod
+    def effective_config(cls, config: ProcessorConfig) -> ProcessorConfig:
+        config = super().effective_config(config).copy()
         config.memory.perfect_l2 = True
-        super().__init__(config, trace, stats, probes)
+        return config
 
 
 @register_machine(
@@ -69,19 +60,14 @@ class UnboundedROBPipeline(BaselinePipeline):
     #: Large enough that no shipped workload can fill the window.
     UNBOUNDED_WINDOW = 1 << 16
 
-    def __init__(
-        self,
-        config: ProcessorConfig,
-        trace: Trace,
-        stats: Optional[StatsRegistry] = None,
-        probes: Optional[Sequence[Probe]] = None,
-    ) -> None:
-        config = config.copy()
-        window = self.UNBOUNDED_WINDOW
+    @classmethod
+    def effective_config(cls, config: ProcessorConfig) -> ProcessorConfig:
+        config = super().effective_config(config).copy()
+        window = cls.UNBOUNDED_WINDOW
         config.core.rob_size = window
         config.core.int_queue_size = window
         config.core.fp_queue_size = window
         config.core.lsq_size = window
         # Architectural mappings stay pinned on top of the window.
         config.core.physical_registers = window + 64
-        super().__init__(config, trace, stats, probes)
+        return config

@@ -64,6 +64,23 @@ class PipelineBase:
     #: ``ProcessorConfig.validate`` checks the flag through the registry.
     supports_late_allocation = False
 
+    @classmethod
+    def effective_config(cls, config: ProcessorConfig) -> ProcessorConfig:
+        """The config as this machine actually simulates it.
+
+        Variant machines that force structure sizes or memory flags at
+        construction (``perfect-l2``, ``unbounded-rob``) override this.
+        Every pipeline applies it on construction, and any driver that
+        replicates machine state *outside* a pipeline — the sampled
+        execution warmer keeps its own hierarchy/predictor — must build
+        from the effective config, not the raw one, or the replicated
+        state silently diverges from what the machine simulates.
+        Overrides must be idempotent: the hook runs again on the config
+        it already transformed when a driver hands the effective config
+        to a pipeline constructor.
+        """
+        return config
+
     def __init__(
         self,
         config: ProcessorConfig,
@@ -71,6 +88,7 @@ class PipelineBase:
         stats: Optional[StatsRegistry] = None,
         probes: Optional[Sequence[Probe]] = None,
     ) -> None:
+        config = self.effective_config(config)
         config.validate()
         self.config = config
         self.trace = trace
@@ -402,6 +420,7 @@ class PipelineBase:
             inst.fetch_cycle = cycle
             inst.predicted_taken = fetched.predicted_taken
             inst.mispredicted = fetched.mispredicted
+            inst.fetch_history = fetched.history
             buffer.append(inst)
 
     # -- dispatch helpers shared by both machines -----------------------------------------
@@ -574,6 +593,7 @@ class BaselinePipeline(PipelineBase):
         probes: Optional[Sequence[Probe]] = None,
     ) -> None:
         super().__init__(config, trace, stats, probes)
+        config = self.config  # the effective config (variant machines force fields)
         self.renamer = MapTableRenamer(self.regfile, self.stats)
         self.rob = ReorderBuffer(config.core.rob_size, self.stats)
         self._rob_occupancy_mean = self.stats.running_mean("rob.occupancy")
@@ -702,6 +722,7 @@ class OoOCommitPipeline(PipelineBase):
         probes: Optional[Sequence[Probe]] = None,
     ) -> None:
         super().__init__(config, trace, stats, probes)
+        config = self.config  # the effective config (variant machines force fields)
         self.renamer = CAMRenamer(self.regfile, self.stats)
         self.checkpoints = CheckpointTable(config.checkpoint.table_size, self.stats)
         self.policy = CheckpointPolicy(config.checkpoint)
@@ -801,6 +822,7 @@ class OoOCommitPipeline(PipelineBase):
             snapshot=snapshot,
             harvested_future_free=harvested,
             cycle=self.cycle,
+            history=inst.fetch_history,
         )
         self.policy.checkpoint_taken()
         if self._hooks_checkpoint:
@@ -963,6 +985,9 @@ class OoOCommitPipeline(PipelineBase):
                 inst.trace_index + 1, self.cycle + self.config.branch.penalty
             )
             return
+        # The rollback will re-fetch this branch; its outcome is now
+        # architecturally known, so the re-fetch must not re-predict it.
+        self.frontend.note_resolved(inst.trace_index)
         self._rollback_to(checkpoint)
 
     def _recover_via_pseudo_rob(self, branch: DynInst) -> None:
@@ -1042,6 +1067,13 @@ class OoOCommitPipeline(PipelineBase):
         self.frontend.redirect(
             checkpoint.resume_index, self.cycle + self.config.branch.penalty
         )
+        # Restore the branch-history register to the checkpointed
+        # instruction's fetch-time snapshot.  Without this, re-fetch
+        # predicts through history polluted by the squashed wrong path —
+        # a different (usually untrained, weakly-taken) gshare index on
+        # every re-execution — and a rarely-taken branch checkpointed at
+        # its own dispatch can mispredict and roll back forever.
+        self.frontend.repair_history(checkpoint.history)
 
     def _squash(self, inst: DynInst) -> None:
         if inst.state is InstState.COMMITTED:

@@ -44,7 +44,7 @@ from ..common.config import ProcessorConfig, SamplingPlan
 from ..common.stats import StatsRegistry, ratio
 from ..memory.hierarchy import CacheHierarchy
 from ..trace.trace import Trace
-from .registry_machines import create_pipeline
+from .registry_machines import create_pipeline, get_machine
 from .result import SimulationResult
 
 
@@ -282,11 +282,15 @@ def run_sampled(
             progress_interval=progress_interval,
         )
 
+    # Warm state must mirror what the machine actually simulates: variant
+    # machines (perfect-l2, unbounded-rob) force config fields at pipeline
+    # construction, and the windows adopt *this* hierarchy/predictor.
+    effective = get_machine(config.mode).pipeline_class.effective_config(config)
     stats = StatsRegistry()
-    hierarchy = CacheHierarchy(config.memory, stats)
-    predictor = build_predictor(config.branch, stats)
-    btb = BranchTargetBuffer(config.branch, stats)
-    warmer = FunctionalWarmer(config, hierarchy, predictor, btb, stats)
+    hierarchy = CacheHierarchy(effective.memory, stats)
+    predictor = build_predictor(effective.branch, stats)
+    btb = BranchTargetBuffer(effective.branch, stats)
+    warmer = FunctionalWarmer(effective, hierarchy, predictor, btb, stats)
     window_counter = stats.counter("sampling.windows")
     detailed_counter = stats.counter("sampling.detailed_instructions")
     degenerate_counter = stats.counter("sampling.degenerate_windows")

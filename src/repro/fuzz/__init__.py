@@ -1,0 +1,85 @@
+"""Coverage-guided scenario fuzzing with differential validation.
+
+The :mod:`repro.fuzz` package turns the repository's redundant execution
+paths (per-cycle stepping, the event-driven kernel, sampled simulation,
+trace file I/O) into a bug-finding engine: generate random-but-replayable
+workload/machine compositions, require every path to agree under a set
+of differential oracles, steer generation by behavioral coverage, and
+shrink anything that disagrees into a minimal JSON repro committed under
+``tests/corpus/``.
+
+Entry points: :class:`FuzzCampaign` / :func:`run_fuzz` run a campaign,
+:func:`replay_corpus` re-checks saved repro files, and the ``repro
+fuzz`` CLI subcommand wraps both.
+"""
+
+from .corpus import (
+    CORPUS_SCHEMA,
+    CORPUS_SUFFIX,
+    CorpusCase,
+    corpus_paths,
+    default_corpus_dir,
+    load_case,
+    load_corpus,
+    save_case,
+)
+from .coverage import CoverageMap, coverage_signature, dominant_stall, occupancy_band
+from .generator import CaseGenerator, eligible_workloads
+from .oracles import (
+    DEFAULT_SAMPLING_TOLERANCE,
+    MachineRun,
+    ORACLES,
+    OracleVerdict,
+    evaluate_oracle,
+    oracle_names,
+    resolve_oracles,
+    sampling_plan_for,
+)
+from .runner import (
+    FuzzCampaign,
+    FuzzFailure,
+    FuzzReport,
+    replay_case,
+    replay_corpus,
+    run_fuzz,
+)
+from .shrinker import DEFAULT_SHRINK_BUDGET, shrink
+from .spec import CaseSpec, MachineTuning, MIN_CASE_SIZE, PhaseSpec, case_workloads
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CORPUS_SUFFIX",
+    "CaseGenerator",
+    "CaseSpec",
+    "CorpusCase",
+    "CoverageMap",
+    "DEFAULT_SAMPLING_TOLERANCE",
+    "DEFAULT_SHRINK_BUDGET",
+    "FuzzCampaign",
+    "FuzzFailure",
+    "FuzzReport",
+    "MIN_CASE_SIZE",
+    "MachineRun",
+    "MachineTuning",
+    "ORACLES",
+    "OracleVerdict",
+    "PhaseSpec",
+    "case_workloads",
+    "corpus_paths",
+    "coverage_signature",
+    "default_corpus_dir",
+    "dominant_stall",
+    "eligible_workloads",
+    "evaluate_oracle",
+    "load_case",
+    "load_corpus",
+    "occupancy_band",
+    "oracle_names",
+    "replay_case",
+    "replay_corpus",
+    "resolve_oracles",
+    "run_fuzz",
+    "sampling_plan_for",
+    "save_case",
+    "shrink",
+]

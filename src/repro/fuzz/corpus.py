@@ -1,0 +1,136 @@
+"""Corpus I/O: fuzz cases serialized as permanent JSON repro files.
+
+A corpus file is one :class:`~repro.fuzz.spec.CaseSpec` plus the replay
+contract: which oracles to check, on which machines, and a provenance
+note saying where the case came from (a minimized divergence, or a
+behaviorally novel case promoted as a regression anchor).  The committed
+corpus lives in ``tests/corpus/`` and ``tests/test_corpus.py`` replays
+every file on every run, so anything the fuzzer ever caught (or any
+behavior it found worth pinning) stays checked forever.
+
+Files are small, human-readable, and diffable::
+
+    {
+      "schema": 1,
+      "case": { ... CaseSpec.to_dict() ... },
+      "oracles": ["kernel-equivalence", "no-deadlock"],
+      "machines": ["baseline", "cooo"],
+      "note": "minimized from fuzz-s7-c42: ...",
+      "coverage": ["cooo|sliq|inflight:<256", ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from ..common.errors import ConfigurationError
+from .oracles import resolve_oracles
+from .spec import CaseSpec
+
+#: Bumped when the corpus file layout changes incompatibly.
+CORPUS_SCHEMA = 1
+
+#: Filename suffix every corpus file carries.
+CORPUS_SUFFIX = ".case.json"
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One replayable corpus entry: the case plus its replay contract."""
+
+    case: CaseSpec
+    oracles: Tuple[str, ...]
+    machines: Tuple[str, ...]
+    note: str = ""
+    coverage: Tuple[str, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        data = {
+            "schema": CORPUS_SCHEMA,
+            "case": self.case.to_dict(),
+            "oracles": list(self.oracles),
+            "machines": list(self.machines),
+        }
+        if self.note:
+            data["note"] = self.note
+        if self.coverage:
+            data["coverage"] = list(self.coverage)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusCase":
+        schema = data.get("schema")
+        if schema != CORPUS_SCHEMA:
+            raise ConfigurationError(
+                f"corpus schema {schema!r} is not supported (expected {CORPUS_SCHEMA})"
+            )
+        oracles = tuple(resolve_oracles(list(data.get("oracles") or [])) or ())
+        machines = tuple(str(name) for name in data.get("machines") or ())
+        if not machines:
+            raise ConfigurationError("a corpus case must name at least one machine")
+        return cls(
+            case=CaseSpec.from_dict(data["case"]),
+            oracles=oracles or tuple(resolve_oracles(None)),
+            machines=machines,
+            note=str(data.get("note", "")),
+            coverage=tuple(str(sig) for sig in data.get("coverage") or ()),
+        )
+
+
+def corpus_filename(name: str) -> str:
+    """The canonical corpus filename for a case name."""
+    return f"{name.replace('/', '_')}{CORPUS_SUFFIX}"
+
+
+def save_case(entry: CorpusCase, directory: os.PathLike) -> Path:
+    """Write one corpus entry under its canonical filename; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / corpus_filename(entry.case.name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_case(path: os.PathLike) -> CorpusCase:
+    """Load one corpus file; raises ``ConfigurationError`` on bad shape."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"corpus file {path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"corpus file {path}: expected a JSON object")
+    try:
+        return CorpusCase.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"corpus file {path}: {exc}") from exc
+
+
+def corpus_paths(directory: os.PathLike) -> List[Path]:
+    """Every corpus file under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob(f"*{CORPUS_SUFFIX}"))
+
+
+def load_corpus(directory: os.PathLike) -> List[Tuple[Path, CorpusCase]]:
+    """Load every corpus file under ``directory`` in name order."""
+    return [(path, load_case(path)) for path in corpus_paths(directory)]
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus next to the test suite (repo layout) or CWD."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "tests" / "corpus"
+        if (parent / "tests").is_dir():
+            return candidate
+    return Path("tests") / "corpus"

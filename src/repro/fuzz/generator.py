@@ -1,0 +1,176 @@
+"""Seeded, coverage-biased generation of fuzz cases.
+
+Every case draws from a private sha256-derived RNG stream
+(:func:`~repro.workloads.scenario.stream_rng` over ``("repro-fuzz",
+campaign seed, case index)``), so generation is deterministic across
+processes and Python versions and each case is replayable from its
+``(seed, index)`` identity alone — the spec it produces is saved to the
+corpus verbatim.
+
+Coverage feedback biases, it does not randomize: when a case produces a
+behavioral signature the campaign has not seen
+(:mod:`~repro.fuzz.coverage`), the weights of the workloads it drew from
+are boosted, making related compositions more likely in later cases.
+The weight state is itself a deterministic function of earlier
+simulation results, so the bias never breaks replayability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..workloads.registry import workload_specs
+from ..workloads.scenario import stream_rng
+from .spec import CaseSpec, MachineTuning, PhaseSpec
+
+#: (kind, weight) pairs for drawing the case composition style.
+KIND_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("single", 0.30),
+    ("scenario", 0.45),
+    ("interleave", 0.25),
+)
+
+#: Total dynamic-instruction budgets a case may draw.  Mostly small —
+#: a fuzz campaign's value is breadth, and every case runs 3+
+#: simulations per machine under the differential oracles — with a
+#: couple of sampling-eligible sizes (>= SAMPLED_CI_MIN_TRACE) so the
+#: real fast-forward/window machinery gets exercised too.
+SIZE_CHOICES: Sequence[int] = (240, 320, 480, 640, 960, 3600, 5600)
+
+#: Machine-knob pools; one value of each is drawn per case.
+LATENCY_CHOICES: Sequence[int] = (100, 200, 300)
+WINDOW_CHOICES: Sequence[int] = (64, 256)
+IQ_CHOICES: Sequence[int] = (16, 32)
+SLIQ_CHOICES: Sequence[int] = (128, 512)
+CHECKPOINT_CHOICES: Sequence[int] = (4, 8)
+
+#: Workloads above this base size (the XL registrations, if any) are
+#: excluded from generation — fuzz cases must stay seconds-scale.
+MAX_ELIGIBLE_BASE_SIZE = 4000
+
+#: Multiplicative boost applied to a workload's weight on novel coverage,
+#: and the cap that keeps one hot workload from starving the rest.
+NOVELTY_BOOST = 2.0
+WEIGHT_CAP = 8.0
+
+#: Trace size of the tiny probe build used to vet randomized knob draws.
+KNOB_PROBE_SIZE = 32
+
+
+def _weighted_choice(rng: random.Random, items: Sequence[str], weights: Dict[str, float]) -> str:
+    total = sum(weights[item] for item in items)
+    mark = rng.random() * total
+    acc = 0.0
+    for item in items:
+        acc += weights[item]
+        if mark < acc:
+            return item
+    return items[-1]
+
+
+def eligible_workloads() -> List[str]:
+    """Registered workloads the generator may draw, sorted by name."""
+    return [
+        spec.name
+        for spec in workload_specs()
+        if spec.base_size <= MAX_ELIGIBLE_BASE_SIZE
+    ]
+
+
+class CaseGenerator:
+    """Draws :class:`CaseSpec`s from a seeded stream with coverage bias."""
+
+    def __init__(self, seed: int, workloads: Optional[Sequence[str]] = None) -> None:
+        self.seed = seed
+        self.workloads = list(workloads) if workloads is not None else eligible_workloads()
+        if not self.workloads:
+            raise ValueError("the fuzz generator needs at least one eligible workload")
+        self.weights: Dict[str, float] = {name: 1.0 for name in self.workloads}
+
+    # -- coverage feedback --------------------------------------------------
+    def note_novelty(self, workloads: Sequence[str]) -> None:
+        """Boost the workloads of a case that produced new coverage."""
+        for name in workloads:
+            if name in self.weights:
+                self.weights[name] = min(WEIGHT_CAP, self.weights[name] * NOVELTY_BOOST)
+
+    # -- knob randomization -------------------------------------------------
+    def _randomize_knobs(self, rng: random.Random, workload: str) -> Dict[str, object]:
+        from ..workloads.registry import get_workload
+
+        spec = get_workload(workload)
+        overrides: Dict[str, object] = {}
+        for knob, default in sorted(spec.knobs.items()):
+            if rng.random() < 0.5:
+                continue  # leave this knob at its registered default
+            if "seed" in knob:
+                overrides[knob] = rng.randrange(1, 1_000_000)
+            elif isinstance(default, bool):
+                overrides[knob] = rng.random() < 0.5
+            elif isinstance(default, float) or "probability" in knob:
+                overrides[knob] = rng.choice([0.05, 0.2, 0.5, 0.8, 0.95])
+            elif isinstance(default, int):
+                factor = rng.choice([0.25, 0.5, 2, 4])
+                overrides[knob] = max(1, int(default * factor))
+        # Generators enforce their own knob ranges (e.g. a chain-count
+        # ceiling) that the registry's name-level validation cannot see.
+        # Probe with a tiny build and drop offending draws — the probe and
+        # the drops are functions of the draw alone, so determinism holds.
+        while overrides:
+            try:
+                spec.build(size=KNOB_PROBE_SIZE, **overrides)
+            except Exception:
+                del overrides[sorted(overrides)[0]]
+            else:
+                break
+        return overrides
+
+    # -- case construction --------------------------------------------------
+    def generate(self, index: int) -> CaseSpec:
+        """The deterministic case at ``index`` under the current bias."""
+        rng = stream_rng("repro-fuzz", self.seed, index)
+        kind = _weighted_choice(
+            rng, [name for name, _ in KIND_WEIGHTS],
+            {name: weight for name, weight in KIND_WEIGHTS},
+        )
+        phase_count = 1 if kind == "single" else rng.randint(2, 4)
+        phases = []
+        for _ in range(phase_count):
+            workload = _weighted_choice(rng, self.workloads, self.weights)
+            weight = float(rng.choice([1, 1, 1, 2, 3]))
+            phases.append(
+                PhaseSpec(
+                    workload=workload,
+                    weight=weight,
+                    knobs=self._randomize_knobs(rng, workload),
+                )
+            )
+        if len(phases) > 1 and rng.random() < 0.25:
+            # Phase-change-heavy shape: one regime dominates the budget,
+            # the others are short disruptions — where warm-state biases
+            # and kernel idle-gating are most likely to disagree.
+            dominant = rng.randrange(len(phases))
+            phases[dominant] = PhaseSpec(
+                workload=phases[dominant].workload,
+                weight=8.0,
+                knobs=phases[dominant].knobs,
+            )
+        tuning = MachineTuning(
+            memory_latency=rng.choice(list(LATENCY_CHOICES)),
+            window=rng.choice(list(WINDOW_CHOICES)),
+            iq_size=rng.choice(list(IQ_CHOICES)),
+            sliq_size=rng.choice(list(SLIQ_CHOICES)),
+            checkpoints=rng.choice(list(CHECKPOINT_CHOICES)),
+        )
+        return CaseSpec(
+            name=f"fuzz-s{self.seed}-c{index}",
+            kind=kind,
+            phases=tuple(phases),
+            size=rng.choice(list(SIZE_CHOICES)),
+            repeat=rng.choice([1, 1, 1, 2, 3]) if kind == "scenario" else 1,
+            seed=rng.randrange(1 << 16),
+            block=rng.choice([8, 16, 32, 64]) if kind == "interleave" else 32,
+            shuffle=bool(rng.random() < 0.5) if kind == "interleave" else False,
+            tuning=tuning,
+        )

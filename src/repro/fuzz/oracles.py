@@ -1,0 +1,379 @@
+"""Differential oracles: the properties every fuzz case must satisfy.
+
+The repository has three execution paths that must agree — per-cycle
+stepping, the event-driven cycle-skipping kernel, and sampled execution
+with a confidence interval — plus trace file I/O that must be lossless.
+Each oracle checks one such agreement on one generated case:
+
+``kernel-equivalence``
+    The event-driven kernel's :class:`SimulationResult` (every counter,
+    occupancy distribution and cache key input) is bit-identical to
+    ``force_per_cycle=True`` stepping.  If both paths raise, they must
+    raise the same error at the same simulated cycle.
+
+``no-deadlock``
+    The case completes: the deadlock watchdog (bounded by the case's
+    ``tuning.deadlock_cycles``) never fires and no simulation error
+    escapes.  This is what turns a hang into a minimizable repro.
+
+``sampled-ci``
+    Two contracts by trace length.  Traces shorter than
+    :data:`SAMPLED_CI_MIN_TRACE` cannot hold a meaningful window; they
+    get the degenerate full-detail plan, whose result must be
+    *bit-identical* to the exact run.  Longer traces run a real
+    fast-forward/window plan and are checked against the invariants any
+    correct sampled implementation must satisfy — instruction accounting
+    conserves the trace (fast-forwarded + detailed == total), every
+    window is physically possible (positive cycles, IPC bounded by the
+    commit width), the extrapolated IPC lies within the per-window IPC
+    range (it is their cycle-weighted mean), the CI is finite — plus an
+    order-of-magnitude accuracy band: sampled and exact IPC must agree
+    within a factor of :data:`DEFAULT_SAMPLING_TOLERANCE`.  The band is
+    deliberately loose: systematic sampling on short, phase-periodic
+    traces carries real aliasing and warmup-convergence bias (factor
+    ~2 is legitimate), while genuine warm-state divergence bugs — the
+    kind this oracle exists to catch, like the sampled perfect-l2
+    hierarchy regression — show up as 10x+.
+
+``trace-roundtrip``
+    ``save -> load -> simulate`` is lossless: the reloaded instruction
+    records equal the originals and the reloaded trace's result is
+    bit-identical.  Runs once per case (the trace does not depend on the
+    machine).
+
+Oracles are pure functions of a :class:`MachineRun`, which lazily
+executes and memoizes the exact / per-cycle / sampled artifacts so an
+oracle set shares simulations instead of re-running them.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import api
+from ..common.config import ProcessorConfig, SamplingPlan
+from ..common.errors import DeadlockError, ReproError
+from ..core.result import SimulationResult
+from ..trace.trace import Trace
+from .spec import CaseSpec
+
+#: Maximum sampled/exact IPC *ratio* the ``sampled-ci`` oracle accepts on
+#: sampling-eligible traces.  Fuzz traces are short and deliberately
+#: phase-periodic, where systematic sampling's stationarity assumption is
+#: weakest — aliasing and warmup convergence make multi-factor deviations
+#: legitimate (a 100-case x 4-machine calibration campaign measured
+#: legitimate deviations up to ~6x on few-window multi_chase/blocked
+#: mixes, where warmup absorbs the miss bursts and the measured windows
+#: read systematically fast).  The band catches *broken* machinery (warm
+#: state diverging from the machine, mis-attributed cycles, sign
+#: errors), which shows up beyond an order of magnitude or trips the
+#: mechanical invariants; the XL benchmarks guard accuracy at <=5% on
+#: workloads long and homogeneous enough for sampling to be sound.
+DEFAULT_SAMPLING_TOLERANCE = 10.0
+
+#: Below this trace length the whole run is one cold-start transient and
+#: steady-state sampling *legitimately* disagrees with the exact IPC, so
+#: the oracle switches contract: short traces get the degenerate
+#: full-detail plan, whose result must be bit-identical to the exact run.
+SAMPLED_CI_MIN_TRACE = 3000
+
+
+def sampling_plan_for(total: int) -> SamplingPlan:
+    """The sampling plan the ``sampled-ci`` oracle applies to a case.
+
+    Short traces (below :data:`SAMPLED_CI_MIN_TRACE`) get a degenerate
+    plan with nothing to fast-forward — ``run_sampled`` then does one
+    continuous detailed run that must match the exact simulation bit for
+    bit.  Longer traces get period = total/3 with a *warmup-heavy*
+    detailed region (half the period warming, a sixth measured): under
+    couple-hundred-cycle latencies the congestion state of the window
+    structures (SLIQ and MSHR occupancy, checkpoint pressure) takes on
+    the order of a thousand instructions to converge, and a window
+    measured before convergence reads systematically fast.
+    """
+    if total < SAMPLED_CI_MIN_TRACE:
+        return SamplingPlan(period=96, window=48, warmup=48, seed=1).validate()
+    period = total // 3
+    window = max(96, period // 6)
+    warmup = period // 2
+    return SamplingPlan(period=period, window=window, warmup=warmup, seed=1).validate()
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of one oracle on one (case, machine) pair."""
+
+    oracle: str
+    machine: str
+    ok: bool
+    details: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        text = f"{self.oracle} on {self.machine}: {status}"
+        return f"{text} — {self.details}" if self.details else text
+
+
+class MachineRun:
+    """Lazily-executed differential artifacts of one case on one machine.
+
+    Each artifact is a ``(result, error)`` pair: a simulation that raised
+    keeps its exception instead of aborting the campaign, so oracles can
+    compare *failure behavior* across execution paths too.
+    """
+
+    def __init__(
+        self,
+        case: CaseSpec,
+        trace: Trace,
+        machine: str,
+        *,
+        sampling_tolerance: float = DEFAULT_SAMPLING_TOLERANCE,
+    ) -> None:
+        self.case = case
+        self.trace = trace
+        self.machine = machine
+        self.config: ProcessorConfig = case.build_config(machine)
+        self.sampling_tolerance = sampling_tolerance
+        self._artifacts: Dict[str, Tuple[Optional[SimulationResult], Optional[ReproError]]] = {}
+
+    def _execute(
+        self, label: str, **kwargs
+    ) -> Tuple[Optional[SimulationResult], Optional[ReproError]]:
+        if label not in self._artifacts:
+            try:
+                self._artifacts[label] = (api.run(self.config, self.trace, **kwargs), None)
+            except ReproError as exc:
+                self._artifacts[label] = (None, exc)
+        return self._artifacts[label]
+
+    @property
+    def exact(self) -> Tuple[Optional[SimulationResult], Optional[ReproError]]:
+        """Event-driven run — the reference artifact (also feeds coverage)."""
+        return self._execute("exact")
+
+    @property
+    def per_cycle(self) -> Tuple[Optional[SimulationResult], Optional[ReproError]]:
+        return self._execute("per_cycle", force_per_cycle=True)
+
+    @property
+    def sampled(self) -> Tuple[Optional[SimulationResult], Optional[ReproError]]:
+        return self._execute("sampled", sampling=sampling_plan_for(len(self.trace)))
+
+
+def _first_difference(fast: Dict[str, object], slow: Dict[str, object]) -> str:
+    for key in sorted(set(fast) | set(slow)):
+        if fast.get(key) != slow.get(key):
+            if key != "stats":
+                return f"field {key!r}: {fast.get(key)!r} != {slow.get(key)!r}"
+            fast_stats = fast.get("stats") or {}
+            slow_stats = slow.get("stats") or {}
+            for stat in sorted(set(fast_stats) | set(slow_stats)):  # type: ignore[arg-type]
+                if fast_stats.get(stat) != slow_stats.get(stat):  # type: ignore[union-attr]
+                    return (
+                        f"stat {stat!r}: {fast_stats.get(stat)!r} != "  # type: ignore[union-attr]
+                        f"{slow_stats.get(stat)!r}"
+                    )
+    return "results differ"
+
+
+def oracle_kernel_equivalence(run: MachineRun) -> OracleVerdict:
+    fast, fast_error = run.exact
+    slow, slow_error = run.per_cycle
+    name = "kernel-equivalence"
+    if fast_error is not None or slow_error is not None:
+        same = (
+            fast_error is not None
+            and slow_error is not None
+            and type(fast_error) is type(slow_error)
+            and str(fast_error) == str(slow_error)
+        )
+        if same:
+            return OracleVerdict(name, run.machine, True, "both paths raised identically")
+        return OracleVerdict(
+            name,
+            run.machine,
+            False,
+            f"event-driven {fast_error!r} vs per-cycle {slow_error!r}",
+        )
+    assert fast is not None and slow is not None
+    if fast.to_dict() == slow.to_dict():
+        return OracleVerdict(name, run.machine, True)
+    return OracleVerdict(
+        name, run.machine, False, _first_difference(fast.to_dict(), slow.to_dict())
+    )
+
+
+def oracle_no_deadlock(run: MachineRun) -> OracleVerdict:
+    _result, error = run.exact
+    name = "no-deadlock"
+    if error is None:
+        return OracleVerdict(name, run.machine, True)
+    kind = "deadlock" if isinstance(error, DeadlockError) else "simulation error"
+    return OracleVerdict(name, run.machine, False, f"{kind}: {error}")
+
+
+def oracle_sampled_ci(run: MachineRun) -> OracleVerdict:
+    name = "sampled-ci"
+    exact, exact_error = run.exact
+    if exact_error is not None:
+        # The exact path already failed; no-deadlock reports it.
+        return OracleVerdict(name, run.machine, True, "skipped: exact run failed")
+    sampled, sampled_error = run.sampled
+    if sampled_error is not None:
+        return OracleVerdict(name, run.machine, False, f"sampled run raised: {sampled_error}")
+    assert exact is not None and sampled is not None
+    if len(run.trace) < SAMPLED_CI_MIN_TRACE:
+        # Degenerate full-detail plan: the contract is bit-identity.
+        if sampled.cycles == exact.cycles and sampled.ipc == exact.ipc:
+            return OracleVerdict(
+                name, run.machine, True,
+                f"degenerate plan, bit-identical ({sampled.cycles} cycles)",
+            )
+        return OracleVerdict(
+            name, run.machine, False,
+            f"degenerate full-detail plan diverged: sampled {sampled.ipc:.4f}/"
+            f"{sampled.cycles} cycles vs exact {exact.ipc:.4f}/{exact.cycles} cycles",
+        )
+    # Real sampling: mechanical invariants, then the accuracy band.
+    if not sampled.sampled or not sampled.windows:
+        return OracleVerdict(
+            name, run.machine, False,
+            f"sampling-eligible trace produced no windows "
+            f"(sampled={sampled.sampled}, {len(sampled.windows)} windows)",
+        )
+    accounted = sampled.stat("sampling.fast_forwarded_instructions") + sampled.stat(
+        "sampling.detailed_instructions"
+    )
+    if accounted != len(run.trace):
+        return OracleVerdict(
+            name, run.machine, False,
+            f"instruction accounting leaked: fast-forwarded + detailed = "
+            f"{accounted:.0f}, trace has {len(run.trace)}",
+        )
+    commit_width = run.config.core.commit_width
+    for window in sampled.windows:
+        instructions = int(window["instructions"])
+        cycles = int(window["cycles"])
+        if instructions <= 0 or cycles <= 0 or instructions > cycles * commit_width:
+            return OracleVerdict(
+                name, run.machine, False,
+                f"physically impossible window {window!r} "
+                f"(commit width {commit_width})",
+            )
+    window_ipcs = [float(window["ipc"]) for window in sampled.windows]
+    epsilon = 1e-9
+    if not (min(window_ipcs) - epsilon <= sampled.ipc <= max(window_ipcs) + epsilon):
+        return OracleVerdict(
+            name, run.machine, False,
+            f"extrapolated IPC {sampled.ipc:.4f} outside its window range "
+            f"[{min(window_ipcs):.4f}, {max(window_ipcs):.4f}]",
+        )
+    if not math.isfinite(sampled.ipc_ci95) or sampled.ipc_ci95 < 0:
+        return OracleVerdict(
+            name, run.machine, False, f"broken CI: {sampled.ipc_ci95!r}"
+        )
+    if exact.ipc > 0 and sampled.ipc > 0:
+        ratio = max(sampled.ipc, exact.ipc) / min(sampled.ipc, exact.ipc)
+    else:
+        ratio = math.inf if sampled.ipc != exact.ipc else 1.0
+    if ratio > run.sampling_tolerance:
+        return OracleVerdict(
+            name, run.machine, False,
+            f"sampled {sampled.ipc:.4f} vs exact {exact.ipc:.4f}: ratio "
+            f"{ratio:.2f} exceeds {run.sampling_tolerance:g} "
+            f"({len(sampled.windows)} windows, ci95 {sampled.ipc_ci95:.4f})",
+        )
+    return OracleVerdict(
+        name, run.machine, True,
+        f"sampled {sampled.ipc:.4f} vs exact {exact.ipc:.4f} "
+        f"(ratio {ratio:.2f}, {len(sampled.windows)} windows, "
+        f"ci95 {sampled.ipc_ci95:.4f})",
+    )
+
+
+def oracle_trace_roundtrip(run: MachineRun) -> OracleVerdict:
+    name = "trace-roundtrip"
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        path = Path(tmp) / "case.trace.gz"
+        run.trace.save(path)
+        loaded = Trace.load(path)
+        original = [instr.to_record() for instr in run.trace]
+        reloaded = [instr.to_record() for instr in loaded]
+        if original != reloaded:
+            for index, (a, b) in enumerate(zip(original, reloaded)):
+                if a != b:
+                    return OracleVerdict(
+                        name, run.machine, False,
+                        f"instruction {index} changed across save/load: {a} != {b}",
+                    )
+            return OracleVerdict(
+                name, run.machine, False,
+                f"length changed across save/load: {len(original)} != {len(reloaded)}",
+            )
+        exact, exact_error = run.exact
+        if exact_error is not None:
+            return OracleVerdict(
+                name, run.machine, True, "records match (exact run failed; not re-simulated)"
+            )
+        try:
+            replayed = api.run(run.config, loaded)
+        except ReproError as exc:
+            return OracleVerdict(name, run.machine, False, f"reloaded trace raised: {exc}")
+        assert exact is not None
+        if replayed.to_dict() == exact.to_dict():
+            return OracleVerdict(name, run.machine, True)
+        return OracleVerdict(
+            name, run.machine, False,
+            "reloaded-trace result diverged: "
+            + _first_difference(replayed.to_dict(), exact.to_dict()),
+        )
+
+
+#: name -> (function, scope); "machine" oracles run on every machine,
+#: "case" oracles once per case (on the first machine in the list).
+ORACLES: Dict[str, Tuple[Callable[[MachineRun], OracleVerdict], str]] = {
+    "kernel-equivalence": (oracle_kernel_equivalence, "machine"),
+    "no-deadlock": (oracle_no_deadlock, "machine"),
+    "sampled-ci": (oracle_sampled_ci, "machine"),
+    "trace-roundtrip": (oracle_trace_roundtrip, "case"),
+}
+
+
+def oracle_names() -> List[str]:
+    """Every registered oracle name, in definition order."""
+    return list(ORACLES)
+
+
+def resolve_oracles(names: Optional[List[str]] = None) -> List[str]:
+    """Validate a user-supplied oracle list (None means all of them)."""
+    if names is None:
+        return oracle_names()
+    unknown = [name for name in names if name not in ORACLES]
+    if unknown:
+        raise KeyError(
+            f"unknown oracles {unknown}; registered oracles: {', '.join(ORACLES)}"
+        )
+    return list(names)
+
+
+def evaluate_oracle(
+    case: CaseSpec,
+    oracle: str,
+    machine: str,
+    *,
+    sampling_tolerance: float = DEFAULT_SAMPLING_TOLERANCE,
+) -> OracleVerdict:
+    """Build the case's trace and run one oracle on one machine.
+
+    Fresh state end to end — this is the shrinker's predicate and the
+    corpus replay path, so nothing may leak between evaluations.
+    """
+    function, _scope = ORACLES[oracle]
+    trace = case.build_trace()
+    run = MachineRun(case, trace, machine, sampling_tolerance=sampling_tolerance)
+    return function(run)

@@ -1,0 +1,335 @@
+"""The fuzz campaign: generate, differentially check, minimize, record.
+
+:class:`FuzzCampaign` drives the whole loop behind ``repro fuzz``:
+
+1. draw the next :class:`~repro.fuzz.spec.CaseSpec` from the seeded,
+   coverage-biased generator;
+2. build its trace once and run every requested oracle on every
+   requested machine (simulations are shared across oracles through
+   :class:`~repro.fuzz.oracles.MachineRun`);
+3. fold each machine's exact run into the behavioral
+   :class:`~repro.fuzz.coverage.CoverageMap`; novel signatures boost the
+   generator's bias toward the workloads that produced them;
+4. on any failed verdict, delta-debug the case down to a minimal repro
+   (:func:`~repro.fuzz.shrinker.shrink`) and — when a corpus directory
+   is given — serialize it as a permanent JSON regression file.
+
+Everything runs through :func:`repro.api.run` on fresh pipelines and
+**never touches the persistent sweep cache**: fuzz results must not
+poison (or be poisoned by) ``~/.cache/repro/sweeps``, and the oracles
+compare live simulations, not cached ones.
+
+The campaign is deterministic end to end: same seed and knobs mean the
+same specs, the same verdicts, the same coverage digest and the same
+minimized repro files.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import ReproError
+from ..core.registry_machines import machine_names
+from .corpus import CorpusCase, load_corpus, save_case
+from .coverage import CoverageMap, coverage_signature
+from .generator import CaseGenerator
+from .oracles import (
+    DEFAULT_SAMPLING_TOLERANCE,
+    MachineRun,
+    ORACLES,
+    OracleVerdict,
+    evaluate_oracle,
+    resolve_oracles,
+)
+from .shrinker import DEFAULT_SHRINK_BUDGET, shrink
+from .spec import CaseSpec, case_workloads
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation, minimized and (optionally) written to disk."""
+
+    case: CaseSpec
+    verdict: OracleVerdict
+    minimized: CaseSpec
+    minimized_verdict: OracleVerdict
+    shrink_attempts: int = 0
+    corpus_path: Optional[Path] = None
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.case.name}: {self.verdict}",
+            f"  minimized ({self.shrink_attempts} shrink attempts): "
+            f"{self.minimized.describe()}",
+            f"  minimized verdict: {self.minimized_verdict}",
+        ]
+        if self.corpus_path is not None:
+            lines.append(f"  repro written to {self.corpus_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign produced."""
+
+    seed: int
+    cases: int
+    machines: List[str]
+    oracles: List[str]
+    verdicts: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    #: (case, its novel signatures) — behaviorally distinct cases, in
+    #: discovery order; candidates for corpus promotion.
+    novel: List[Tuple[CaseSpec, List[str]]] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        return (
+            f"fuzz seed={self.seed}: {self.cases} cases x {len(self.machines)} machines, "
+            f"{self.verdicts} verdicts, {len(self.failures)} violation(s), "
+            f"{len(self.coverage)} coverage signatures (digest {self.coverage.digest()}) "
+            f"in {self.elapsed:.1f}s"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "machines": self.machines,
+            "oracles": self.oracles,
+            "verdicts": self.verdicts,
+            "violations": [
+                {
+                    "case": failure.case.to_dict(),
+                    "verdict": str(failure.verdict),
+                    "minimized": failure.minimized.to_dict(),
+                    "minimized_verdict": str(failure.minimized_verdict),
+                    "corpus_path": str(failure.corpus_path) if failure.corpus_path else None,
+                }
+                for failure in self.failures
+            ],
+            "coverage": self.coverage.to_dict(),
+            "coverage_digest": self.coverage.digest(),
+            "novel_cases": [case.name for case, _sigs in self.novel],
+            "elapsed": round(self.elapsed, 3),
+        }
+
+
+class FuzzCampaign:
+    """One configured fuzzing run; see the module docstring for the loop."""
+
+    def __init__(
+        self,
+        cases: int,
+        *,
+        seed: int = 0,
+        machines: Optional[Sequence[str]] = None,
+        oracles: Optional[Sequence[str]] = None,
+        sampling_tolerance: float = DEFAULT_SAMPLING_TOLERANCE,
+        shrink_failures: bool = True,
+        shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+        corpus_dir: Optional[Path] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if cases < 1:
+            raise ValueError(f"cases must be >= 1, got {cases}")
+        self.cases = cases
+        self.seed = seed
+        self.machines = list(machines) if machines else machine_names()
+        unknown = [name for name in self.machines if name not in machine_names()]
+        if unknown:
+            raise KeyError(
+                f"unknown machines {unknown}; registered machines: "
+                f"{', '.join(machine_names())}"
+            )
+        self.oracles = resolve_oracles(list(oracles) if oracles is not None else None)
+        self.sampling_tolerance = sampling_tolerance
+        self.shrink_failures = shrink_failures
+        self.shrink_budget = shrink_budget
+        self.corpus_dir = Path(corpus_dir) if corpus_dir is not None else None
+        self.progress = progress
+
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _still_fails(self, oracle: str, machine: str) -> Callable[[CaseSpec], bool]:
+        def predicate(candidate: CaseSpec) -> bool:
+            try:
+                verdict = evaluate_oracle(
+                    candidate, oracle, machine,
+                    sampling_tolerance=self.sampling_tolerance,
+                )
+            except (ReproError, ValueError, KeyError):
+                # The candidate cannot even build/run: not a reproduction.
+                return False
+            return not verdict.ok
+
+        return predicate
+
+    def _handle_failure(
+        self, report: FuzzReport, case: CaseSpec, verdict: OracleVerdict
+    ) -> None:
+        minimized, attempts = case, 0
+        minimized_verdict = verdict
+        if self.shrink_failures:
+            minimized, attempts = shrink(
+                case,
+                self._still_fails(verdict.oracle, verdict.machine),
+                budget=self.shrink_budget,
+            )
+            minimized_verdict = evaluate_oracle(
+                minimized, verdict.oracle, verdict.machine,
+                sampling_tolerance=self.sampling_tolerance,
+            )
+        # Repro files carry a stable name derived from the *minimized*
+        # case so re-running the campaign overwrites, not duplicates.
+        repro = minimized.with_(name=f"{case.name}-min")
+        corpus_path: Optional[Path] = None
+        if self.corpus_dir is not None:
+            corpus_path = save_case(
+                CorpusCase(
+                    case=repro,
+                    oracles=(verdict.oracle,),
+                    machines=(verdict.machine,),
+                    note=(
+                        f"minimized from {case.name} "
+                        f"(seed {self.seed}): {verdict.details or verdict.oracle}"
+                    ),
+                ),
+                self.corpus_dir,
+            )
+        failure = FuzzFailure(
+            case=case,
+            verdict=verdict,
+            minimized=repro,
+            minimized_verdict=minimized_verdict,
+            shrink_attempts=attempts,
+            corpus_path=corpus_path,
+        )
+        report.failures.append(failure)
+        self._report(failure.describe())
+
+    def run(self) -> FuzzReport:
+        """Execute the campaign; deterministic for fixed constructor args."""
+        start = time.perf_counter()
+        report = FuzzReport(
+            seed=self.seed, cases=self.cases,
+            machines=list(self.machines), oracles=list(self.oracles),
+        )
+        generator = CaseGenerator(self.seed)
+        for index in range(self.cases):
+            case = generator.generate(index)
+            try:
+                trace = case.build_trace()
+            except (ReproError, ValueError, KeyError) as exc:
+                # A spec the generator produced must always build; treat a
+                # failure as a (non-minimizable) violation of generation.
+                report.verdicts += 1
+                report.failures.append(
+                    FuzzFailure(
+                        case=case,
+                        verdict=OracleVerdict("generate", "-", False, str(exc)),
+                        minimized=case,
+                        minimized_verdict=OracleVerdict("generate", "-", False, str(exc)),
+                    )
+                )
+                continue
+            case_signatures: List[str] = []
+            for position, machine in enumerate(self.machines):
+                run = MachineRun(
+                    case, trace, machine, sampling_tolerance=self.sampling_tolerance
+                )
+                for oracle in self.oracles:
+                    function, scope = ORACLES[oracle]
+                    if scope == "case" and position > 0:
+                        continue
+                    verdict = function(run)
+                    report.verdicts += 1
+                    if not verdict.ok:
+                        self._handle_failure(report, case, verdict)
+                result, _error = run.exact
+                if result is not None:
+                    signature = coverage_signature(machine, result)
+                    if report.coverage.add(signature):
+                        case_signatures.append(signature)
+            if case_signatures:
+                generator.note_novelty(case_workloads(case))
+                report.novel.append((case, case_signatures))
+            self._report(
+                f"[{index + 1}/{self.cases}] {case.name}: {case.describe()} "
+                f"(+{len(case_signatures)} signatures, "
+                f"{len(report.coverage)} total)"
+            )
+        report.elapsed = time.perf_counter() - start
+        return report
+
+
+def run_fuzz(
+    cases: int,
+    *,
+    seed: int = 0,
+    machines: Optional[Sequence[str]] = None,
+    oracles: Optional[Sequence[str]] = None,
+    corpus_dir: Optional[Path] = None,
+    progress: Optional[ProgressFn] = None,
+    **kwargs,
+) -> FuzzReport:
+    """One-call campaign — the :mod:`repro.api` face of the fuzzer."""
+    return FuzzCampaign(
+        cases,
+        seed=seed,
+        machines=machines,
+        oracles=oracles,
+        corpus_dir=corpus_dir,
+        progress=progress,
+        **kwargs,
+    ).run()
+
+
+def replay_case(
+    entry: CorpusCase,
+    *,
+    sampling_tolerance: float = DEFAULT_SAMPLING_TOLERANCE,
+) -> List[OracleVerdict]:
+    """Re-run one corpus entry's oracle/machine contract; all must pass."""
+    verdicts: List[OracleVerdict] = []
+    trace = entry.case.build_trace()
+    for position, machine in enumerate(entry.machines):
+        run = MachineRun(
+            entry.case, trace, machine, sampling_tolerance=sampling_tolerance
+        )
+        for oracle in entry.oracles:
+            function, scope = ORACLES[oracle]
+            if scope == "case" and position > 0:
+                continue
+            verdicts.append(function(run))
+    return verdicts
+
+
+def replay_corpus(
+    directory: Path,
+    *,
+    progress: Optional[ProgressFn] = None,
+    sampling_tolerance: float = DEFAULT_SAMPLING_TOLERANCE,
+) -> List[Tuple[Path, List[OracleVerdict]]]:
+    """Replay every corpus file under ``directory`` in name order."""
+    outcomes: List[Tuple[Path, List[OracleVerdict]]] = []
+    for path, entry in load_corpus(directory):
+        verdicts = replay_case(entry, sampling_tolerance=sampling_tolerance)
+        outcomes.append((path, verdicts))
+        failed = [verdict for verdict in verdicts if not verdict.ok]
+        if progress is not None:
+            status = "ok" if not failed else f"{len(failed)} FAILED"
+            progress(f"{path.name}: {len(verdicts)} verdicts, {status}")
+    return outcomes

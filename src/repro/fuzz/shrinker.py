@@ -1,0 +1,107 @@
+"""Delta-debugging shrinker: minimize a failing fuzz case.
+
+Given a case and a predicate ("does this oracle still fail?"), the
+shrinker greedily applies structure-reducing transformations and keeps
+every candidate on which the failure reproduces:
+
+1. drop phases, one at a time (a one-phase repro beats a four-phase one);
+2. collapse scenario repetition to a single pass;
+3. halve the dynamic-instruction budget (down to the case floor);
+4. reset workload knob overrides to their registered defaults, knob by
+   knob;
+5. relax the composition: unshuffle the interleave, restore the default
+   block size;
+6. reset machine tuning knobs toward their defaults one field at a time
+   (a failure that survives at the default window/IQ/SLIQ sizes is a
+   simulator bug, not a corner-case configuration).
+
+The pass list loops to a fixpoint, so transformations re-enabled by
+earlier ones (e.g. another size halving after a phase was dropped) are
+still applied.  Everything is deterministic: candidates are generated in
+a fixed order and evaluated by re-running only the failing oracle on the
+failing machine through :func:`~repro.fuzz.oracles.evaluate_oracle`,
+each time from a fresh trace and pipeline.  ``budget`` caps the number
+of predicate evaluations, since each one is a full differential
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+from .spec import CaseSpec, MachineTuning, MIN_CASE_SIZE, PhaseSpec
+
+#: A predicate deciding whether a candidate still reproduces the failure.
+FailsFn = Callable[[CaseSpec], bool]
+
+#: Default cap on predicate evaluations during one shrink.
+DEFAULT_SHRINK_BUDGET = 64
+
+
+def _candidates(case: CaseSpec) -> Iterator[CaseSpec]:
+    """Strictly-smaller variants of ``case``, most aggressive first."""
+    # 1. Drop whole phases.
+    if len(case.phases) > 1:
+        for index in range(len(case.phases)):
+            phases = case.phases[:index] + case.phases[index + 1 :]
+            kind = "single" if len(phases) == 1 else case.kind
+            yield case.with_(phases=phases, kind=kind)
+    # 2. Collapse repetition.
+    if case.repeat > 1:
+        yield case.with_(repeat=1)
+    # 3. Halve the budget.
+    if case.size // 2 >= MIN_CASE_SIZE:
+        yield case.with_(size=case.size // 2)
+    # 4. Reset knob overrides, one knob at a time.
+    for index, phase in enumerate(case.phases):
+        for knob in sorted(phase.knobs):
+            remaining = {k: v for k, v in phase.knobs.items() if k != knob}
+            reset = PhaseSpec(workload=phase.workload, weight=phase.weight, knobs=remaining)
+            yield case.with_(phases=case.phases[:index] + (reset,) + case.phases[index + 1 :])
+        if phase.weight != 1.0:
+            flat = PhaseSpec(workload=phase.workload, weight=1.0, knobs=phase.knobs)
+            yield case.with_(phases=case.phases[:index] + (flat,) + case.phases[index + 1 :])
+    # 5. Simplify the composition.
+    if case.shuffle:
+        yield case.with_(shuffle=False)
+    if case.kind == "interleave" and case.block != 32:
+        yield case.with_(block=32)
+    if case.seed != 0:
+        yield case.with_(seed=0)
+    # 6. Reset machine tuning toward defaults, field by field.
+    defaults = MachineTuning()
+    for field_name in ("memory_latency", "window", "iq_size", "sliq_size", "checkpoints"):
+        current = getattr(case.tuning, field_name)
+        default = getattr(defaults, field_name)
+        if current != default:
+            tuning = MachineTuning(**{**case.tuning.to_dict(), field_name: default})
+            yield case.with_(tuning=tuning)
+
+
+def shrink(
+    case: CaseSpec,
+    fails: FailsFn,
+    *,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> Tuple[CaseSpec, int]:
+    """Greedily minimize ``case`` while ``fails`` keeps returning True.
+
+    Returns ``(minimized case, predicate evaluations spent)``.  The
+    input case is assumed to fail; the result is the smallest variant
+    found within ``budget`` evaluations on which the failure still
+    reproduces.
+    """
+    attempts = 0
+    current = case
+    progress = True
+    while progress and attempts < budget:
+        progress = False
+        for candidate in _candidates(current):
+            if attempts >= budget:
+                break
+            attempts += 1
+            if fails(candidate):
+                current = candidate
+                progress = True
+                break  # restart the pass list from the smaller case
+    return current, attempts

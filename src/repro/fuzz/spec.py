@@ -1,0 +1,260 @@
+"""Declarative fuzz cases: a replayable ``(seed, spec)`` pair.
+
+A :class:`CaseSpec` pins *everything* a fuzz case needs to be replayed
+bit-for-bit on another machine or in another process: the workload
+composition (which registered workloads, with which knob values, in
+which :class:`~repro.workloads.scenario.Scenario` or
+:func:`~repro.workloads.scenario.interleave` arrangement), the total
+dynamic-instruction budget, the scenario stream seed, and the machine
+tuning knobs every registered machine is built with.  Trace generation
+reuses the scenario DSL's sha256 stream seeding
+(:func:`~repro.workloads.scenario.stream_rng`), so a spec built today
+produces the same trace in any process on any Python version.
+
+Specs round-trip through plain JSON dictionaries (:meth:`CaseSpec.to_dict`
+/ :meth:`CaseSpec.from_dict`) — the corpus files under ``tests/corpus/``
+are exactly these dictionaries plus replay metadata.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..common.config import ProcessorConfig
+from ..common.errors import ConfigurationError
+from ..core.registry_machines import CLI_DEFAULTS, get_machine
+from ..trace.trace import Trace
+from ..workloads.registry import get_workload
+from ..workloads.scenario import MIN_PHASE_SIZE, Phase, Scenario, interleave, stream_rng
+
+#: Case kinds: one bare workload, a phased scenario, or block interleaving.
+CASE_KINDS = ("single", "scenario", "interleave")
+
+#: Smallest total budget a case may declare (keeps every phase above the
+#: DSL's MIN_PHASE_SIZE floor and traces non-empty by construction).
+MIN_CASE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One workload slice of a fuzz case.
+
+    ``knobs`` are overrides for the registered workload's tunables; they
+    are validated against the registry at build time, so a stale corpus
+    file naming a removed knob fails loudly instead of silently drifting.
+    """
+
+    workload: str
+    weight: float = 1.0
+    knobs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"phase {self.workload!r}: weight must be positive, got {self.weight}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"workload": self.workload, "weight": self.weight}
+        if self.knobs:
+            data["knobs"] = dict(self.knobs)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "PhaseSpec":
+        return cls(
+            workload=str(data["workload"]),
+            weight=float(data.get("weight", 1.0)),  # type: ignore[arg-type]
+            knobs=dict(data.get("knobs") or {}),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class MachineTuning:
+    """The machine-side knobs a case is simulated with.
+
+    Mirrors the ``repro simulate`` machine flags (the registry's CLI
+    profiles translate them into each registered machine's config), plus
+    the deadlock watchdog threshold the differential oracles rely on to
+    turn a hang into a failed verdict instead of a wedged fuzz run.
+    """
+
+    memory_latency: int = 200
+    window: int = 128
+    iq_size: int = 32
+    sliq_size: int = 256
+    checkpoints: int = 8
+    deadlock_cycles: int = 100_000
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "memory_latency": self.memory_latency,
+            "window": self.window,
+            "iq_size": self.iq_size,
+            "sliq_size": self.sliq_size,
+            "checkpoints": self.checkpoints,
+            "deadlock_cycles": self.deadlock_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MachineTuning":
+        return cls(**{key: int(data[key]) for key in cls().to_dict() if key in data})  # type: ignore[index]
+
+    def build_config(self, mode: str) -> ProcessorConfig:
+        """The registered machine ``mode`` configured with these knobs."""
+        args = argparse.Namespace(**dict(CLI_DEFAULTS))
+        args.memory_latency = self.memory_latency
+        args.window = self.window
+        args.iq_size = self.iq_size
+        args.sliq_size = self.sliq_size
+        args.checkpoints = self.checkpoints
+        config = get_machine(mode).build_cli_config(args)
+        return config.copy(deadlock_cycles=self.deadlock_cycles)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One fully-pinned fuzz case: composition, budget, seeds, machine knobs."""
+
+    name: str
+    kind: str
+    phases: Tuple[PhaseSpec, ...]
+    size: int
+    repeat: int = 1
+    seed: int = 0
+    block: int = 32
+    shuffle: bool = False
+    tuning: MachineTuning = field(default_factory=MachineTuning)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CASE_KINDS:
+            raise ConfigurationError(
+                f"case {self.name!r}: kind must be one of {CASE_KINDS}, got {self.kind!r}"
+            )
+        if not self.phases:
+            raise ConfigurationError(f"case {self.name!r}: needs at least one phase")
+        if self.kind == "single" and len(self.phases) != 1:
+            raise ConfigurationError(
+                f"case {self.name!r}: kind 'single' takes exactly one phase"
+            )
+        if self.size < MIN_CASE_SIZE:
+            raise ConfigurationError(
+                f"case {self.name!r}: size must be >= {MIN_CASE_SIZE}, got {self.size}"
+            )
+        if self.repeat < 1:
+            raise ConfigurationError(
+                f"case {self.name!r}: repeat must be >= 1, got {self.repeat}"
+            )
+        if self.block < 1:
+            raise ConfigurationError(
+                f"case {self.name!r}: block must be >= 1, got {self.block}"
+            )
+
+    # -- trace construction -------------------------------------------------
+    def _phase_kernel(self, phase: PhaseSpec):
+        spec = get_workload(phase.workload)
+        knobs = dict(phase.knobs)
+
+        def kernel(size: int, rng) -> Trace:  # rng: DSL stream, unused —
+            # registered generators carry their own seed knobs, which the
+            # case generator already pinned into ``knobs``.
+            return spec.build(size=size, **knobs)
+
+        return kernel
+
+    def _interleave_budgets(self) -> List[int]:
+        total_weight = sum(phase.weight for phase in self.phases)
+        return [
+            max(MIN_PHASE_SIZE, int(self.size * phase.weight / total_weight))
+            for phase in self.phases
+        ]
+
+    def build_trace(self) -> Trace:
+        """Generate the case's trace; deterministic for a given spec."""
+        if self.kind == "single":
+            phase = self.phases[0]
+            trace = self._phase_kernel(phase)(self.size, None)
+            return trace.relabel(f"{self.name}.{phase.workload}", name=self.name)
+        if self.kind == "scenario":
+            scenario = Scenario(
+                self.name,
+                [
+                    Phase(f"p{i}.{phase.workload}", self._phase_kernel(phase), phase.weight)
+                    for i, phase in enumerate(self.phases)
+                ],
+                seed=self.seed,
+                repeat=self.repeat,
+            )
+            return scenario.build(self.size)
+        # interleave: block-granular mixing of independently built traces.
+        budgets = self._interleave_budgets()
+        pieces = [
+            self._phase_kernel(phase)(budget, None).relabel(f"{self.name}.p{i}")
+            for i, (phase, budget) in enumerate(zip(self.phases, budgets))
+        ]
+        rng = stream_rng(self.name, "interleave", self.seed) if self.shuffle else None
+        return interleave(pieces, block=self.block, name=self.name, rng=rng)
+
+    def build_config(self, mode: str) -> ProcessorConfig:
+        """The registered machine ``mode`` under this case's tuning."""
+        return self.tuning.build_config(mode)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "phases": [phase.to_dict() for phase in self.phases],
+            "size": self.size,
+            "repeat": self.repeat,
+            "seed": self.seed,
+            "block": self.block,
+            "shuffle": self.shuffle,
+            "tuning": self.tuning.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CaseSpec":
+        return cls(
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            phases=tuple(
+                PhaseSpec.from_dict(phase) for phase in data["phases"]  # type: ignore[union-attr]
+            ),
+            size=int(data["size"]),  # type: ignore[arg-type]
+            repeat=int(data.get("repeat", 1)),  # type: ignore[arg-type]
+            seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+            block=int(data.get("block", 32)),  # type: ignore[arg-type]
+            shuffle=bool(data.get("shuffle", False)),
+            tuning=MachineTuning.from_dict(data.get("tuning") or {}),  # type: ignore[arg-type]
+        )
+
+    def with_(self, **changes: object) -> "CaseSpec":
+        """A copy with the given fields replaced (shrinker convenience)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        phases = "+".join(
+            f"{phase.workload}" + (f"*{phase.weight:g}" if phase.weight != 1 else "")
+            for phase in self.phases
+        )
+        extra = ""
+        if self.kind == "scenario" and self.repeat > 1:
+            extra = f" repeat={self.repeat}"
+        if self.kind == "interleave":
+            extra = f" block={self.block}" + (" shuffled" if self.shuffle else "")
+        return (
+            f"{self.kind}[{phases}] size={self.size}{extra} "
+            f"lat={self.tuning.memory_latency}"
+        )
+
+
+def case_workloads(case: CaseSpec) -> List[str]:
+    """The distinct registered workload names a case draws from."""
+    seen: List[str] = []
+    for phase in case.phases:
+        if phase.workload not in seen:
+            seen.append(phase.workload)
+    return seen

@@ -220,6 +220,11 @@ class DynInst:
     claimed_phys: bool = False
     #: OccupancyProbe liveness class ("fp_long" / "fp_short" / None).
     live_class: Optional[str] = None
+    #: Branch-history register as of fetching this instruction (gshare
+    #: front ends only).  Checkpoints snapshot it so a rollback can
+    #: restore the predictor to the state the re-fetched instruction was
+    #: originally predicted under.
+    fetch_history: Optional[int] = None
 
     # -- convenience -----------------------------------------------------
     @property

@@ -127,6 +127,34 @@ class TestGShare:
             predictor.update(0x88, True)
         assert predictor.predict(0x88) is True
 
+    def test_warm_advances_only_history(self, config, stats):
+        # warm() models a resolved branch passing through fetch again: the
+        # history register must see the outcome, but the tables must never
+        # be trained — re-training resolved branches is what sustained the
+        # cooo mispredict-rollback-replay livelock.
+        predictor = GSharePredictor(config, stats)
+        counters_before = list(predictor._counters)
+        for i in range(64):
+            predictor.warm(0x1008 + 8 * i, i % 3 == 0)
+        assert predictor._counters == counters_before
+        assert predictor.history != 0
+
+    def test_warm_shifts_outcome_into_history(self, config, stats):
+        predictor = GSharePredictor(config, stats)
+        predictor.warm(0x1008, True)
+        assert predictor.history & 1 == 1
+        predictor.warm(0x1008, False)
+        assert predictor.history & 1 == 0
+
+    def test_warm_then_predict_is_untrained(self, config, stats):
+        # After any amount of warming, predictions still come from the
+        # weakly-taken initial counters.
+        predictor = GSharePredictor(config, stats)
+        for _ in range(32):
+            predictor.warm(0x40, False)
+        predictor.repair_history(0)
+        assert predictor.predict(0x40) is True  # initial counters say taken
+
 
 class TestBTB:
     def test_miss_then_hit(self, config, stats):

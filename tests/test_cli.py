@@ -192,3 +192,53 @@ class TestSuiteSweepCli:
         assert main(["experiment", "figure07", "--scale", "0.05",
                      "--suite", "branch-storm", "--no-cache"]) == 0
         assert "figure07" in capsys.readouterr().out
+
+
+class TestSampleFlagErrors:
+    """Malformed --sample specs must exit 2 with a message naming the field."""
+
+    def _run(self, capsys, spec):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--workload", "daxpy", "--scale", "0.05",
+                  "--sample", spec])
+        assert excinfo.value.code == 2
+        return capsys.readouterr().err
+
+    def test_not_integers(self, capsys):
+        err = self._run(capsys, "abc:8000")
+        assert "period" in err and "'abc'" in err
+
+    def test_single_field_names_expected_shape(self, capsys):
+        err = self._run(capsys, "abc")
+        assert "2 to 4" in err and "'abc'" in err
+
+    def test_too_few_fields(self, capsys):
+        err = self._run(capsys, "50000")
+        assert "2 to 4" in err
+
+    def test_too_many_fields(self, capsys):
+        err = self._run(capsys, "1:2:3:4:5")
+        assert "2 to 4" in err
+
+    def test_non_integer_window(self, capsys):
+        err = self._run(capsys, "50000:8k")
+        assert "window" in err and "'8k'" in err
+
+    def test_non_integer_warmup(self, capsys):
+        err = self._run(capsys, "50000:8000:warm")
+        assert "warmup" in err
+
+    def test_zero_period_rejected_by_validation(self, capsys):
+        err = self._run(capsys, "0:8000")
+        assert "period" in err
+
+    def test_window_larger_than_period(self, capsys):
+        err = self._run(capsys, "1000:8000")
+        assert "window" in err or "period" in err
+
+    def test_sweep_reports_sample_errors_identically(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--suite", "pointer-chase", "--scale", "0.05",
+                  "--no-cache", "--quiet", "--sample", "bogus:8000"])
+        assert excinfo.value.code == 2
+        assert "period" in capsys.readouterr().err

@@ -1,0 +1,32 @@
+"""Replays every committed corpus file as a permanent regression gate.
+
+Each ``tests/corpus/*.case.json`` file pins one fuzz case together with
+its replay contract (machines x oracles).  Anything the fuzzer ever
+caught — or any behaviorally novel case promoted as an anchor — stays
+checked on every test run.  A failure here means a differential-oracle
+regression: the named execution paths no longer agree on that case.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import corpus_paths, load_case, replay_case
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+PATHS = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_committed():
+    # Guards against the corpus being accidentally emptied or moved:
+    # the repository ships at least the seed cases.
+    assert len(PATHS) >= 5, f"expected a committed corpus under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", PATHS, ids=[p.name for p in PATHS])
+def test_corpus_case_replays_clean(path):
+    entry = load_case(path)
+    verdicts = replay_case(entry)
+    assert verdicts, f"{path.name} produced no verdicts"
+    failing = [str(v) for v in verdicts if not v.ok]
+    assert not failing, f"{path.name}: {failing}"
