@@ -1,4 +1,13 @@
-"""Post-processing of simulation results: occupancy, breakdowns, reports."""
+"""Post-processing of simulation results, plus static analysis.
+
+Two halves live here:
+
+* result post-processing (occupancy, breakdowns, reports) — the
+  original contents of this package;
+* :mod:`repro.analysis.lint` — the simulator-aware static-analysis
+  engine behind ``repro lint``, together with its committed artifacts
+  (``fingerprints.json``, ``lint_baseline.json``).
+"""
 
 from .breakdown import (
     FIGURE12_ORDER,
@@ -17,7 +26,15 @@ from .occupancy import (
 )
 from .report import format_bar_chart, format_stacked_percentages, format_table, indent
 
+# The lint subpackage is imported lazily (see __getattr__ below) so that
+# `import repro.analysis` for occupancy math does not pay for parsing the
+# rule registry.
+
 __all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "run_lint",
     "FIGURE12_ORDER",
     "RetirementBreakdown",
     "average_breakdown",
@@ -34,3 +51,15 @@ __all__ = [
     "format_table",
     "indent",
 ]
+
+_LINT_EXPORTS = {"Finding", "LintEngine", "LintReport", "run_lint"}
+
+
+def __getattr__(name):
+    if name in _LINT_EXPORTS or name == "lint":
+        from . import lint
+
+        if name == "lint":
+            return lint
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,156 @@
+"""Committed baseline: grandfathered findings, with mandatory reasons.
+
+The baseline (``src/repro/analysis/lint_baseline.json``) is a list of
+entries ``{"rule", "file", "symbol", "reason"}``.  Matching is by
+``(rule, file, symbol)`` — never by line number — so entries survive
+unrelated edits.  Two meta-rules keep the file honest:
+
+* **RPR001 (stale-baseline)**: an entry that matches no current finding
+  is itself an error — fix-forward deletes its baseline entry in the
+  same commit, or the suppression outlives the problem and hides the
+  next one.
+* **RPR002 (missing-reason)**: every baseline entry and every inline
+  ``# lint: ignore[...]`` must say *why*.  A suppression without a
+  justification is indistinguishable from giving up.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .context import ModuleContext
+from .findings import Finding
+
+STALE_BASELINE = "RPR001"
+MISSING_REASON = "RPR002"
+
+#: Documented alongside the registry rules even though these two are
+#: emitted by the baseline machinery itself rather than an AST pass.
+META_RULES = [
+    {
+        "id": STALE_BASELINE,
+        "name": "stale-baseline",
+        "description": (
+            "A baseline entry matches no current finding; delete it in the "
+            "same commit that fixed the underlying issue."
+        ),
+    },
+    {
+        "id": MISSING_REASON,
+        "name": "missing-reason",
+        "description": (
+            "A baseline entry or inline `# lint: ignore[...]` comment has no "
+            "justification; every suppression must say why."
+        ),
+    },
+]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    symbol: str
+    reason: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.file, self.symbol)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse the committed baseline file (missing file -> empty baseline)."""
+    if not path.is_file():
+        return []
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    entries = raw.get("entries", raw) if isinstance(raw, dict) else raw
+    out: List[BaselineEntry] = []
+    for item in entries:
+        out.append(
+            BaselineEntry(
+                rule=str(item.get("rule", "")),
+                file=str(item.get("file", "")),
+                symbol=str(item.get("symbol", "")),
+                reason=str(item.get("reason", "")).strip(),
+            )
+        )
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    baseline_rel: str,
+) -> Tuple[List[Finding], int]:
+    """Filter baselined findings; emit RPR001/RPR002 for bad entries.
+
+    Returns (surviving findings + meta findings, baselined count).
+    """
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for entry in entries:
+        by_key[entry.key()] = entry
+
+    survivors: List[Finding] = []
+    matched: set = set()
+    baselined = 0
+    for finding in findings:
+        entry = by_key.get(finding.baseline_key())
+        if entry is not None:
+            matched.add(entry.key())
+            baselined += 1
+        else:
+            survivors.append(finding)
+
+    for entry in entries:
+        if entry.key() not in matched:
+            survivors.append(
+                Finding(
+                    rule=STALE_BASELINE,
+                    file=baseline_rel,
+                    line=0,
+                    symbol=f"{entry.rule}:{entry.file}:{entry.symbol}",
+                    message=(
+                        f"baseline entry ({entry.rule} {entry.file} "
+                        f"[{entry.symbol}]) matches no current finding; the "
+                        f"issue is fixed — delete the entry"
+                    ),
+                )
+            )
+        if not entry.reason:
+            survivors.append(
+                Finding(
+                    rule=MISSING_REASON,
+                    file=baseline_rel,
+                    line=0,
+                    symbol=f"{entry.rule}:{entry.file}:{entry.symbol}",
+                    message=(
+                        f"baseline entry ({entry.rule} {entry.file} "
+                        f"[{entry.symbol}]) has no reason; every suppression "
+                        f"must justify itself"
+                    ),
+                )
+            )
+    return survivors, baselined
+
+
+def suppression_reason_findings(ctxs: Sequence[ModuleContext]) -> List[Finding]:
+    """RPR002 findings for inline suppressions that carry no reason."""
+    out: List[Finding] = []
+    for ctx in ctxs:
+        for suppression in ctx.suppressions:
+            if not suppression.reason:
+                out.append(
+                    Finding(
+                        rule=MISSING_REASON,
+                        file=ctx.rel,
+                        line=suppression.line,
+                        symbol="<suppression>",
+                        message=(
+                            "inline lint: ignore comment has no reason; write "
+                            "`# lint: ignore[RPRxxx] <why>`"
+                        ),
+                    )
+                )
+    return out

@@ -1,0 +1,196 @@
+"""Cache-key purity rule (RPR201).
+
+The persistent result cache is only sound if every field that can alter
+simulation output reaches the cache key.  Two ways that breaks:
+
+* a dataclass with a hand-written literal ``to_dict`` gains a field the
+  dict never mentions (``dataclasses.asdict``-based ``to_dict``s are
+  immune — they pick up new fields automatically);
+* ``SweepSpec`` gains a semantic field that never reaches the
+  ``cell_cache_key`` payload.
+
+Both are invisible at runtime — the cache silently serves stale results
+— which is exactly why this is a static check.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set
+
+from .context import ModuleContext, qualified_symbols
+from .findings import Finding
+from .rules import (
+    RESULT_PACKAGES,
+    ProjectRule,
+    dataclass_field_names,
+    is_dataclass,
+    register,
+)
+
+#: Packages whose to_dicts feed cache keys (configs and sweep specs).
+#: Report/diagnostic dataclasses elsewhere (e.g. fuzz reports) may
+#: rename or summarize fields in their serializations freely.
+CACHE_KEY_PACKAGES = RESULT_PACKAGES | {"experiments"}
+
+#: SweepSpec fields that are not semantic: ``name`` is a label, and the
+#: plural fan-out fields are expanded into per-cell singular keys, which
+#: the singular-form check below accounts for on its own.
+SWEEPSPEC_NONSEMANTIC = {"name"}
+
+#: Keys the ``cell_cache_key`` payload must always carry, whatever else
+#: it grows: these pin a result to (what ran) x (which simulator).
+REQUIRED_CELL_KEY_FIELDS = {"config", "suite", "workload", "scale", "simulator_version"}
+
+
+def _returns_asdict(fn: ast.AST) -> bool:
+    """True if any return in fn is ``[dataclasses.]asdict(self[, ...])``."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+            func = node.value.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name == "asdict":
+                return True
+    return False
+
+
+def _string_constants(fn: ast.AST) -> Set[str]:
+    return {
+        node.value
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _dict_literal_keys(fn: ast.AST) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Call):
+            # payload["sampling"] = ... style additions appear as
+            # Subscript stores; dict(a=1) style as keywords.
+            for keyword in node.keywords:
+                if keyword.arg:
+                    keys.add(keyword.arg)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    index = target.slice
+                    if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                        keys.add(index.value)
+    return keys
+
+
+def _find_method(node: ast.ClassDef, name: str):
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and item.name == name:
+            return item
+    return None
+
+
+@register
+class CacheKeyPurityRule(ProjectRule):
+    """RPR201: config field that never reaches the cache key."""
+
+    id = "RPR201"
+    name = "cache-key-purity"
+    description = (
+        "Every dataclass field of a config object must reach its to_dict/"
+        "stable_hash serialization, and every semantic SweepSpec field must "
+        "reach the cell_cache_key payload; otherwise the result cache serves "
+        "stale entries when that field changes.  asdict-based to_dicts are "
+        "immune; hand-written literal dicts are checked field by field."
+    )
+
+    # -- per-file: dataclasses with hand-written to_dict -------------------
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(CACHE_KEY_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not is_dataclass(node):
+                continue
+            to_dict = _find_method(node, "to_dict")
+            if to_dict is None:
+                continue
+            if _returns_asdict(to_dict):
+                continue  # picks up new fields automatically
+            serialized = _dict_literal_keys(to_dict)
+            missing = [
+                fieldname
+                for fieldname in dataclass_field_names(node)
+                if fieldname not in serialized
+            ]
+            if missing:
+                yield self.finding(
+                    ctx,
+                    to_dict.lineno,
+                    symbols.get(node, node.name),
+                    f"{node.name}.to_dict() is a literal dict that omits "
+                    f"dataclass field(s) {', '.join(sorted(missing))}; the "
+                    f"cache key will not change when they do — add them or "
+                    f"switch to dataclasses.asdict",
+                )
+
+    # -- cross-module: SweepSpec fields vs cell_cache_key payload ----------
+
+    def check_project(
+        self, ctxs: Sequence[ModuleContext], root: Path
+    ) -> Iterable[Finding]:
+        sweep = next((ctx for ctx in ctxs if ctx.rel == "experiments/sweep.py"), None)
+        if sweep is None:
+            return
+        cell_key_fn = None
+        sweep_spec = None
+        for node in ast.walk(sweep.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "cell_cache_key":
+                cell_key_fn = node
+            elif isinstance(node, ast.ClassDef) and node.name == "SweepSpec":
+                sweep_spec = node
+        if cell_key_fn is None:
+            yield self.finding(
+                sweep,
+                0,
+                "cell_cache_key",
+                "experiments/sweep.py no longer defines cell_cache_key(); the "
+                "cache-key purity check cannot anchor — restore it or update "
+                "the lint rule alongside the refactor",
+            )
+            return
+        payload_keys = _string_constants(cell_key_fn) | _dict_literal_keys(cell_key_fn)
+        for required in sorted(REQUIRED_CELL_KEY_FIELDS - payload_keys):
+            yield self.finding(
+                sweep,
+                cell_key_fn.lineno,
+                "cell_cache_key",
+                f"cell_cache_key() payload no longer carries '{required}'; "
+                f"results would collide across different {required} values",
+            )
+        if sweep_spec is None:
+            return
+        for fieldname in dataclass_field_names(sweep_spec):
+            if fieldname in SWEEPSPEC_NONSEMANTIC:
+                continue
+            singular = fieldname[:-1] if fieldname.endswith("s") else fieldname
+            if fieldname in payload_keys or singular in payload_keys:
+                continue
+            yield self.finding(
+                sweep,
+                sweep_spec.lineno,
+                "SweepSpec",
+                f"SweepSpec field '{fieldname}' never reaches the "
+                f"cell_cache_key payload; a sweep differing only in "
+                f"'{fieldname}' would reuse stale cached cells — add it to "
+                f"the payload or list it in SWEEPSPEC_NONSEMANTIC with a "
+                f"justification",
+            )

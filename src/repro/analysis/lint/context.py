@@ -1,0 +1,101 @@
+"""Per-file parsing context shared by every rule.
+
+A :class:`ModuleContext` is one parsed source file: its AST, source
+lines, path relative to the linted package root, and the inline
+suppressions (``# lint: ignore[RPRxxx] reason``) found in it.  Parsing
+happens once per file per run; rules only walk the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+#: Inline suppression syntax.  The reason is *mandatory*: a suppression
+#: that does not say why is itself reported (RPR002).
+SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9,\s]+)\]\s*(.*)$")
+
+
+@dataclass
+class Suppression:
+    """One inline ``lint: ignore`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class ModuleContext:
+    """One parsed python file under the linted root."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: posix path relative to the linted root, e.g. "core/iq.py"
+    tree: ast.Module
+    lines: List[str]
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    @property
+    def top_package(self) -> str:
+        """First path segment ("core", "workloads", ...; "" for top-level files)."""
+        parts = self.parts
+        return parts[0] if len(parts) > 1 else ""
+
+    def in_packages(self, names: Set[str]) -> bool:
+        return self.top_package in names
+
+    def suppressed_rules_at(self, line: int) -> Set[str]:
+        """Rule ids silenced for a finding on ``line``.
+
+        A suppression applies to its own line and to the line directly
+        below it (so a comment can sit above a long statement).
+        """
+        silenced: Set[str] = set()
+        for suppression in self.suppressions:
+            if suppression.line in (line, line - 1):
+                silenced.update(suppression.rules)
+        return silenced
+
+
+def parse_module(path: Path, rel: str) -> ModuleContext:
+    """Parse one file into a context (raises SyntaxError on broken input)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    suppressions = []
+    for number, line in enumerate(lines, start=1):
+        match = SUPPRESS_RE.search(line)
+        if match:
+            rules = tuple(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            suppressions.append(
+                Suppression(line=number, rules=rules, reason=match.group(2).strip())
+            )
+    return ModuleContext(
+        path=path, rel=rel, tree=tree, lines=lines, suppressions=suppressions
+    )
+
+
+def qualified_symbols(tree: ast.Module) -> Dict[ast.AST, str]:
+    """Map every class/function node to its dotted path within the module."""
+    symbols: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                dotted = f"{prefix}.{child.name}" if prefix else child.name
+                symbols[child] = dotted
+                visit(child, dotted)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return symbols

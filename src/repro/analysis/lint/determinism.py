@@ -1,0 +1,321 @@
+"""Determinism rules (RPR1xx).
+
+The three execution paths (per-cycle, event-driven, sampled) must agree
+bit-for-bit, and the persistent result cache assumes a cell's result is
+a pure function of (config, workload, version).  Anything that lets
+ambient process state leak into result bits — the shared ``random``
+module, wall-clock reads, ``id()`` ordering, iteration order of hash
+sets — breaks both guarantees in ways the differential fuzzer can only
+catch probabilistically.  These rules catch them before merge.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from .context import ModuleContext, qualified_symbols
+from .findings import Finding
+from .rules import RESULT_PACKAGES, Rule, register
+
+#: ``random.<fn>`` module-level calls that draw from the shared, ambient
+#: global generator.  ``random.Random(seed)`` — a private, explicitly
+#: seeded stream — is the sanctioned alternative and is not flagged.
+AMBIENT_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "randbytes", "seed",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "lognormvariate",
+}
+
+#: Wall-clock reads.  ``perf_counter``/``monotonic`` are included inside
+#: result-producing packages: even "just timing" there tends to end up
+#: in a statistic or a heuristic threshold sooner or later.
+WALL_CLOCK_TIME_FNS = {"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns", "process_time"}
+WALL_CLOCK_DATETIME_FNS = {"now", "utcnow", "today", "fromtimestamp"}
+
+
+def _symbol_for(ctx: ModuleContext, node: ast.AST, symbols: Dict[ast.AST, str]) -> str:
+    """Dotted symbol of the innermost enclosing def/class, or the module."""
+    best = ""
+    best_span = None
+    for owner, dotted in symbols.items():
+        start = owner.lineno
+        end = getattr(owner, "end_lineno", start)
+        if start <= node.lineno <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best, best_span = dotted, span
+    return best or "<module>"
+
+
+@register
+class AmbientRandomRule(Rule):
+    """RPR101: module-level ``random`` calls (unseeded, process-global)."""
+
+    id = "RPR101"
+    name = "ambient-random"
+    description = (
+        "Calls to the shared `random` module functions (random.random, "
+        "random.choice, ...) draw from ambient process-global state; use a "
+        "private `random.Random(seed)` stream so traces and schedules are "
+        "reproducible.  Applies to the whole package."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in AMBIENT_RANDOM_FNS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        _symbol_for(ctx, node, symbols),
+                        f"random.{func.attr}() uses the process-global generator; "
+                        f"draw from an explicitly seeded random.Random instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in AMBIENT_RANDOM_FNS:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            "<module>",
+                            f"importing `{alias.name}` from `random` pulls in the "
+                            f"process-global generator; import Random and seed it",
+                        )
+
+
+@register
+class WallClockRule(Rule):
+    """RPR102: wall-clock reads inside result-producing packages."""
+
+    id = "RPR102"
+    name = "wall-clock"
+    description = (
+        "time.time()/perf_counter()/datetime.now() inside core/branch/memory/"
+        "trace/isa/workloads/common make result bits depend on when the "
+        "simulation ran.  Timing harnesses belong above the simulator "
+        "(perf.py, cli.py, the sweep engine)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(RESULT_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id == "time" and func.attr in WALL_CLOCK_TIME_FNS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        _symbol_for(ctx, node, symbols),
+                        f"time.{func.attr}() read inside a result-producing "
+                        f"package; results must not depend on wall-clock time",
+                    )
+                elif receiver.id in ("datetime", "date") and func.attr in WALL_CLOCK_DATETIME_FNS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        _symbol_for(ctx, node, symbols),
+                        f"{receiver.id}.{func.attr}() read inside a result-producing "
+                        f"package; results must not depend on wall-clock time",
+                    )
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and receiver.attr == "datetime"
+                and func.attr in WALL_CLOCK_DATETIME_FNS
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    _symbol_for(ctx, node, symbols),
+                    f"datetime.{func.attr}() read inside a result-producing package",
+                )
+
+
+@register
+class IdOrderingRule(Rule):
+    """RPR103: ``id()`` values inside result-producing packages."""
+
+    id = "RPR103"
+    name = "id-ordering"
+    description = (
+        "id() values depend on the allocator (address-space layout), so any "
+        "comparison, hash or tiebreak built on them differs run to run.  Use "
+        "a sequence number or a monotonic counter instead."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(RESULT_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    _symbol_for(ctx, node, symbols),
+                    "id() is address-derived and varies across runs; key on a "
+                    "sequence number or an itertools.count() tick instead",
+                )
+
+
+class _SetCollector(ast.NodeVisitor):
+    """Collects names/attributes statically known to hold ``set`` objects."""
+
+    def __init__(self) -> None:
+        self.known: Set[str] = set()
+
+    def _note_target(self, target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return f"self.{target.attr}"
+        return None
+
+    @staticmethod
+    def _is_set_expr(value: Optional[ast.AST]) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            if value.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(value, ast.SetComp) or isinstance(value, ast.Set):
+            return True
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: Optional[ast.AST]) -> bool:
+        if annotation is None:
+            return False
+        text = ast.dump(annotation)
+        return "'Set'" in text or "'set'" in text or "'FrozenSet'" in text or "'frozenset'" in text
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                name = self._note_target(target)
+                if name:
+                    self.known.add(name)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_annotation(node.annotation) or self._is_set_expr(node.value):
+            name = self._note_target(node.target)
+            if name:
+                self.known.add(name)
+        self.generic_visit(node)
+
+
+def _expr_key(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+@register
+class SetOrderRule(Rule):
+    """RPR104: materializing an ordered view of a hash set."""
+
+    id = "RPR104"
+    name = "set-order"
+    description = (
+        "list()/tuple()/list-comprehension over a bare set turns hash-table "
+        "iteration order — which varies with insertion history and object "
+        "addresses — into an ordered value that can reach result bits.  Sort "
+        "by a deterministic key (e.g. the instruction sequence number) at "
+        "the point of materialization.  Commutative folds over sets (sums, "
+        "membership scans) are fine and not flagged."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(RESULT_PACKAGES):
+            return
+        collector = _SetCollector()
+        collector.visit(ctx.tree)
+        known = collector.known
+        if not known:
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("list", "tuple") and len(node.args) == 1:
+                    key = _expr_key(node.args[0])
+                    if key in known:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            _symbol_for(ctx, node, symbols),
+                            f"{node.func.id}({key}) materializes hash-set iteration "
+                            f"order; sort by a deterministic key instead",
+                        )
+            elif isinstance(node, ast.ListComp):
+                for generator in node.generators:
+                    key = _expr_key(generator.iter)
+                    if key in known:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            _symbol_for(ctx, node, symbols),
+                            f"list comprehension over set {key} materializes "
+                            f"hash-set iteration order; sort by a deterministic "
+                            f"key instead",
+                        )
+
+
+@register
+class AmbientEnvRule(Rule):
+    """RPR105: environment reads inside result-producing packages."""
+
+    id = "RPR105"
+    name = "ambient-env"
+    description = (
+        "os.environ/os.getenv inside core/branch/memory/trace/isa/workloads/"
+        "common lets the process environment alter result bits without "
+        "reaching the cache key.  Environment-driven configuration belongs "
+        "in the CLI/sweep layer, where it feeds explicit config fields."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(RESULT_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in ("environ", "getenv"):
+                if isinstance(node.value, ast.Name) and node.value.id == "os":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        _symbol_for(ctx, node, symbols),
+                        f"os.{node.attr} read inside a result-producing package; "
+                        f"thread the value through an explicit config field so it "
+                        f"reaches the cache key",
+                    )

@@ -1,0 +1,91 @@
+"""Finding objects: what a lint rule reports and how it serializes.
+
+A :class:`Finding` names the violated rule, where it happened
+(repo-relative file, 1-based line) and *which symbol* it is about
+(``symbol`` — usually a dotted class or function path).  The symbol is
+what the committed baseline matches on, so baselined findings survive
+unrelated edits that move line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+#: Finding severities.  Every shipped rule reports ``error`` — the lint
+#: gate is binary by design (a "warning" that cannot fail CI decays into
+#: noise); the level exists so downstream tooling can grade custom rules.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str  #: rule id, e.g. "RPR104"
+    file: str  #: path relative to the linted package root (posix form)
+    line: int  #: 1-based line number (0 for whole-file/project findings)
+    symbol: str  #: dotted symbol the finding is about (baseline match key)
+    message: str
+    severity: str = ERROR
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.rule, self.symbol)
+
+    def baseline_key(self) -> tuple:
+        """Identity used to match committed baseline entries (no line)."""
+        return (self.rule, self.file, self.symbol)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "file": self.file,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        location = f"{self.file}:{self.line}" if self.line else self.file
+        return f"{location}: {self.rule} [{self.symbol}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, in deterministic order."""
+
+    findings: list = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: int = 0
+    suppressed: int = 0  #: findings silenced by inline ``lint: ignore``
+    baselined: int = 0  #: findings matched by committed baseline entries
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def summary(self) -> str:
+        status = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        extras = []
+        if self.baselined:
+            extras.append(f"{self.baselined} baselined")
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed inline")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        return (
+            f"repro lint: {status} across {self.files_checked} file(s), "
+            f"{self.rules_run} rule(s){suffix}"
+        )

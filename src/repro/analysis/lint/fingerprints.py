@@ -1,0 +1,234 @@
+"""Semantic fingerprints (RPR202): version bumps become machine-checked.
+
+The rule used to be tribal: "if you change simulator semantics, bump
+``repro.__version__`` so the result cache invalidates."  This module
+replaces memory with a committed manifest
+(``src/repro/analysis/fingerprints.json``) mapping every simulator
+module to a hash of its *normalized* AST (docstrings stripped, so
+comment/doc edits don't demand bumps).  CI fails when a fingerprinted
+module changes while ``__version__`` stays put; the sanctioned flow is::
+
+    # edit core/pipeline.py ...
+    # bump __version__ in src/repro/__init__.py
+    repro lint --update-fingerprints
+
+``--update-fingerprints`` refuses to re-stamp at an unchanged version
+(that would just launder the semantic change past the cache) unless
+``--allow-same-version`` is passed — reserved for provably
+result-identical refactors.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .context import ModuleContext
+from .findings import Finding
+from .rules import ProjectRule, register
+
+#: Manifest location, relative to the linted package root.
+MANIFEST_REL = "analysis/fingerprints.json"
+
+#: Top-level packages whose every module is simulator-semantic.
+FINGERPRINT_PACKAGES = {"core", "branch", "memory", "isa", "trace", "workloads"}
+
+#: Individual modules outside those packages that also carry semantics.
+FINGERPRINT_FILES = {"common/config.py", "common/stats.py"}
+
+
+def is_fingerprinted(rel: str) -> bool:
+    if rel in FINGERPRINT_FILES:
+        return True
+    top = rel.split("/", 1)[0] if "/" in rel else ""
+    return top in FINGERPRINT_PACKAGES
+
+
+def _strip_docstrings(tree: ast.Module) -> ast.Module:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                node.body = body[1:] or [ast.Pass()]
+    return tree
+
+
+def module_fingerprint(source: str) -> str:
+    """sha256 of the docstring-stripped AST dump of ``source``."""
+    tree = _strip_docstrings(ast.parse(source))
+    normalized = ast.dump(tree, include_attributes=False)
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()
+
+
+def compute_fingerprints(ctxs: Sequence[ModuleContext]) -> Dict[str, str]:
+    """rel-path -> fingerprint for every fingerprinted module in the run."""
+    out: Dict[str, str] = {}
+    for ctx in ctxs:
+        if is_fingerprinted(ctx.rel):
+            out[ctx.rel] = module_fingerprint("\n".join(ctx.lines))
+    return out
+
+
+def read_static_version(root: Path) -> Optional[str]:
+    """``__version__`` of the package at ``root`` without importing it."""
+    init = root / "__init__.py"
+    if not init.is_file():
+        return None
+    try:
+        tree = ast.parse(init.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "__version__"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    return node.value.value
+    return None
+
+
+def load_manifest(root: Path) -> Optional[Dict]:
+    path = root / MANIFEST_REL
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def write_manifest(root: Path, version: str, modules: Dict[str, str]) -> Path:
+    path = root / MANIFEST_REL
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "simulator_version": version,
+        "modules": {rel: modules[rel] for rel in sorted(modules)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return path
+
+
+def update_fingerprints(
+    root: Path,
+    ctxs: Sequence[ModuleContext],
+    allow_same_version: bool = False,
+) -> Tuple[Path, List[str]]:
+    """Re-stamp the manifest; returns (path, modules whose hash changed).
+
+    Raises ``ValueError`` when the stamp would stay at the version the
+    existing manifest already records while hashes changed — re-stamping
+    then would hide a semantic change from the result cache.
+    """
+    version = read_static_version(root)
+    if version is None:
+        raise ValueError(f"{root}/__init__.py defines no static __version__")
+    current = compute_fingerprints(ctxs)
+    manifest = load_manifest(root)
+    changed: List[str] = []
+    if manifest is not None:
+        old = manifest.get("modules", {})
+        changed = sorted(
+            set(rel for rel in current if current[rel] != old.get(rel))
+            | (set(old) - set(current))
+        )
+        if (
+            changed
+            and manifest.get("simulator_version") == version
+            and not allow_same_version
+        ):
+            raise ValueError(
+                f"refusing to re-stamp fingerprints at unchanged version "
+                f"{version} (changed: {', '.join(changed)}); bump "
+                f"repro.__version__ first, or pass --allow-same-version for "
+                f"a provably result-identical refactor"
+            )
+    return write_manifest(root, version, current), changed
+
+
+@register
+class SemanticFingerprintRule(ProjectRule):
+    """RPR202: simulator semantics changed without a version bump."""
+
+    id = "RPR202"
+    name = "semantic-fingerprint"
+    description = (
+        "Hashes the normalized ASTs of every simulator module against the "
+        "committed manifest (analysis/fingerprints.json).  A hash that moved "
+        "while repro.__version__ stayed put means cached results keyed at "
+        "this version no longer match what the simulator computes; bump "
+        "__version__ and run `repro lint --update-fingerprints`."
+    )
+
+    def check_project(
+        self, ctxs: Sequence[ModuleContext], root: Path
+    ) -> Iterable[Finding]:
+        version = read_static_version(root)
+        if version is None:
+            return  # not a simulator package root (e.g. a fixture tree)
+        manifest_rel = MANIFEST_REL
+        manifest = load_manifest(root)
+        if manifest is None:
+            yield self.finding_at(
+                manifest_rel,
+                "<manifest>",
+                "fingerprint manifest is missing; run "
+                "`repro lint --update-fingerprints` and commit the result",
+            )
+            return
+        stamped = manifest.get("simulator_version")
+        if stamped != version:
+            yield self.finding_at(
+                manifest_rel,
+                "<manifest>",
+                f"fingerprint manifest is stamped at version {stamped!r} but "
+                f"repro.__version__ is {version!r}; run "
+                f"`repro lint --update-fingerprints` to re-stamp",
+            )
+            return
+        old = manifest.get("modules", {})
+        current = compute_fingerprints(ctxs)
+        for rel in sorted(set(old) | set(current)):
+            if rel not in current:
+                yield self.finding_at(
+                    manifest_rel,
+                    rel,
+                    f"fingerprinted module {rel} was removed without a "
+                    f"repro.__version__ bump; cached results at {version} may "
+                    f"be stale",
+                )
+            elif rel not in old:
+                yield self.finding_at(
+                    rel,
+                    rel,
+                    f"new simulator module {rel} is not in the fingerprint "
+                    f"manifest; bump repro.__version__ (if semantics changed) "
+                    f"and run `repro lint --update-fingerprints`",
+                )
+            elif current[rel] != old[rel]:
+                yield self.finding_at(
+                    rel,
+                    rel,
+                    f"semantic fingerprint of {rel} changed while "
+                    f"repro.__version__ stayed at {version}; cached results "
+                    f"keyed at this version are now stale — bump __version__ "
+                    f"and run `repro lint --update-fingerprints`",
+                )
+
+    def finding_at(self, file: str, symbol: str, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            file=file,
+            line=0,
+            symbol=symbol,
+            message=message,
+            severity=self.severity,
+        )

@@ -1,0 +1,195 @@
+"""Hot-path hygiene rules (RPR3xx).
+
+PR 4 removed ``__dict__`` from every per-instruction/per-cycle class
+(``__slots__`` everywhere on the hot path) — roughly a third of the
+kernel speedup.  Both rules here stop that work from silently eroding:
+a new class without ``__slots__`` or an attribute invented outside the
+initializer re-adds a dict to every instance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from .context import ModuleContext, qualified_symbols
+from .findings import Finding
+from .rules import (
+    HOTPATH_PACKAGES,
+    Rule,
+    base_names,
+    class_declares_slots,
+    register,
+)
+
+#: Methods allowed to introduce instance attributes.  ``on_attach`` is
+#: the probe lifecycle hook that plays the role of ``__init__`` for
+#: per-run observer state (a probe is constructed once but attached to
+#: each pipeline it observes).
+INITIALIZER_METHODS = {"__init__", "__post_init__", "__new__", "on_attach"}
+
+
+def _slots_names(node: ast.ClassDef) -> Set[str]:
+    """Names listed in a ``__slots__`` assignment, if statically visible."""
+    names: Set[str] = set()
+    for statement in node.body:
+        value = None
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.target.id == "__slots__":
+                value = statement.value
+        if value is not None and isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    names.add(element.value)
+    return names
+
+
+def _annotated_names(node: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            names.add(statement.target.id)
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _self_attr_assignments(fn: ast.AST) -> Iterable[ast.Attribute]:
+    """``self.<x> = ...`` / ``self.<x>: T = ...`` / aug-assign targets in fn."""
+    for node in ast.walk(fn):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AugAssign):
+            # self.x += 1 requires x to exist already, so it cannot
+            # introduce a new attribute; skip.
+            continue
+        for target in targets:
+            nodes = [target]
+            if isinstance(target, ast.Tuple):
+                nodes = list(target.elts)
+            for item in nodes:
+                if (
+                    isinstance(item, ast.Attribute)
+                    and isinstance(item.value, ast.Name)
+                    and item.value.id == "self"
+                ):
+                    yield item
+
+
+@register
+class MissingSlotsRule(Rule):
+    """RPR301: hot-path class without ``__slots__``."""
+
+    id = "RPR301"
+    name = "missing-slots"
+    description = (
+        "Classes in core/, memory/, branch/ are instantiated on the "
+        "per-instruction or per-cycle path; without __slots__ (or "
+        "@dataclass(slots=True)) every instance carries a __dict__, undoing "
+        "the PR 4 hot-path overhaul.  Exception classes are exempt (they "
+        "need __dict__-compatible BaseException machinery and are off the "
+        "hot path by definition)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(HOTPATH_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = base_names(node)
+            if any(name.endswith(("Error", "Exception", "Warning")) for name in bases):
+                continue
+            if any(name in ("Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "Protocol") for name in bases):
+                continue
+            if not class_declares_slots(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    symbols.get(node, node.name),
+                    f"class {node.name} in a hot-path package lacks __slots__ "
+                    f"(or @dataclass(slots=True)); every instance pays for a "
+                    f"__dict__",
+                )
+
+
+@register
+class AttrOutsideInitRule(Rule):
+    """RPR302: instance attribute invented outside the initializer."""
+
+    id = "RPR302"
+    name = "attr-outside-init"
+    description = (
+        "Assigning a brand-new self.<attr> outside __init__/__post_init__/"
+        "__new__/on_attach hides the full shape of the object from __slots__ "
+        "and from readers.  Declare the attribute in the initializer (use a "
+        "None/0 sentinel) and only update it elsewhere.  Re-assigning an "
+        "attribute the initializer already declared (reset(), restore()...) "
+        "is fine and not flagged.  Declarations made by base classes defined "
+        "in the same module count (subclasses may update inherited state)."
+    )
+
+    @staticmethod
+    def _own_declared(node: ast.ClassDef) -> Set[str]:
+        declared: Set[str] = set()
+        declared |= _slots_names(node)
+        declared |= _annotated_names(node)
+        for item in node.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name in INITIALIZER_METHODS
+            ):
+                for attr in _self_attr_assignments(item):
+                    declared.add(attr.attr)
+        return declared
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(HOTPATH_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        classes = [
+            node for node in ast.walk(ctx.tree) if isinstance(node, ast.ClassDef)
+        ]
+        by_name = {node.name: node for node in classes}
+        own = {node.name: self._own_declared(node) for node in classes}
+
+        def inherited(name: str, seen: Set[str]) -> Set[str]:
+            if name in seen or name not in by_name:
+                return set()
+            seen.add(name)
+            out = set(own[name])
+            for base in base_names(by_name[name]):
+                out |= inherited(base, seen)
+            return out
+
+        for node in classes:
+            declared = inherited(node.name, set())
+            methods = [
+                item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            for method in methods:
+                if method.name in INITIALIZER_METHODS:
+                    continue
+                for attr in _self_attr_assignments(method):
+                    if attr.attr not in declared:
+                        declared.add(attr.attr)  # report each attr once
+                        yield self.finding(
+                            ctx,
+                            attr.lineno,
+                            f"{symbols.get(node, node.name)}.{method.name}",
+                            f"self.{attr.attr} is first assigned in {method.name}(), "
+                            f"outside the initializer; declare it in __init__ so "
+                            f"__slots__ and readers see the object's full shape",
+                        )

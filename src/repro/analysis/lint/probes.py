@@ -1,0 +1,59 @@
+"""Probe-contract rule (RPR4xx).
+
+The event-driven kernel (PR 4) skips idle cycles wholesale.  A probe
+that overrides ``on_cycle`` forces the kernel back onto the per-cycle
+fallback path for the whole run — *unless* it also overrides
+``on_idle_cycles``, declaring that it knows how to account for a skipped
+span.  The rule makes that contract explicit: override both or neither.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .context import ModuleContext, qualified_symbols
+from .findings import Finding
+from .rules import Rule, base_names, register
+
+
+def _method_names(node: ast.ClassDef) -> set:
+    return {
+        item.name
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register
+class ProbeSkipAwareRule(Rule):
+    """RPR401: Probe subclass overrides on_cycle but is not skip-aware."""
+
+    id = "RPR401"
+    name = "probe-skip-aware"
+    description = (
+        "A Probe subclass that overrides on_cycle() without also overriding "
+        "on_idle_cycles() silently forces the event-driven kernel onto the "
+        "per-cycle fallback path.  Either implement on_idle_cycles() (how "
+        "the probe accounts for a skipped idle span) or drop the on_cycle "
+        "override."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = base_names(node)
+            if not any(name == "Probe" or name.endswith("Probe") for name in bases):
+                continue
+            methods = _method_names(node)
+            if "on_cycle" in methods and "on_idle_cycles" not in methods:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    symbols.get(node, node.name),
+                    f"{node.name} overrides on_cycle without on_idle_cycles; it "
+                    f"will force the per-cycle fallback path on the event-driven "
+                    f"kernel — implement on_idle_cycles to stay skip-aware",
+                )

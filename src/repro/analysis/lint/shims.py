@@ -1,0 +1,75 @@
+"""Deprecated-shim rule (RPR5xx).
+
+``repro.api`` is the one supported entry surface.  The legacy names
+(``Processor``, ``simulate``, ``build_pipeline``) are kept importable
+for external callers but internal code that reaches for them bypasses
+the api layer's normalization (config coercion, machine registry,
+sampling plumbing) and keeps the shims load-bearing forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .context import ModuleContext
+from .findings import Finding
+from .rules import Rule, register
+
+#: Legacy symbols and the module suffixes they historically live in.
+SHIM_SYMBOLS = {"Processor", "simulate", "build_pipeline"}
+
+#: Files allowed to import the shims: the package __init__ re-exports
+#: them for external compatibility, the api facade wraps them, and the
+#: defining modules obviously reference themselves.
+ALLOWED_FILES = {
+    "__init__.py",
+    "api.py",
+    "core/__init__.py",
+    "core/processor.py",
+    "core/pipeline.py",
+}
+
+
+def _is_shim_module(module: str) -> bool:
+    """True for modules that define/re-export the legacy entry points."""
+    last = module.rsplit(".", 1)[-1]
+    return last in ("processor", "pipeline", "repro") or module in ("repro", "")
+
+
+@register
+class DeprecatedShimRule(Rule):
+    """RPR501: internal import of a deprecated entry-point shim."""
+
+    id = "RPR501"
+    name = "deprecated-shim"
+    description = (
+        "Internal modules must go through repro.api (api.run/api.sweep/"
+        "api.build) instead of importing the legacy Processor/simulate/"
+        "build_pipeline shims; the shims skip api-layer normalization and "
+        "only exist for external callers."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.rel in ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            module = node.module or ""
+            # Relative imports: node.level > 0, module may be "core.processor"
+            # or similar; absolute: "repro.core.processor".
+            if module.endswith(".api") or module == "api":
+                continue  # the supported surface
+            if not _is_shim_module(module):
+                continue
+            for alias in node.names:
+                if alias.name in SHIM_SYMBOLS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        "<module>",
+                        f"imports deprecated shim `{alias.name}` from "
+                        f"`{module or '.'}`; use repro.api instead "
+                        f"(api.run / api.build / api.sweep)",
+                    )

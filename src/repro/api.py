@@ -326,6 +326,22 @@ def fuzz(cases: int, *, seed: int = 0, **kwargs):
     return run_fuzz(cases, seed=seed, **kwargs)
 
 
+def lint(path=None, *, baseline=None):
+    """Run the simulator-aware static analyzer; see :mod:`repro.analysis.lint`.
+
+    A thin face over :class:`repro.analysis.lint.LintEngine` (imported
+    lazily — the analyzer sits above this module).  Lints the installed
+    ``repro`` package by default, or ``path`` when given.  Returns a
+    :class:`repro.analysis.lint.LintReport`; ``report.ok`` is the gate
+    CI enforces.
+    """
+    from .analysis.lint import LintEngine
+
+    root = Path(path) if path is not None else None
+    baseline_path = Path(baseline) if baseline is not None else None
+    return LintEngine(root=root, baseline_path=baseline_path).run()
+
+
 def replay_fuzz_corpus(directory, **kwargs):
     """Replay every fuzz repro file under ``directory``; see :mod:`repro.fuzz`.
 
@@ -352,6 +368,7 @@ __all__ = [
     "fuzz",
     "get_machine",
     "get_suite",
+    "lint",
     "get_workload",
     "load_trace",
     "machine_names",

@@ -17,6 +17,8 @@ from ..common.stats import StatsRegistry
 class BranchTargetBuffer:
     """Direct-mapped tagged target buffer."""
 
+    __slots__ = ("_entries", "_mask", "_tags", "_targets", "_hits", "_misses")
+
     def __init__(self, config: BranchConfig, stats: StatsRegistry) -> None:
         self._entries = config.btb_entries
         self._mask = self._entries - 1

@@ -16,6 +16,15 @@ class GSharePredictor(BranchPredictor):
     branch was predicted).
     """
 
+    __slots__ = (
+        "_entries",
+        "_index_mask",
+        "_history_bits",
+        "_history_mask",
+        "_counters",
+        "_history",
+    )
+
     def __init__(self, config: BranchConfig, stats: StatsRegistry) -> None:
         super().__init__(config, stats)
         self._entries = config.history_entries

@@ -17,6 +17,8 @@ class BranchPredictor(ABC):
     pattern tables are updated at resolution.
     """
 
+    __slots__ = ("config", "stats", "_predictions", "_mispredictions")
+
     def __init__(self, config: BranchConfig, stats: StatsRegistry) -> None:
         self.config = config
         self.stats = stats
@@ -62,6 +64,8 @@ class BranchPredictor(ABC):
 class StaticTakenPredictor(BranchPredictor):
     """Always predicts taken.  Loop branches love it; everything else does not."""
 
+    __slots__ = ()
+
     def predict(self, pc: int) -> bool:
         return True
 
@@ -71,6 +75,8 @@ class StaticTakenPredictor(BranchPredictor):
 
 class StaticNotTakenPredictor(BranchPredictor):
     """Always predicts not-taken."""
+
+    __slots__ = ()
 
     def predict(self, pc: int) -> bool:
         return False
@@ -86,6 +92,8 @@ class PerfectPredictor(BranchPredictor):
     misprediction, so this class only has to return something sensible.
     """
 
+    __slots__ = ()
+
     def predict(self, pc: int) -> bool:
         return True
 
@@ -95,6 +103,8 @@ class PerfectPredictor(BranchPredictor):
 
 class BimodalPredictor(BranchPredictor):
     """A per-pc 2-bit saturating-counter predictor (no global history)."""
+
+    __slots__ = ("_entries", "_counters")
 
     def __init__(self, config: BranchConfig, stats: StatsRegistry) -> None:
         super().__init__(config, stats)

@@ -537,6 +537,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the simulator-aware static analyzer (repro.analysis.lint).
+
+    Exit status 0 when the tree is clean (baselined/suppressed findings
+    included), 1 when findings survive, 2 on usage errors.  With
+    --update-fingerprints the semantic-fingerprint manifest is re-stamped
+    instead of linting (see docs/architecture.md, "Static analysis").
+    """
+    import json as json_module
+
+    from .analysis.lint import LintEngine
+
+    root = Path(args.path) if args.path else None
+    if root is not None and not root.exists():
+        print(f"error: lint root not found: {root}", file=sys.stderr)
+        return 2
+    baseline = Path(args.baseline) if args.baseline else None
+    engine = LintEngine(root=root, baseline_path=baseline)
+
+    if args.update_fingerprints:
+        try:
+            path, changed = engine.update_fingerprints(
+                allow_same_version=args.allow_same_version
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        which = ", ".join(changed) if changed else "no module hashes changed"
+        print(f"fingerprint manifest written: {path} ({which})")
+        return 0
+
+    report = engine.run()
+    if args.json:
+        payload = json_module.dumps(report.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+            print(f"lint report written to {args.json}", file=sys.stderr)
+    if not args.json or args.json != "-":
+        for finding in report.findings:
+            print(finding.format())
+        print(report.summary(), file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """Run a coverage-guided differential fuzz campaign (or replay the corpus).
 
@@ -819,6 +865,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-case progress on stderr"
     )
     fuzz.set_defaults(func=cmd_fuzz)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="simulator-aware static analysis (determinism, cache-key "
+             "purity, hot-path hygiene, probe contract)",
+        description="Run the AST-based analyzer over the repro package (or "
+                    "PATH).  Deterministic output; exit 1 when findings "
+                    "survive the committed baseline and inline suppressions.",
+    )
+    lint.add_argument(
+        "path", nargs="?", default=None,
+        help="directory or file to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the report as JSON to FILE ('-' for stdout)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: <root>/analysis/lint_baseline.json)",
+    )
+    lint.add_argument(
+        "--update-fingerprints", action="store_true",
+        help="re-stamp the semantic-fingerprint manifest instead of linting "
+             "(requires a repro.__version__ bump when module hashes changed)",
+    )
+    lint.add_argument(
+        "--allow-same-version", action="store_true",
+        help="with --update-fingerprints: permit re-stamping at an unchanged "
+             "version (provably result-identical refactors only)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     from .perf import add_bench_arguments
 

@@ -30,7 +30,7 @@ from ..isa.instruction import DynInst
 from .regfile import PhysicalRegisterFile
 
 
-@dataclass
+@dataclass(slots=True)
 class RenameSnapshot:
     """State captured when a checkpoint is created.
 
@@ -50,6 +50,17 @@ class RenameSnapshot:
 
 class CAMRenamer:
     """The checkpointed CAM renaming mechanism of Figures 3–6."""
+
+    __slots__ = (
+        "regfile",
+        "_num_regs",
+        "_logical_of",
+        "_valid",
+        "_future_free",
+        "_map",
+        "_renames",
+        "_checkpoint_restores",
+    )
 
     def __init__(self, regfile: PhysicalRegisterFile, stats: StatsRegistry) -> None:
         if regfile.num_regs < regs.NUM_LOGICAL_REGS:

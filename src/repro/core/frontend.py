@@ -26,7 +26,7 @@ from ..memory.hierarchy import CacheHierarchy
 from ..trace.trace import Trace, TraceCursor
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedInstruction:
     """One instruction handed to the pipeline by the front end."""
 
@@ -41,6 +41,22 @@ class FetchedInstruction:
 
 class FetchUnit:
     """Fetches instructions from a replayable trace through the I-cache."""
+
+    __slots__ = (
+        "cursor",
+        "config",
+        "hierarchy",
+        "fetch_width",
+        "predictor",
+        "btb",
+        "_gshare",
+        "_stall_branch_seq",
+        "_resume_cycle",
+        "_resolved_branches",
+        "_fetched",
+        "_stall_cycles",
+        "_redirects",
+    )
 
     def __init__(
         self,

@@ -16,6 +16,7 @@ selectable" query (`has_ready`) never scan the full queue.
 from __future__ import annotations
 
 import heapq
+from itertools import count
 from typing import Dict, Iterable, List, Optional, Set
 
 from ..common.errors import StructuralHazardError
@@ -84,6 +85,7 @@ class InstructionQueue:
         "_residents",
         "_waiting",
         "_ready_heap",
+        "_tick",
         "_inserts",
         "_issues",
         "_full_stalls",
@@ -99,6 +101,10 @@ class InstructionQueue:
         self._residents: Set[DynInst] = set()
         self._waiting: Set[DynInst] = set()
         self._ready_heap: List[tuple] = []
+        # Heap tiebreak for same-seq entries (an instruction re-pushed by
+        # unpop/mark_ready): a queue-local monotonic tick, so entry order
+        # never depends on object addresses.
+        self._tick = count()
         self._inserts = stats.counter(f"{name}.inserts")
         self._issues = stats.counter(f"{name}.issues")
         self._full_stalls = stats.counter(f"{name}.full_stalls")
@@ -144,12 +150,12 @@ class InstructionQueue:
             self._waiting.add(inst)
             wakeup.register(inst, pending)
         else:
-            heapq.heappush(self._ready_heap, (inst.seq, id(inst), inst))
+            heapq.heappush(self._ready_heap, (inst.seq, next(self._tick), inst))
 
     def mark_ready(self, inst: DynInst) -> None:
         """Put ``inst`` into the select pool (all operands ready)."""
         self._waiting.discard(inst)
-        heapq.heappush(self._ready_heap, (inst.seq, id(inst), inst))
+        heapq.heappush(self._ready_heap, (inst.seq, next(self._tick), inst))
 
     @property
     def maybe_ready(self) -> bool:
@@ -195,7 +201,7 @@ class InstructionQueue:
 
     def unpop(self, inst: DynInst) -> None:
         """Return an instruction taken with :meth:`pop_ready` but not issued."""
-        heapq.heappush(self._ready_heap, (inst.seq, id(inst), inst))
+        heapq.heappush(self._ready_heap, (inst.seq, next(self._tick), inst))
 
     def record_issue(self) -> None:
         self._issues.add()
@@ -213,20 +219,27 @@ class InstructionQueue:
             raise StructuralHazardError(f"{self.name}: occupancy underflow")
 
     def residents(self) -> List[DynInst]:
-        """Snapshot of the instructions currently occupying this queue."""
-        return list(self._residents)
+        """Snapshot of the instructions currently occupying this queue.
+
+        Ordered by sequence number, so callers that iterate (recovery,
+        probes) never observe hash-set iteration order.
+        """
+        return sorted(self._residents, key=lambda inst: inst.seq)
 
     def waiting_residents(self) -> List[DynInst]:
-        """Residents that still have unready source operands.
+        """Residents that still have unready source operands, oldest first.
 
         Backed by a maintained set (updated on insert/wakeup/remove), so
         the query does not scan the whole queue.
         """
-        return [
-            inst
-            for inst in self._waiting
-            if inst.pending_srcs and inst.state is InstState.DISPATCHED
-        ]
+        return sorted(
+            (
+                inst
+                for inst in self._waiting
+                if inst.pending_srcs and inst.state is InstState.DISPATCHED
+            ),
+            key=lambda inst: inst.seq,
+        )
 
     def drop_squashed(self, insts: Iterable[DynInst]) -> None:
         """Remove a batch of squashed instructions that were resident here."""

@@ -21,6 +21,17 @@ from ..common.stats import StatsRegistry
 class PhysicalRegisterFile:
     """Free list plus ready (scoreboard) bits over ``num_regs`` identifiers."""
 
+    __slots__ = (
+        "num_regs",
+        "name",
+        "_free",
+        "_is_free",
+        "_ready",
+        "_allocations",
+        "_frees",
+        "_peak",
+    )
+
     def __init__(self, num_regs: int, stats: StatsRegistry, name: str = "prf") -> None:
         if num_regs <= 0:
             raise RenameError("the register file needs at least one register")
@@ -124,6 +135,8 @@ class PhysicalPool:
     that claim counter: :meth:`try_claim` at write-back, :meth:`release`
     when the value dies (its redefiner's checkpoint commits).
     """
+
+    __slots__ = ("capacity", "_claimed", "_stall_cycles", "_peak")
 
     def __init__(self, capacity: int, stats: StatsRegistry, initially_claimed: int = 0) -> None:
         if capacity <= 0:

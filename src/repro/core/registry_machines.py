@@ -37,7 +37,7 @@ from ..common.errors import ConfigurationError
 CLIConfigFn = Callable[[object, str], "ProcessorConfig"]  # noqa: F821
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MachineSpec:
     """One registered machine organization."""
 

@@ -25,6 +25,8 @@ from .regfile import PhysicalRegisterFile
 class MapTableRenamer:
     """Logical→physical map table backed by a :class:`PhysicalRegisterFile`."""
 
+    __slots__ = ("regfile", "_map", "_renames")
+
     def __init__(self, regfile: PhysicalRegisterFile, stats: StatsRegistry) -> None:
         if regfile.num_regs < regs.NUM_LOGICAL_REGS:
             raise RenameError(

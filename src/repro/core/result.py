@@ -29,7 +29,7 @@ def _restore_int_keys(value: object) -> object:
     return value
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Summary of one simulation run (one config × one trace).
 

@@ -61,6 +61,8 @@ class FunctionalWarmer:
     so detailed-mode statistics stay uncontaminated.
     """
 
+    __slots__ = ("hierarchy", "predictor", "btb", "_perfect_branches", "_fast_forwarded")
+
     def __init__(
         self,
         config: ProcessorConfig,

@@ -45,7 +45,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .. import __version__ as SIMULATOR_VERSION
 from ..api import Simulation
 from ..common.config import ProcessorConfig, SamplingPlan
 from ..core.result import SimulationResult
@@ -55,6 +54,19 @@ from .runner import DEFAULT_SCALE, suite_traces
 
 #: Bumped whenever the cache file layout (not the simulator) changes.
 CACHE_SCHEMA_VERSION = 1
+
+
+def current_simulator_version() -> str:
+    """``repro.__version__``, read at call time.
+
+    Key building and version stamping must see the *current* value, not
+    one bound at import: a version bump between imports (tests monkeypatch
+    it; long-lived processes may reload config) has to invalidate keys
+    immediately.
+    """
+    import repro
+
+    return repro.__version__
 
 #: Type of the optional per-cell progress callback.
 ProgressFn = Callable[[str], None]
@@ -139,7 +151,7 @@ def cell_cache_key(
     suite: str,
     workload: str,
     scale: float,
-    simulator_version: str = SIMULATOR_VERSION,
+    simulator_version: Optional[str] = None,
     sampling: Optional[SamplingPlan] = None,
 ) -> str:
     """Stable content hash identifying one simulation cell.
@@ -160,7 +172,11 @@ def cell_cache_key(
         "suite": suite,
         "workload": workload,
         "scale": round(float(scale), 9),
-        "simulator_version": simulator_version,
+        "simulator_version": (
+            simulator_version
+            if simulator_version is not None
+            else current_simulator_version()
+        ),
         "cache_schema": CACHE_SCHEMA_VERSION,
     }
     if sampling is not None:
@@ -220,7 +236,7 @@ class ResultCache:
         """Atomically persist ``result`` under ``key``."""
         payload = {
             "key": key,
-            "simulator_version": SIMULATOR_VERSION,
+            "simulator_version": current_simulator_version(),
             "cache_schema": CACHE_SCHEMA_VERSION,
             "result": result.to_dict(),
         }

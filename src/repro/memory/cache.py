@@ -19,6 +19,20 @@ from ..common.stats import StatsRegistry
 class Cache:
     """Tag store of one cache level."""
 
+    __slots__ = (
+        "config",
+        "name",
+        "_num_sets",
+        "_line_shift",
+        "_set_mask",
+        "_sets",
+        "_accesses",
+        "_hits",
+        "_misses",
+        "_evictions",
+        "_writebacks",
+    )
+
     def __init__(self, config: CacheConfig, stats: StatsRegistry, name: Optional[str] = None) -> None:
         config.validate()
         self.config = config

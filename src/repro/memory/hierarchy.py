@@ -36,6 +36,22 @@ class AccessResult:
 class CacheHierarchy:
     """Two-level data hierarchy plus an instruction L1, as in Table 1."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "il1",
+        "dl1",
+        "l2",
+        "_dl1_mshr",
+        "_l2_mshr",
+        "prefetcher",
+        "_prefetched_lines",
+        "_loads",
+        "_stores",
+        "_l2_miss_loads",
+        "_memory_accesses",
+    )
+
     def __init__(self, config: MemoryConfig, stats: StatsRegistry) -> None:
         config.validate()
         self.config = config

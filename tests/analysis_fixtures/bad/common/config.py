@@ -1,0 +1,15 @@
+# Violates RPR201 (cache-key-purity): a dataclass whose hand-written
+# to_dict omits a field, so the cache key cannot see it change.
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlanWithHole:
+    period: int
+    window: int
+    warmup: int
+    seed: int
+
+    def to_dict(self):
+        # 'seed' is missing: changing it would not change the cache key.
+        return {"period": self.period, "window": self.window, "warmup": self.warmup}

@@ -1,0 +1,16 @@
+# Violates RPR401 (probe-skip-aware): overrides on_cycle without
+# on_idle_cycles, silently forcing the per-cycle fallback path.
+
+
+class Probe:
+    __slots__ = ()
+
+
+class CycleCounterProbe(Probe):
+    __slots__ = ("cycles",)
+
+    def __init__(self):
+        self.cycles = 0
+
+    def on_cycle(self, pipeline, cycle):
+        self.cycles += 1

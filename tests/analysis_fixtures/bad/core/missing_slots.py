@@ -1,0 +1,12 @@
+# Violates RPR301 (missing-slots) and RPR302 (attr-outside-init).
+
+
+class HotPathThing:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.occupancy = 0
+
+    def issue(self):
+        # RPR302: first assignment of a brand-new attribute outside the
+        # initializer.
+        self.issued_this_cycle = 1

@@ -1,0 +1,11 @@
+# Violates RPR105 (ambient-env): environment reads in a result-producing
+# package.
+import os
+
+
+def debug_level():
+    return int(os.environ.get("REPRO_DEBUG", "0"))
+
+
+def trace_dir():
+    return os.getenv("REPRO_TRACE_DIR", "/tmp")

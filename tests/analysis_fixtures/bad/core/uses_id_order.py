@@ -1,0 +1,12 @@
+# Violates RPR103 (id-ordering): heap entries tie-broken by object id.
+import heapq
+
+
+class ReadyPool:
+    __slots__ = ("_heap",)
+
+    def __init__(self):
+        self._heap = []
+
+    def push(self, seq, inst):
+        heapq.heappush(self._heap, (seq, id(inst), inst))

@@ -1,0 +1,15 @@
+# Violates RPR104 (set-order): materializing ordered views of hash sets.
+
+
+class Residents:
+    __slots__ = ("_members", "_waiting")
+
+    def __init__(self):
+        self._members = set()
+        self._waiting = set()
+
+    def snapshot(self):
+        return list(self._members)
+
+    def waiting(self):
+        return [inst for inst in self._waiting if inst.ready]

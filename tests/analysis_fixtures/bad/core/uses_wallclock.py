@@ -1,0 +1,17 @@
+# Violates RPR102 (wall-clock): time reads inside a result-producing
+# package (core/).
+import time
+from datetime import datetime
+
+
+class CycleTimer:
+    __slots__ = ("started",)
+
+    def __init__(self):
+        self.started = time.time()
+
+    def elapsed(self):
+        return time.perf_counter() - self.started
+
+    def stamp(self):
+        return datetime.now()

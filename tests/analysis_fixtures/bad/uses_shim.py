@@ -1,0 +1,8 @@
+# Violates RPR501 (deprecated-shim): internal code importing the legacy
+# entry points instead of going through repro.api.
+from core.processor import Processor
+from core.pipeline import build_pipeline
+
+
+def run(trace):
+    return Processor(build_pipeline(trace)).run()

@@ -1,0 +1,13 @@
+# Violates RPR101 (ambient-random): module-level random calls and a
+# bare-function import from the random module.
+import random
+from random import randint
+
+
+def jitter_delays(n):
+    random.seed(1234)
+    return [random.random() for _ in range(n)]
+
+
+def pick_stride():
+    return randint(1, 8)

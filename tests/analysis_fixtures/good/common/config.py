@@ -1,0 +1,31 @@
+# Clean counterpart to bad/common/config.py: every field reaches the
+# serialization (one literal dict covering all fields, one asdict form).
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompletePlan:
+    period: int
+    window: int
+    warmup: int
+    seed: int
+
+    def to_dict(self):
+        return {
+            "period": self.period,
+            "window": self.window,
+            "warmup": self.warmup,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class AsdictPlan:
+    period: int
+    window: int
+    extras: dict
+
+    def to_dict(self):
+        # asdict picks up new fields automatically; immune by design.
+        return dataclasses.asdict(self)

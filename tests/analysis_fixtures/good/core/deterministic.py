@@ -1,0 +1,40 @@
+# Clean counterparts to the bad/core determinism fixtures: monotonic
+# tiebreaks, sorted materialization, config-driven knobs.
+import heapq
+from itertools import count
+
+
+class ReadyPool:
+    __slots__ = ("_heap", "_tick")
+
+    def __init__(self):
+        self._heap = []
+        self._tick = count()
+
+    def push(self, seq, inst):
+        heapq.heappush(self._heap, (seq, next(self._tick), inst))
+
+
+class Residents:
+    __slots__ = ("_members", "_waiting")
+
+    def __init__(self):
+        self._members = set()
+        self._waiting = set()
+
+    def snapshot(self):
+        return sorted(self._members, key=lambda inst: inst.seq)
+
+    def waiting(self):
+        return sorted(
+            (inst for inst in self._waiting if inst.ready),
+            key=lambda inst: inst.seq,
+        )
+
+    def total(self):
+        # Commutative folds over sets are order-insensitive and fine.
+        return sum(inst.weight for inst in self._members)
+
+
+def debug_level(config):
+    return config.debug_level

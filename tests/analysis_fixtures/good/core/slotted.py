@@ -1,0 +1,48 @@
+# Clean counterpart to bad/core/missing_slots.py and lazy_probe.py:
+# slotted classes, attributes declared in the initializer, a skip-aware
+# probe, and the exemptions (exceptions, dataclass slots).
+from dataclasses import dataclass
+
+
+class HotPathThing:
+    __slots__ = ("capacity", "occupancy", "issued_this_cycle")
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.occupancy = 0
+        self.issued_this_cycle = 0
+
+    def issue(self):
+        self.issued_this_cycle = 1
+
+    def reset(self):
+        # Re-assigning initializer-declared attributes is fine.
+        self.occupancy = 0
+        self.issued_this_cycle = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    seq: int
+    payload: int
+
+
+class QueueOverflowError(Exception):
+    """Exception classes are exempt from the slots rule."""
+
+
+class Probe:
+    __slots__ = ()
+
+
+class CycleCounterProbe(Probe):
+    __slots__ = ("cycles",)
+
+    def __init__(self):
+        self.cycles = 0
+
+    def on_cycle(self, pipeline, cycle):
+        self.cycles += 1
+
+    def on_idle_cycles(self, pipeline, start, span):
+        self.cycles += span

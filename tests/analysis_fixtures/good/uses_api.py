@@ -1,0 +1,7 @@
+# Clean counterpart to bad/uses_shim.py: goes through the supported
+# repro.api surface.
+from repro.api import run
+
+
+def simulate_trace(trace):
+    return run(trace)

@@ -1,0 +1,12 @@
+# Clean counterpart to bad/workloads/uses_ambient_random.py: a private,
+# explicitly seeded generator stream.
+import random
+
+
+def jitter_delays(n, seed):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+def pick_stride(seed):
+    return random.Random(seed).randint(1, 8)

@@ -173,6 +173,26 @@ class TestResultCache:
         )
         assert key_now != key_other
 
+    def test_version_bump_invalidates_end_to_end(self, tmp_path, monkeypatch):
+        """Entries written at vN are misses after bumping repro.__version__.
+
+        The key builder and the store stamp must read the version at call
+        time (not bind it at import), or a bump in a live process would
+        keep serving stale results.
+        """
+        import repro
+
+        SweepEngine(cache=ResultCache(tmp_path)).run(small_spec())
+        monkeypatch.setattr(repro, "__version__", repro.__version__ + ".post1")
+        cache = ResultCache(tmp_path)
+        outcome = SweepEngine(cache=cache).run(small_spec())
+        assert outcome.cached == 0 and outcome.simulated == 4
+        assert cache.hits == 0
+        # The re-simulated cells were stored under vN+1 keys: a second
+        # run at the bumped version is fully warm again.
+        warm = SweepEngine(cache=ResultCache(tmp_path)).run(small_spec())
+        assert warm.simulated == 0 and warm.cached == 4
+
     def test_corrupt_entry_recovered(self, tmp_path):
         cache = ResultCache(tmp_path)
         baseline = SweepEngine(cache=cache).run(small_spec())
