@@ -71,6 +71,31 @@ def test_bench_no_probe_fast_path_vs_default(benchmark):
           f"({t_bare / t_default:.2%} of default)")
 
 
+def test_bench_telemetry_disabled_path_is_free(benchmark):
+    """telemetry=None must leave the hot path untouched.
+
+    The opt-in telemetry layer only acts when a session is passed: no
+    probes attach, no clock is read, and the run body is wrapped in a
+    nullcontext.  Guard that structurally and with the same 5% timing
+    tolerance as the other fast-path invariants.
+    """
+    config = scaled_baseline(window=256, memory_latency=200)
+    trace = _trace()
+    default = Simulation(config)
+    disabled = Simulation(config, telemetry=None)
+    pipeline = disabled.pipeline(trace)
+    assert len(pipeline.probes) == 1  # occupancy only; telemetry added nothing
+    t_default, t_disabled = run_once(
+        benchmark, lambda: _interleaved_best(default, disabled, trace)
+    )
+    assert t_disabled <= TOLERANCE * t_default, (
+        f"telemetry-disabled run took {t_disabled:.4f}s vs. default "
+        f"{t_default:.4f}s (> {TOLERANCE:.0%}); telemetry=None must be free"
+    )
+    print(f"\ntelemetry-off {t_disabled:.4f}s vs default {t_default:.4f}s "
+          f"({t_disabled / t_default:.2%} of default)")
+
+
 def test_bench_inert_probe_costs_nothing(benchmark):
     """A probe overriding no events must bind no hooks (cooo machine)."""
     config = cooo_config(iq_size=64, sliq_size=512, checkpoints=4, memory_latency=200)

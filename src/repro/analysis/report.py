@@ -84,6 +84,96 @@ def format_stacked_percentages(
     return format_table(rows, columns=["config", *categories])
 
 
+#: Stage mark characters of the ASCII pipeline timeline, in stage order.
+TIMELINE_STAGES = (
+    ("fetch", "F"),
+    ("dispatch", "D"),
+    ("issue", "I"),
+    ("complete", "C"),
+    ("commit", "R"),
+)
+
+
+def format_timeline(
+    rows: Sequence[Mapping[str, object]],
+    width: int = 100,
+) -> str:
+    """Render per-instruction lifecycle rows as a Konata-style timeline.
+
+    Each row is one instruction with per-stage cycle numbers under the
+    keys ``fetch``/``dispatch``/``issue``/``complete``/``commit`` (None
+    when the stage never happened, e.g. on squashed instructions) plus
+    ``seq``, ``label`` and a ``squashed`` flag.  One text lane per
+    instruction: ``F`` fetch, ``D`` dispatch, ``I`` issue, ``=``
+    executing, ``C`` complete (write-back), ``R`` retire/commit, ``.``
+    waiting in a queue, ``x`` the squash point.  When the cycle span
+    exceeds ``width`` columns, each column covers several cycles (noted
+    in the header).  Front-end bubbles wider than one cycle between
+    consecutive instructions get an explicit gap line.
+    """
+    stage_keys = [key for key, _mark in TIMELINE_STAGES]
+    drawable = [
+        row
+        for row in rows
+        if any(isinstance(row.get(key), int) for key in stage_keys)
+    ]
+    if not drawable:
+        return "(no timeline events)"
+    cycles = [
+        int(row[key])  # type: ignore[arg-type]
+        for row in drawable
+        for key in stage_keys
+        if isinstance(row.get(key), int)
+    ]
+    lo, hi = min(cycles), max(cycles)
+    span = hi - lo + 1
+    scale = max(1, -(-span // max(10, width)))  # ceil; never below 10 columns
+    columns = -(-span // scale)
+
+    def column(cycle: int) -> int:
+        return (cycle - lo) // scale
+
+    lines = [
+        f"cycles {lo}..{hi}"
+        + (f" ({scale} cycles/column)" if scale > 1 else "")
+        + "  [F fetch, D dispatch, I issue, = execute, C complete, R commit,"
+        + " . wait, x squash]"
+    ]
+    previous_fetch: Optional[int] = None
+    for row in drawable:
+        fetch = row.get("fetch")
+        if (
+            isinstance(fetch, int)
+            and isinstance(previous_fetch, int)
+            and fetch - previous_fetch > 1
+        ):
+            lines.append(f"{'':>8} -- fetch gap: {fetch - previous_fetch - 1} cycle(s) --")
+        if isinstance(fetch, int):
+            previous_fetch = fetch
+        lane = [" "] * columns
+        marked = [
+            (int(row[key]), mark)  # type: ignore[arg-type]
+            for key, mark in TIMELINE_STAGES
+            if isinstance(row.get(key), int)
+        ]
+        first = column(min(cycle for cycle, _mark in marked))
+        last = column(max(cycle for cycle, _mark in marked))
+        for index in range(first, last + 1):
+            lane[index] = "."
+        issue, complete = row.get("issue"), row.get("complete")
+        if isinstance(issue, int) and isinstance(complete, int):
+            for index in range(column(issue), column(complete) + 1):
+                lane[index] = "="
+        for cycle, mark in marked:
+            lane[column(cycle)] = mark
+        if row.get("squashed"):
+            lane[last] = "x"
+        seq = row.get("seq", "")
+        label = str(row.get("label", ""))
+        lines.append(f"{seq!s:>8} {''.join(lane).rstrip()}  {label}")
+    return "\n".join(lines)
+
+
 def indent(text: str, prefix: str = "  ") -> str:
     """Indent every line of ``text`` (used when nesting reports)."""
     return "\n".join(prefix + line for line in text.splitlines())

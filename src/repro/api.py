@@ -44,6 +44,7 @@ deprecation shims over this module.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -112,6 +113,7 @@ class Simulation:
         stop_when: Optional[StopFn] = None,
         force_per_cycle: bool = False,
         sampling: Optional[SamplingPlan] = None,
+        telemetry=None,
     ) -> None:
         self.config = config.validate()
         self.probes: List[Probe] = list(probes)
@@ -137,6 +139,12 @@ class Simulation:
                     "is a sequence of window simulations, not one early-stoppable run"
                 )
         self.sampling = sampling
+        #: Opt-in observability (see :mod:`repro.telemetry`): a
+        #: :class:`~repro.telemetry.TelemetrySession` whose probes attach
+        #: to every run and whose tracer records per-phase spans.  ``None``
+        #: (the default) attaches nothing and reads no clock — results are
+        #: bit-identical either way, telemetry probes are pure observers.
+        self.telemetry = telemetry
 
     @property
     def machine(self) -> MachineSpec:
@@ -160,26 +168,49 @@ class Simulation:
 
     def run(self, trace: Trace, max_cycles: Optional[int] = None) -> SimulationResult:
         """Simulate ``trace`` to completion (or early stop) on a fresh pipeline."""
-        if self.sampling is not None:
-            return run_sampled(
+        probes = self.probes
+        tracer = None
+        if self.telemetry is not None:
+            probes = [*probes, *self.telemetry.probes()]
+            tracer = self.telemetry.tracer
+        span = (
+            tracer.span(
+                f"simulate:{trace.name}",
+                category="simulate",
+                machine=self.config.name or self.config.mode,
+                instructions=len(trace),
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            if self.sampling is not None:
+                return run_sampled(
+                    self.config,
+                    trace,
+                    self.sampling,
+                    probes=probes,
+                    default_probes=self.default_probes,
+                    force_per_cycle=self.force_per_cycle,
+                    max_cycles=max_cycles if max_cycles is not None else self.max_cycles,
+                    progress=self.progress,
+                    progress_interval=self.progress_interval,
+                    tracer=tracer,
+                )
+            pipeline = create_pipeline(
                 self.config,
                 trace,
-                self.sampling,
-                probes=self.probes,
+                None,
+                probes=probes,
                 default_probes=self.default_probes,
-                force_per_cycle=self.force_per_cycle,
+            )
+            return pipeline.run(
                 max_cycles=max_cycles if max_cycles is not None else self.max_cycles,
                 progress=self.progress,
                 progress_interval=self.progress_interval,
+                stop=self.stop_when,
+                force_per_cycle=self.force_per_cycle,
             )
-        pipeline = self.pipeline(trace)
-        return pipeline.run(
-            max_cycles=max_cycles if max_cycles is not None else self.max_cycles,
-            progress=self.progress,
-            progress_interval=self.progress_interval,
-            stop=self.stop_when,
-            force_per_cycle=self.force_per_cycle,
-        )
 
     def run_suite(
         self,
@@ -202,6 +233,7 @@ def run(
     stop_when: Optional[StopFn] = None,
     force_per_cycle: bool = False,
     sampling: Optional[SamplingPlan] = None,
+    telemetry=None,
 ) -> SimulationResult:
     """Run one trace on one configuration — the canonical one-liner."""
     return Simulation(
@@ -214,6 +246,7 @@ def run(
         stop_when=stop_when,
         force_per_cycle=force_per_cycle,
         sampling=sampling,
+        telemetry=telemetry,
     ).run(trace)
 
 
@@ -233,6 +266,7 @@ def run_many(
     progress: Optional[Callable[[str], None]] = None,
     name: str = "api-run-many",
     sampling: Optional[SamplingPlan] = None,
+    telemetry=None,
 ) -> List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]]:
     """Run every config over every workload; results in config order.
 
@@ -284,6 +318,7 @@ def run_many(
                 max_cycles=max_cycles,
                 stop_when=stop_when,
                 sampling=sampling,
+                telemetry=telemetry,
             )
             results: Dict[str, SimulationResult] = {}
             for workload, trace in traces.items():
@@ -309,7 +344,7 @@ def run_many(
         workloads=workloads,
         sampling=sampling,
     )
-    engine = SweepEngine(jobs=jobs, cache=cache, progress=progress)
+    engine = SweepEngine(jobs=jobs, cache=cache, progress=progress, telemetry=telemetry)
     return list(engine.run(spec).per_config())
 
 

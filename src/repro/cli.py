@@ -81,6 +81,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
 from collections.abc import Mapping
@@ -217,6 +218,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_logger(name: str):
+    """A per-cell progress reporter routed through stdlib logging.
+
+    Progress goes out at INFO through the shared ``repro`` formatter; the
+    subsystem logger is pinned to INFO so explicitly requested progress
+    (``--progress``, or sweeps without ``--quiet``) still shows under the
+    default WARNING root level.
+    """
+    from .telemetry import get_logger
+
+    logger = get_logger(name)
+    logger.setLevel(logging.INFO)
+    return logger.info
+
+
 def build_engine(args: argparse.Namespace, progress: bool = False) -> SweepEngine:
     """Translate --jobs/--cache-dir/--no-cache into a SweepEngine.
 
@@ -231,7 +247,7 @@ def build_engine(args: argparse.Namespace, progress: bool = False) -> SweepEngin
         except OSError as exc:
             print(f"error: unusable cache directory {cache_dir}: {exc}", file=sys.stderr)
             raise SystemExit(2)
-    reporter = (lambda message: print(message, file=sys.stderr)) if progress else None
+    reporter = _progress_logger("sweep") if progress else None
     return SweepEngine(jobs=args.jobs, cache=cache, progress=reporter)
 
 
@@ -365,6 +381,119 @@ def cmd_trace_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cell(spec: str, args: argparse.Namespace):
+    """Resolve a ``MACHINE:WORKLOAD[:SIZE]`` cell spec.
+
+    The machine name routes through the registry (machine knob flags on
+    the subcommand still apply); returns ``(config, workload_name,
+    trace)`` or raises SystemExit(2) with a clean message.
+    """
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        print(
+            f"error: cell must be MACHINE:WORKLOAD[:SIZE], got {spec!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    machine, workload = parts[0], parts[1]
+    if machine not in machine_names():
+        print(
+            f"error: unknown machine {machine!r}; registered: "
+            f"{', '.join(machine_names())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    try:
+        size = int(parts[2]) if len(parts) == 3 else args.size
+    except ValueError:
+        print(f"error: cell SIZE must be an integer, got {parts[2]!r}", file=sys.stderr)
+        raise SystemExit(2)
+    args.machine = machine
+    config = build_machine(args)
+    try:
+        spec_workload = get_workload(workload)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2)
+    return config, workload, spec_workload.build(size=size)
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one cell: phase spans, CPI stall attribution, metrics."""
+    from .telemetry import (
+        MAIN_TRACK,
+        TelemetrySession,
+        render_stall_table,
+        write_chrome_trace,
+    )
+
+    sampling = parse_sampling(args)
+    session = TelemetrySession(deterministic=args.deterministic, timeline=False)
+    started = time.perf_counter()
+    with session.tracer.span("trace-build", category="trace"):
+        config, workload, trace = _parse_cell(args.cell, args)
+    result = Simulation(config, sampling=sampling, telemetry=session).run(trace)
+    wall = time.perf_counter() - started
+    print(f"machine: {config.name or config.mode}  workload: {workload}"
+          f" ({len(trace)} instructions)")
+    if sampling is not None:
+        print(f"sampling: {sampling.describe()}")
+    print(format_table([_result_row(workload, result)]))
+    span_rows = [
+        {
+            "span": "  " * span.depth + span.name,
+            "category": span.category,
+            "ms": round(span.duration * 1000, 3),
+        }
+        for span in session.tracer.spans
+        if span.tid == MAIN_TRACK
+    ]
+    print("\nphase spans" + (" (deterministic tick clock)" if args.deterministic else "") + ":")
+    print(format_table(span_rows))
+    print(f"\nCPI stall attribution ({session.stalls.total} detailed cycles):")
+    print(render_stall_table({workload: session.stalls.breakdown()}))
+    if not args.deterministic:
+        print(f"\ntotal wall-clock: {wall:.3f}s")
+    if args.trace_out:
+        write_chrome_trace(session.tracer, args.trace_out)
+        print(f"wrote Chrome trace: {args.trace_out} (load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Render the per-instruction pipeline timeline of one cell."""
+    from .telemetry import TelemetrySession, render_timeline
+
+    sampling = parse_sampling(args)
+    config, workload, trace = _parse_cell(args.cell, args)
+    session = TelemetrySession(stalls=False, timeline_capacity=args.capacity)
+    Simulation(config, sampling=sampling, telemetry=session).run(trace)
+    probe = session.timeline
+    assert probe is not None
+    if args.window_range:
+        try:
+            start_str, stop_str = args.window_range.split(":", 1)
+            start, stop = int(start_str), int(stop_str)
+        except ValueError:
+            print(
+                f"error: --window must be START:STOP, got {args.window_range!r}",
+                file=sys.stderr,
+            )
+            return 2
+        events = probe.window(start, stop)
+        scope = f"trace indices [{start}:{stop})"
+    else:
+        events = probe.events()
+        scope = "all recorded"
+    print(
+        f"machine: {config.name or config.mode}  workload: {workload}  "
+        f"events: {len(events)} shown ({scope}), {probe.recorded} recorded, "
+        f"{probe.dropped} dropped by the ring buffer"
+    )
+    print(render_timeline(events, width=args.width))
+    return 0
+
+
 #: The standard machine-comparison grid used by ``repro sweep --suite``:
 #: both paper reference baselines plus a small and a large COoO point.
 def _suite_grid_configs(memory_latency: int = 1000) -> List[ProcessorConfig]:
@@ -407,11 +536,17 @@ def cmd_suite_sweep(args: argparse.Namespace) -> int:
     if sampling is not None:
         print(f"sampling: {sampling.describe()}")
     print(format_table(rows))
-    print(
+    summary = (
         f"cells: {outcome.simulated} simulated, {outcome.cached} cached "
-        f"in {outcome.elapsed:.1f}s",
-        file=sys.stderr,
+        f"in {outcome.elapsed:.1f}s"
     )
+    if engine.cache is not None:
+        # cache_hits/cache_misses include worker-side lookups, which the
+        # engine folds back into the parent's counters.
+        summary += (
+            f" (cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es))"
+        )
+    print(summary, file=sys.stderr)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump({"suite": args.suite, "scale": scale, "rows": rows}, handle, indent=2)
@@ -472,7 +607,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{engine.total_simulated} cell(s) simulated, {engine.total_cached} from cache"
     )
     if engine.cache is not None:
-        summary += f" (cache: {engine.cache.cache_dir})"
+        summary += (
+            f" (cache {engine.cache.cache_dir}: {engine.cache.hits} hit(s), "
+            f"{engine.cache.misses} miss(es) incl. workers)"
+        )
     print(summary)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -594,7 +732,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     """
     from .fuzz import replay_corpus, run_fuzz
 
-    progress = None if args.quiet else lambda message: print(message, file=sys.stderr)
+    progress = None if args.quiet else _progress_logger("fuzz")
 
     if args.replay is not None:
         directory = Path(args.replay)
@@ -661,9 +799,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Out-of-Order Commit Processors' (HPCA 2004)",
     )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="stdlib logging level for repro.* loggers (default: warning)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug); --log-level wins",
+    )
     subparsers = parser.add_subparsers(dest="command")
 
-    def add_machine_arguments(subparser: argparse.ArgumentParser) -> None:
+    def add_machine_arguments(
+        subparser: argparse.ArgumentParser, include_window: bool = True
+    ) -> None:
         # Machine-knob defaults live in the registry (CLI_DEFAULTS) so the
         # profile builders and the parser can never drift apart.
         subparser.add_argument(
@@ -672,8 +821,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         subparser.add_argument("--memory-latency", type=int, default=CLI_DEFAULTS["memory_latency"])
         subparser.add_argument("--perfect-l2", action="store_true")
-        subparser.add_argument("--window", type=int, default=CLI_DEFAULTS["window"],
-                               help="baseline window size")
+        if include_window:
+            # 'timeline' claims --window for its index range and exposes
+            # this knob as --machine-window instead.
+            subparser.add_argument("--window", type=int, default=CLI_DEFAULTS["window"],
+                                   help="baseline window size")
         subparser.add_argument("--iq-size", type=int, default=CLI_DEFAULTS["iq_size"])
         subparser.add_argument("--sliq-size", type=int, default=CLI_DEFAULTS["sliq_size"])
         subparser.add_argument("--checkpoints", type=int, default=CLI_DEFAULTS["checkpoints"])
@@ -801,6 +953,69 @@ def build_parser() -> argparse.ArgumentParser:
     add_machine_arguments(trace_run)
     trace_run.set_defaults(func=cmd_trace_run)
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile one (machine, workload) cell: phase spans, CPI stall "
+             "attribution, Chrome trace export",
+        description="Run one MACHINE:WORKLOAD[:SIZE] cell with telemetry "
+                    "attached and report where wall-clock and simulated "
+                    "cycles went.  --trace-out writes a Chrome trace-event "
+                    "JSON loadable in Perfetto; --deterministic swaps the "
+                    "wall clock for a tick clock so exports are "
+                    "byte-identical across runs (the CI smoke mode).",
+    )
+    profile.add_argument(
+        "cell", metavar="MACHINE:WORKLOAD[:SIZE]",
+        help="cell to profile, e.g. cooo:daxpy or baseline:gather:4000",
+    )
+    profile.add_argument("--size", type=int, default=1000,
+                         help="workload size when the cell omits :SIZE")
+    add_sampling_argument(profile)
+    add_machine_arguments(profile)
+    profile.add_argument(
+        "--deterministic", action="store_true",
+        help="use a deterministic tick clock (byte-identical exports)",
+    )
+    profile.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the phase spans as Chrome trace-event JSON to FILE",
+    )
+    profile.set_defaults(func=cmd_profile)
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="per-instruction ASCII pipeline timeline of one cell",
+        description="Run one MACHINE:WORKLOAD[:SIZE] cell with the timeline "
+                    "probe attached and draw a Konata-style lane per "
+                    "instruction (F fetch, D dispatch, I issue, = execute, "
+                    "C complete, R commit, x squash).",
+    )
+    timeline.add_argument(
+        "cell", metavar="MACHINE:WORKLOAD[:SIZE]",
+        help="cell to trace, e.g. cooo:daxpy or baseline:gather:4000",
+    )
+    timeline.add_argument("--size", type=int, default=1000,
+                          help="workload size when the cell omits :SIZE")
+    timeline.add_argument(
+        "--window", dest="window_range", default=None, metavar="START:STOP",
+        help="only show instructions with trace index in [START, STOP)",
+    )
+    timeline.add_argument(
+        "--machine-window", dest="window", type=int, default=CLI_DEFAULTS["window"],
+        help="baseline window-size knob (--window is the index range here)",
+    )
+    timeline.add_argument(
+        "--width", type=int, default=100,
+        help="maximum timeline columns (default 100)",
+    )
+    timeline.add_argument(
+        "--capacity", type=positive_int, default=65536,
+        help="timeline ring-buffer capacity (oldest events drop beyond it)",
+    )
+    add_sampling_argument(timeline)
+    add_machine_arguments(timeline, include_window=False)
+    timeline.set_defaults(func=cmd_timeline)
+
     listing = subparsers.add_parser("list", help="list workloads, suites and experiments")
     listing.set_defaults(func=cmd_list)
 
@@ -913,6 +1128,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .telemetry import setup_cli_logging
+
+    setup_cli_logging(
+        log_level=getattr(args, "log_level", None),
+        verbosity=getattr(args, "verbose", 0),
+    )
     if not getattr(args, "command", None) or not hasattr(args, "func"):
         # No subcommand, or a command group ('trace') without an action.
         parser.print_help()

@@ -37,6 +37,7 @@ simulator.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..branch import BranchTargetBuffer, build_predictor
@@ -203,6 +204,7 @@ def _run_continuous(
     max_cycles: Optional[int] = None,
     progress=None,
     progress_interval: int = 8192,
+    tracer=None,
 ) -> SimulationResult:
     """Fully-detailed degenerate case: window attribution over one exact run.
 
@@ -219,13 +221,19 @@ def _run_continuous(
     )
     total = len(trace)
     marks = list(range(plan.window, total, plan.window))
-    result = pipeline.run(
-        max_cycles=max_cycles,
-        progress=progress,
-        progress_interval=progress_interval,
-        force_per_cycle=force_per_cycle,
-        commit_marks=marks,
+    span = (
+        tracer.span("sampling:window", category="sampling", start=0, instructions=total)
+        if tracer is not None
+        else nullcontext()
     )
+    with span:
+        result = pipeline.run(
+            max_cycles=max_cycles,
+            progress=progress,
+            progress_interval=progress_interval,
+            force_per_cycle=force_per_cycle,
+            commit_marks=marks,
+        )
     boundaries = [(0, 0)]
     boundaries.extend(
         (target, cycle) for target, cycle, _fetched in pipeline.commit_mark_records
@@ -250,6 +258,7 @@ def run_sampled(
     max_cycles: Optional[int] = None,
     progress=None,
     progress_interval: int = 8192,
+    tracer=None,
 ) -> SimulationResult:
     """Run ``trace`` under ``plan``; returns an extrapolated result.
 
@@ -263,6 +272,13 @@ def run_sampled(
     ``max_cycles`` bounds each detailed window individually (one window
     is one pipeline run); ``probes`` attach to every window's pipeline
     in turn.
+
+    ``tracer`` is an optional :class:`repro.telemetry.Tracer`: each
+    fast-forward stretch opens a ``sampling:fast-forward`` span and each
+    detailed segment a ``sampling:window`` span, splitting the run's
+    wall clock into warm-up vs measurement.  Purely observational — the
+    clock lives behind the tracer (this module never reads time itself)
+    and the simulated result is bit-identical with or without one.
     """
     config.validate()
     plan.validate()
@@ -282,6 +298,7 @@ def run_sampled(
             max_cycles=max_cycles,
             progress=progress,
             progress_interval=progress_interval,
+            tracer=tracer,
         )
 
     # Warm state must mirror what the machine actually simulates: variant
@@ -305,7 +322,15 @@ def run_sampled(
     position = 0
     for skip, warmup, measure in segments:
         if skip:
-            position = warmer.fast_forward(trace, position, skip)
+            ff_span = (
+                tracer.span(
+                    "sampling:fast-forward", category="sampling", instructions=skip
+                )
+                if tracer is not None
+                else nullcontext()
+            )
+            with ff_span:
+                position = warmer.fast_forward(trace, position, skip)
         detailed = warmup + measure
         if detailed == 0:
             continue
@@ -315,13 +340,25 @@ def run_sampled(
         )
         pipeline.adopt_warm_state(hierarchy, predictor, btb)
         hierarchy.drain()
-        segment_result = pipeline.run(
-            max_cycles=max_cycles,
-            progress=progress,
-            progress_interval=progress_interval,
-            force_per_cycle=force_per_cycle,
-            commit_marks=[warmup] if warmup else None,
+        window_span = (
+            tracer.span(
+                "sampling:window",
+                category="sampling",
+                start=position,
+                warmup=warmup,
+                instructions=detailed,
+            )
+            if tracer is not None
+            else nullcontext()
         )
+        with window_span:
+            segment_result = pipeline.run(
+                max_cycles=max_cycles,
+                progress=progress,
+                progress_interval=progress_interval,
+                force_per_cycle=force_per_cycle,
+                commit_marks=[warmup] if warmup else None,
+            )
         detailed_counter.add(detailed)
         if warmup and pipeline.commit_mark_records:
             _target, warm_cycle, warm_fetched = pipeline.commit_mark_records[0]

@@ -41,9 +41,22 @@ import json
 import multiprocessing
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..telemetry import TelemetrySession
 
 from ..api import Simulation
 from ..common.config import ProcessorConfig, SamplingPlan
@@ -273,6 +286,10 @@ class ResultCache:
 #: Per-worker-process trace cache: (suite, rounded scale) -> workload -> Trace.
 _WORKER_TRACES: Dict[Tuple[str, float], Dict[str, Trace]] = {}
 
+#: Per-worker-process handle on the persistent result cache (keyed by
+#: directory so a pool serving several engines keeps them distinct).
+_WORKER_CACHES: Dict[str, ResultCache] = {}
+
 #: Traces actually generated by this process's :func:`_worker_trace` (cache
 #: misses only).  Tests use it to assert that workload-major task ordering
 #: lets the per-worker cache hit instead of rebuilding every trace.
@@ -299,15 +316,58 @@ def _worker_trace(suite: str, scale: float, workload: str) -> Trace:
     return per_suite[workload]
 
 
+def _worker_cache(cache_dir: str) -> ResultCache:
+    """Per-process handle on the persistent cache at ``cache_dir``.
+
+    Workers keep their own :class:`ResultCache` instance (with its own
+    hit/miss counters) because cache objects don't travel across
+    ``fork``/``spawn`` usefully — the parent aggregates the per-cell
+    counter deltas reported back in each task's meta dict.
+    """
+    if cache_dir not in _WORKER_CACHES:
+        _WORKER_CACHES[cache_dir] = ResultCache(cache_dir)
+    return _WORKER_CACHES[cache_dir]
+
+
 def _simulate_cell(
-    task: Tuple[Dict[str, object], str, float, str, Optional[Dict[str, int]]]
-) -> SimulationResult:
-    """Pool worker entry point: rebuild the config, build the trace, run."""
-    config_data, suite, scale, workload, sampling_data = task
-    config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
-    sampling = SamplingPlan.from_dict(sampling_data) if sampling_data else None
-    trace = _worker_trace(suite, scale, workload)
-    return Simulation(config, sampling=sampling).run(trace)
+    task: Tuple[object, ...]
+) -> Tuple[SimulationResult, Dict[str, object]]:
+    """Pool worker entry point: rebuild the config, build the trace, run.
+
+    ``task`` is ``(config_data, suite, scale, workload, sampling_data)``
+    optionally extended with ``(cache_dir, cache_key)``.  When the cache
+    fields are present the worker checks the persistent cache itself
+    (another process may have finished the cell since the parent's
+    lookup) and stores fresh results — keeping the store off the
+    parent's collection loop.  Returns ``(result, meta)`` where ``meta``
+    reports the worker's pid, per-cell wall-clock, and whether the cell
+    was a worker-side cache hit, so the parent can aggregate cache
+    counters and reconstruct per-worker utilization.
+    """
+    config_data, suite, scale, workload, sampling_data = task[:5]
+    cache_dir = str(task[5]) if len(task) > 5 and task[5] else None
+    cache_key = str(task[6]) if len(task) > 6 and task[6] else None
+    started = time.perf_counter()
+    cache = _worker_cache(cache_dir) if cache_dir and cache_key else None
+    result: Optional[SimulationResult] = None
+    cache_hit = False
+    if cache is not None and cache_key is not None:
+        result = cache.load(cache_key)
+        cache_hit = result is not None
+    if result is None:
+        config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
+        sampling = SamplingPlan.from_dict(sampling_data) if sampling_data else None
+        trace = _worker_trace(suite, scale, workload)
+        result = Simulation(config, sampling=sampling).run(trace)
+        if cache is not None and cache_key is not None:
+            cache.store(cache_key, result)
+    meta: Dict[str, object] = {
+        "pid": os.getpid(),
+        "elapsed": time.perf_counter() - started,
+        "cache_hit": cache_hit,
+        "stored": cache is not None and not cache_hit,
+    }
+    return result, meta
 
 
 def _workload_major(
@@ -358,6 +418,13 @@ class SweepOutcome:
     simulated: int = 0
     cached: int = 0
     elapsed: float = 0.0
+    #: Persistent-cache traffic across the whole sweep, parent lookups
+    #: *plus* worker-side lookups (which used to be silently dropped).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Sum of per-cell worker wall-clock (parallel runs only); divided by
+    #: ``elapsed * workers`` this is the pool utilization.
+    worker_busy: float = 0.0
     _by_config: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -400,6 +467,7 @@ class SweepEngine:
         jobs: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
+        telemetry: Optional["TelemetrySession"] = None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -408,9 +476,16 @@ class SweepEngine:
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.telemetry = telemetry
         # Cumulative counters across every run() of this engine.
         self.total_simulated = 0
         self.total_cached = 0
+
+    def _span(self, name: str, *, category: str, **args: object):
+        """A tracer span when telemetry is attached, else a no-op scope."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.tracer.span(name, category=category, **args)
 
     # -- internals ----------------------------------------------------------
     def _report(self, done: int, total: int, cell: SweepCell, source: str) -> None:
@@ -441,7 +516,8 @@ class SweepEngine:
         slots: List[Optional[SimulationResult]],
         keys: Sequence[str],
     ) -> None:
-        traces = suite_traces(spec.scale, spec.suite, spec.workloads)
+        with self._span("sweep:trace-build", category="sweep", suite=spec.suite):
+            traces = suite_traces(spec.scale, spec.suite, spec.workloads)
         done = sum(1 for slot in slots if slot is not None)
         simulation: Optional[Simulation] = None
         simulation_config: Optional[ProcessorConfig] = None
@@ -451,7 +527,13 @@ class SweepEngine:
             if simulation is None or simulation_config is not cell.config:
                 simulation = Simulation(cell.config, sampling=spec.sampling)
                 simulation_config = cell.config
-            result = simulation.run(traces[cell.workload])
+            config_name = cell.config.name or cell.config.mode
+            with self._span(
+                f"cell:{config_name}x{cell.workload}",
+                category="cell",
+                workload=cell.workload,
+            ):
+                result = simulation.run(traces[cell.workload])
             slots[cell.index] = result
             if self.cache is not None:
                 self.cache.store(keys[cell.index], result)
@@ -464,11 +546,20 @@ class SweepEngine:
         cells: Sequence[SweepCell],
         slots: List[Optional[SimulationResult]],
         keys: Sequence[str],
-    ) -> None:
+    ) -> Dict[str, float]:
         pending = _workload_major(cells, slots, spec)
         sampling_data = spec.sampling.to_dict() if spec.sampling is not None else None
+        cache_dir = str(self.cache.cache_dir) if self.cache is not None else None
         tasks = [
-            (cell.config.to_dict(), spec.suite, spec.scale, cell.workload, sampling_data)
+            (
+                cell.config.to_dict(),
+                spec.suite,
+                spec.scale,
+                cell.workload,
+                sampling_data,
+                cache_dir,
+                keys[cell.index] if cache_dir is not None else None,
+            )
             for cell in pending
         ]
         try:
@@ -478,44 +569,112 @@ class SweepEngine:
         workers = min(self.jobs, len(pending))
         done = sum(1 for slot in slots if slot is not None)
         chunksize = _locality_chunksize(pending, workers)
+        stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0}
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        base = tracer.clock.now() if tracer is not None else 0.0
+        worker_tids: Dict[object, int] = {}
+        worker_offsets: Dict[int, float] = {}
+        pool_started = time.perf_counter()
         with context.Pool(processes=workers) as pool:
-            for cell, result in zip(
+            for cell, (result, meta) in zip(
                 pending, pool.imap(_simulate_cell, tasks, chunksize=chunksize)
             ):
                 slots[cell.index] = result
+                hit = bool(meta.get("cache_hit"))
+                elapsed = float(meta.get("elapsed", 0.0))  # type: ignore[arg-type]
+                stats["busy"] += elapsed
                 if self.cache is not None:
-                    self.cache.store(keys[cell.index], result)
+                    # Fold the worker-side cache traffic back into the
+                    # parent's counters; without this, hits and stores
+                    # observed inside the pool were silently dropped.
+                    if hit:
+                        stats["hits"] += 1
+                        self.cache.hits += 1
+                    else:
+                        stats["misses"] += 1
+                        self.cache.misses += 1
+                    if meta.get("stored"):
+                        stats["stores"] += 1
+                        self.cache.stores += 1
+                if tracer is not None:
+                    tid = worker_tids.setdefault(meta.get("pid"), len(worker_tids) + 1)
+                    start = base + worker_offsets.get(tid, 0.0)
+                    worker_offsets[tid] = worker_offsets.get(tid, 0.0) + elapsed
+                    config_name = cell.config.name or cell.config.mode
+                    tracer.add_span(
+                        f"cell:{config_name}x{cell.workload}",
+                        start,
+                        elapsed,
+                        category="cell",
+                        tid=tid,
+                        workload=cell.workload,
+                        cached=hit,
+                    )
                 done += 1
-                self._report(done, len(cells), cell, f"simulated ipc={result.ipc:.4f}")
+                source = "cache hit (worker)" if hit else f"simulated ipc={result.ipc:.4f}"
+                self._report(done, len(cells), cell, source)
+        pool_elapsed = time.perf_counter() - pool_started
+        if self.telemetry is not None and workers > 0 and pool_elapsed > 0:
+            metrics = self.telemetry.metrics
+            metrics.gauge("sweep.workers").set(float(workers))
+            metrics.gauge("sweep.worker_utilization").set(
+                round(stats["busy"] / (pool_elapsed * workers), 4)
+            )
+            for elapsed_cell in worker_offsets.values():
+                metrics.histogram("sweep.worker_busy_ms").observe(
+                    int(elapsed_cell * 1000)
+                )
+        return stats
 
     # -- public API ---------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepOutcome:
         """Execute every cell of ``spec``; results in declared order."""
         start = time.perf_counter()
         cells = spec.cells()
-        slots, keys = self._load_cached(cells, spec)
-        cached = 0
-        for cell in cells:
-            if slots[cell.index] is not None:
-                cached += 1
-                self._report(cached, len(cells), cell, "cache hit")
-        if cached < len(cells):
-            if self.jobs > 1:
-                self._run_parallel(spec, cells, slots, keys)
-            else:
-                self._run_serial(spec, cells, slots, keys)
+        with self._span(
+            f"sweep:{spec.name}", category="sweep", cells=len(cells), jobs=self.jobs
+        ):
+            with self._span("cache:lookup", category="cache", cells=len(cells)):
+                slots, keys = self._load_cached(cells, spec)
+            cached = 0
+            for cell in cells:
+                if slots[cell.index] is not None:
+                    cached += 1
+                    self._report(cached, len(cells), cell, "cache hit")
+            worker_stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0}
+            if cached < len(cells):
+                if self.jobs > 1:
+                    worker_stats = self._run_parallel(spec, cells, slots, keys)
+                else:
+                    self._run_serial(spec, cells, slots, keys)
         results = [slot for slot in slots if slot is not None]
         if len(results) != len(cells):  # pragma: no cover - defensive
             raise RuntimeError(f"sweep {spec.name!r} lost {len(cells) - len(results)} cells")
+        worker_hits = int(worker_stats["hits"])
+        cached += worker_hits
         simulated = len(cells) - cached
         self.total_simulated += simulated
         self.total_cached += cached
+        cache_hits = cached if self.cache is not None else 0
+        cache_misses = (
+            len(cells) - cache_hits if self.cache is not None else 0
+        )
+        if self.telemetry is not None:
+            metrics = self.telemetry.metrics
+            metrics.counter("sweep.cells_simulated").add(simulated)
+            metrics.counter("sweep.cells_cached").add(cached)
+            if self.cache is not None:
+                metrics.counter("cache.hits").add(cache_hits)
+                metrics.counter("cache.misses").add(cache_misses)
         return SweepOutcome(
             spec=spec,
             results=results,
             simulated=simulated,
             cached=cached,
             elapsed=time.perf_counter() - start,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            worker_busy=worker_stats["busy"],
         )
 
     def run_config(

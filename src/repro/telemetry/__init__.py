@@ -1,0 +1,134 @@
+"""Opt-in observability for the simulator: metrics, spans, timelines.
+
+The telemetry layer answers the questions the result statistics cannot:
+*when* and *why* did each instruction stall, and where does wall-clock
+go inside a sweep.  Four pieces compose:
+
+:class:`MetricsRegistry`
+    Host-side counters/gauges/histograms (cache hits, worker
+    utilization) with deterministic JSON export.
+:class:`Tracer` / :class:`Span`
+    Wall-clock phase spans (trace build, fast-forward, detailed
+    windows, per-cell sweep execution) behind a :class:`Clock`
+    abstraction, exported as Chrome trace-event JSON for Perfetto.
+:class:`TimelineProbe`
+    Per-instruction lifecycle events in a bounded ring buffer, rendered
+    as a Konata-style ASCII pipeline timeline.
+:class:`StallAttributionProbe`
+    A CPI breakdown classifying every cycle into exactly one of
+    base / rob_full / checkpoint_wait / memory / branch / other.
+
+:class:`TelemetrySession` bundles them for the common case and plugs
+into :class:`repro.api.Simulation` via ``telemetry=``; the CLI surfaces
+it as ``repro profile`` and ``repro timeline``.  Everything is strictly
+opt-in: without a session, no probe is attached, no clock is read, and
+simulation results are bit-identical to a telemetry-free build.
+
+This package is deliberately *outside* the simulator's restricted
+package sets: it may read wall clocks (RPR102 does not apply here) and
+is not semantically fingerprinted, because nothing in it can influence a
+simulation result — probes are pure observers by contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .clock import Clock, ManualClock, TickClock, WallClock
+from .exporters import (
+    chrome_trace_json,
+    render_stall_table,
+    render_timeline,
+    timeline_rows,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .logging import get_logger, resolve_level, setup_cli_logging
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .stalls import CATEGORIES, StallAttributionProbe
+from .timeline import DEFAULT_CAPACITY, TimelineEvent, TimelineProbe
+from .tracer import MAIN_TRACK, Span, Tracer
+
+
+class TelemetrySession:
+    """One profiling run's bundle: tracer + metrics + the two probes.
+
+    Pass a session to :class:`repro.api.Simulation` (or
+    ``api.run(telemetry=...)``) and it attaches its probes to every
+    pipeline of the run, wraps the run in tracer spans, and collects the
+    stall-attribution and timeline data alongside the ordinary result::
+
+        session = TelemetrySession()
+        result = api.run(config, trace, telemetry=session)
+        print(render_stall_table({trace.name: session.stalls.breakdown()}))
+
+    ``deterministic=True`` swaps the wall clock for a
+    :class:`TickClock`, making every exported span file byte-identical
+    across runs — the mode the CI smoke job uses.  ``timeline=False``
+    drops the per-instruction probe (cheaper for stall-only profiling);
+    ``stalls=False`` additionally drops the stall classifier, leaving a
+    spans-only session — what ``repro bench`` uses to split sampled
+    wall-clock into fast-forward vs detailed-window time without any
+    per-cycle probe overhead.
+    """
+
+    def __init__(
+        self,
+        *,
+        deterministic: bool = False,
+        timeline: bool = True,
+        stalls: bool = True,
+        timeline_capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if clock is None:
+            clock = TickClock() if deterministic else WallClock()
+        self.deterministic = deterministic
+        self.clock = clock
+        self.tracer = Tracer(clock)
+        self.metrics = MetricsRegistry()
+        self.stalls: Optional[StallAttributionProbe] = (
+            StallAttributionProbe() if stalls else None
+        )
+        self.timeline: Optional[TimelineProbe] = (
+            TimelineProbe(timeline_capacity) if timeline else None
+        )
+
+    def probes(self) -> List[object]:
+        """The probes a Simulation should attach for this session."""
+        attach: List[object] = []
+        if self.stalls is not None:
+            attach.append(self.stalls)
+        if self.timeline is not None:
+            attach.append(self.timeline)
+        return attach
+
+
+__all__ = [
+    "CATEGORIES",
+    "Clock",
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MAIN_TRACK",
+    "ManualClock",
+    "MetricsRegistry",
+    "Span",
+    "StallAttributionProbe",
+    "TelemetrySession",
+    "TickClock",
+    "TimelineEvent",
+    "TimelineProbe",
+    "Tracer",
+    "WallClock",
+    "chrome_trace_json",
+    "get_logger",
+    "render_stall_table",
+    "render_timeline",
+    "resolve_level",
+    "setup_cli_logging",
+    "timeline_rows",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,66 @@
+"""Clock abstraction behind every telemetry timestamp.
+
+Telemetry is the one part of the repository that *wants* wall-clock
+time, while the simulator packages are forbidden from touching it (lint
+rule RPR102 keeps ``time.*`` out of every result-bearing package so
+results stay a pure function of the configuration).  The resolution is
+an injected clock: the simulator-side hooks accept a
+:class:`~repro.telemetry.tracer.Tracer` whose clock lives *here*, in a
+package outside the RPR102 scope, and deterministic runs (CI, golden
+files) swap in :class:`TickClock` so two identical invocations emit
+byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic time source for spans and metrics timestamps."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic; origin unspecified)."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real wall-clock time via ``time.perf_counter`` (the default)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class TickClock(Clock):
+    """Deterministic clock: every :meth:`now` call advances one fixed tick.
+
+    Span durations become a function of the *call sequence* alone, so a
+    deterministic program produces byte-identical trace exports run over
+    run — the property the CI telemetry-smoke job asserts.  The default
+    tick of 1 ms keeps exported microsecond timestamps integral.
+    """
+
+    def __init__(self, tick: float = 0.001) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        self.tick = tick
+        self._now = 0.0
+
+    def now(self) -> float:
+        self._now += self.tick
+        return self._now
+
+
+class ManualClock(Clock):
+    """Test clock advanced explicitly via :meth:`advance`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += seconds

@@ -1,0 +1,130 @@
+"""Serialisation of telemetry: Chrome traces, stall tables, timelines.
+
+Three consumers, three shapes:
+
+* **Perfetto / chrome://tracing** — :func:`write_chrome_trace` emits the
+  ``traceEvents`` JSON produced by
+  :meth:`~repro.telemetry.tracer.Tracer.to_chrome_trace`, and
+  :func:`validate_chrome_trace` is the schema check the CI
+  telemetry-smoke job runs against the emitted file;
+* **terminal reports** — :func:`render_stall_table` turns per-workload
+  :class:`~repro.telemetry.stalls.StallAttributionProbe` breakdowns into
+  the stacked-percentage table style the paper's Figure 12 uses;
+* **pipeline timelines** — :func:`render_timeline` draws a Konata-style
+  ASCII lane per instruction through
+  :func:`repro.analysis.report.format_timeline`.
+
+Every export is deterministic: dict keys are sorted, event order is a
+pure function of the recorded spans, and floats are rounded before
+serialisation — so identical runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Sequence
+
+from ..analysis.report import format_stacked_percentages, format_timeline
+from .stalls import CATEGORIES
+from .timeline import TimelineEvent
+from .tracer import Tracer
+
+#: Phases of a Chrome trace event this exporter emits (complete + metadata).
+_VALID_PHASES = {"X", "M"}
+
+
+def chrome_trace_json(tracer: Tracer, process_name: str = "repro") -> str:
+    """The tracer's spans as a deterministic Chrome trace JSON string."""
+    return json.dumps(
+        tracer.to_chrome_trace(process_name), sort_keys=True, separators=(",", ":")
+    )
+
+
+def write_chrome_trace(tracer: Tracer, path, process_name: str = "repro") -> None:
+    """Write the Chrome trace JSON to ``path`` (byte-deterministic)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(tracer, process_name))
+        handle.write("\n")
+
+
+def validate_chrome_trace(data: object) -> List[str]:
+    """Schema problems in a parsed Chrome trace object ([] when valid).
+
+    Checks the subset of the trace-event format this package emits —
+    enough to guarantee Perfetto loads the file: a ``traceEvents`` list
+    whose entries carry ``name``/``ph``/``pid``/``tid``, with complete
+    events (``ph: "X"``) adding non-negative numeric ``ts``/``dur``.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: unexpected phase {phase!r}")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"{where}: {key} must be a non-negative number")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def render_stall_table(
+    breakdowns: Mapping[str, Mapping[str, int]],
+) -> str:
+    """Per-workload CPI stall attribution as a stacked-percentage table.
+
+    ``breakdowns`` maps a row label (workload or config name) to the
+    bucket -> cycles dict of a
+    :class:`~repro.telemetry.stalls.StallAttributionProbe`.
+    """
+    stacks: Dict[str, Dict[str, float]] = {}
+    for label, breakdown in breakdowns.items():
+        total = sum(breakdown.values())
+        stacks[label] = {
+            category: (100.0 * breakdown.get(category, 0) / total) if total else 0.0
+            for category in CATEGORIES
+        }
+    return format_stacked_percentages(stacks, CATEGORIES)
+
+
+def timeline_rows(events: Sequence[TimelineEvent]) -> List[Dict[str, object]]:
+    """Timeline events as the plain dict rows the report renderer draws."""
+    rows: List[Dict[str, object]] = []
+    for event in events:
+        rows.append(
+            {
+                "seq": event.seq,
+                "trace_index": event.trace_index,
+                "label": event.label,
+                "fetch": event.fetch_cycle,
+                "dispatch": event.dispatch_cycle,
+                "issue": event.issue_cycle,
+                "complete": event.complete_cycle,
+                "commit": event.commit_cycle,
+                "squashed": event.squashed,
+                "mispredicted": event.mispredicted,
+                "l2_miss": event.l2_miss,
+            }
+        )
+    return rows
+
+
+def render_timeline(events: Sequence[TimelineEvent], width: int = 100) -> str:
+    """Konata-style ASCII pipeline timeline of ``events``."""
+    return format_timeline(timeline_rows(events), width=width)

@@ -1,0 +1,71 @@
+"""Structured logging for the ``repro`` CLI.
+
+The CLI historically reported progress with ad-hoc ``print(...,
+file=sys.stderr)`` calls; the root ``--log-level``/``-v`` flag routes
+those through stdlib :mod:`logging` with one consistent formatter, so
+``repro -v sweep ...`` timestamps its progress lines and ``repro
+--log-level debug ...`` exposes the engine's internals without touching
+stdout (tables and JSON stay pipeable).
+
+Only the CLI configures handlers; library code just calls
+:func:`get_logger` and emits — applications embedding :mod:`repro`
+keep full control of logging configuration, per stdlib convention.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root logger name for the whole package.
+ROOT_LOGGER = "repro"
+
+#: One consistent formatter for every CLI log line.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+LOG_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The package logger, or a namespaced child (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def resolve_level(log_level: Optional[str], verbosity: int = 0) -> int:
+    """Effective level from ``--log-level`` and repeated ``-v`` flags.
+
+    An explicit ``--log-level`` wins; otherwise ``-v`` means INFO and
+    ``-vv`` (or more) DEBUG.  The quiet default is WARNING, which keeps
+    the CLI's stdout/stderr contract unchanged when neither flag is
+    given.
+    """
+    if log_level:
+        numeric = logging.getLevelName(log_level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {log_level!r}")
+        return numeric
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def setup_cli_logging(
+    log_level: Optional[str] = None, verbosity: int = 0, stream=None
+) -> logging.Logger:
+    """Configure the CLI's stderr handler; returns the package logger.
+
+    Idempotent: re-invoking replaces the handler rather than stacking
+    duplicates (tests call ``main()`` many times in one process).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(resolve_level(log_level, verbosity))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, datefmt=LOG_DATEFMT))
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    # The CLI owns the tree below 'repro'; don't duplicate into root.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,159 @@
+"""Counters, gauges and histograms with deterministic JSON export.
+
+The simulator's own :class:`~repro.common.stats.StatsRegistry` records
+*simulated* quantities and is part of every result (and therefore of the
+cache contract).  The :class:`MetricsRegistry` here is its host-side
+sibling: it records facts about the *run* — cache hits, worker
+utilization, spans completed — that must never leak into results.
+Keeping the two registries separate is what lets telemetry stay strictly
+opt-in: a simulation's ``SimulationResult`` is bit-identical whether or
+not a ``MetricsRegistry`` was watching.
+
+Export is deterministic by construction: ``to_dict`` sorts every name
+and bucket, and ``to_json`` serialises with sorted keys, so two runs
+that observed the same events emit byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (add {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, workers busy)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of observed values.
+
+    Buckets hold counts of observations with ``value <= bound``; the
+    bound sequence is 0, 1, 2, 4, 8, ... so cheap integer quantities
+    (durations in ms, batch sizes) land in stable, merge-friendly
+    buckets.  ``sum``/``count``/``min``/``max`` are exact.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        bound = 0
+        while bound < value:
+            bound = 1 if bound == 0 else bound * 2
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with deterministic export.
+
+    Instruments are created on first use and idempotent thereafter
+    (asking twice for the same name returns the same object); asking for
+    an existing name as a *different* kind is an error — silent aliasing
+    is how dashboards end up summing a gauge into a counter.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        kinds = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other, table in kinds.items():
+            if other != kind and name in table:
+                raise ValueError(f"metric {name!r} already registered as a {other}")
+
+    def counter(self, name: str) -> Counter:
+        self._check_unique(name, "counter")
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_unique(name, "gauge")
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        self._check_unique(name, "histogram")
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def names(self) -> List[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic plain-dict snapshot (sorted names and buckets)."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._counters):
+            out[name] = {"kind": "counter", "value": self._counters[name].value}
+        for name in sorted(self._gauges):
+            out[name] = {"kind": "gauge", "value": self._gauges[name].value}
+        for name in sorted(self._histograms):
+            histogram = self._histograms[name]
+            out[name] = {
+                "kind": "histogram",
+                "count": histogram.count,
+                "sum": histogram.total,
+                "min": histogram.minimum,
+                "max": histogram.maximum,
+                "buckets": {
+                    str(bound): histogram.buckets[bound]
+                    for bound in sorted(histogram.buckets)
+                },
+            }
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)

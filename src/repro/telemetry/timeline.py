@@ -1,0 +1,127 @@
+"""Per-instruction lifecycle recording on the probe API.
+
+:class:`TimelineProbe` observes dispatch/issue/complete/commit/squash
+through :mod:`repro.core.probes` and stores one record per *finished*
+instruction (committed or squashed) in a bounded ring buffer.  It is a
+pure observer and deliberately does **not** subscribe to ``on_cycle``:
+lifecycle cycle numbers come from the timestamps the pipeline already
+stamps on every :class:`~repro.isa.instruction.DynInst`, so attaching
+the probe leaves the event-driven cycle-skipping kernel's fast path
+fully intact (no per-cycle forcing), and the recorded cycles are
+identical under ``force_per_cycle``.
+
+Fetch-stall gaps fall out of the records: consecutive committed
+instructions whose fetch cycles are more than one apart bracket a
+front-end bubble (redirect penalty or I-cache miss), which the ASCII
+timeline renderer marks explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.probes import Probe
+from ..isa.instruction import DynInst
+
+#: Default ring capacity: enough for a whole small workload while
+#: bounding memory on XL traces (one record is a few dozen bytes).
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    """Lifecycle of one finished dynamic instruction."""
+
+    seq: int
+    trace_index: int
+    label: str
+    fetch_cycle: Optional[int]
+    dispatch_cycle: Optional[int]
+    issue_cycle: Optional[int]
+    complete_cycle: Optional[int]
+    commit_cycle: Optional[int]
+    squashed: bool
+    mispredicted: bool
+    l2_miss: bool
+
+    @property
+    def committed(self) -> bool:
+        return not self.squashed
+
+
+def _record(inst: DynInst, squashed: bool, end_cycle: Optional[int]) -> TimelineEvent:
+    return TimelineEvent(
+        seq=inst.seq,
+        trace_index=inst.trace_index,
+        label=inst.instr.describe(),
+        fetch_cycle=inst.fetch_cycle,
+        dispatch_cycle=inst.dispatch_cycle,
+        issue_cycle=inst.issue_cycle,
+        complete_cycle=inst.complete_cycle,
+        commit_cycle=end_cycle,
+        squashed=squashed,
+        mispredicted=inst.mispredicted,
+        l2_miss=inst.l2_miss,
+    )
+
+
+class TimelineProbe(Probe):
+    """Bounded ring buffer of per-instruction lifecycle events.
+
+    Records are appended at commit/squash (when every timestamp is
+    final); once ``capacity`` is reached the oldest records are
+    overwritten, so a long run keeps the *most recent* window of
+    activity.  ``dropped`` counts the overwritten records.  The ring
+    accumulates across attaches (a sampled run attaches the probe to
+    every window pipeline in turn, like the stall probe); call
+    :meth:`reset` to start over.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: List[Optional[TimelineEvent]] = []
+        self._next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def reset(self) -> None:
+        self._ring = []
+        self._next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def _append(self, event: TimelineEvent) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(event)
+        else:
+            self._ring[self._next] = event
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+        self.recorded += 1
+
+    def on_commit(self, pipeline, inst: DynInst) -> None:
+        # commit_cycle is stamped by the commit stage before the hook on
+        # both shipped machines; fall back to the current cycle so the
+        # record is complete on any custom machine that stamps later.
+        end = inst.commit_cycle if inst.commit_cycle is not None else pipeline.cycle
+        self._append(_record(inst, squashed=False, end_cycle=end))
+
+    def on_squash(self, pipeline, inst: DynInst) -> None:
+        # Only instructions that made it into the window are on the
+        # timeline; fetched-but-never-dispatched victims carry no stage
+        # timestamps worth drawing.
+        if inst.dispatch_cycle is not None:
+            self._append(_record(inst, squashed=True, end_cycle=None))
+
+    def events(self) -> List[TimelineEvent]:
+        """Recorded events in append (≈ retirement) order."""
+        return self._ring[self._next :] + self._ring[: self._next]
+
+    def window(self, start: int, stop: int) -> List[TimelineEvent]:
+        """Events whose trace index falls in ``[start, stop)``."""
+        if stop < start:
+            raise ValueError(f"window stop {stop} precedes start {start}")
+        return [ev for ev in self.events() if start <= ev.trace_index < stop]

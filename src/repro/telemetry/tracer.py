@@ -1,0 +1,188 @@
+"""Wall-clock phase spans and the Chrome trace-event export.
+
+A :class:`Tracer` records named, possibly nested :class:`Span`s — trace
+build, functional fast-forward, detailed windows, per-cell sweep
+execution — against an injected :class:`~repro.telemetry.clock.Clock`.
+The simulator packages never call ``time.*`` themselves (lint rule
+RPR102); they accept a tracer and open spans on it, and the clock choice
+(wall clock vs the deterministic :class:`~repro.telemetry.clock.TickClock`)
+stays a caller decision.
+
+Export targets the Chrome trace-event format (the ``traceEvents`` JSON
+array of ``ph: "X"`` complete events with microsecond ``ts``/``dur``),
+loadable directly in Perfetto or ``chrome://tracing``.  Spans recorded
+by worker processes can be merged in after the fact via
+:meth:`Tracer.add_span` with an explicit ``tid``, so a parallel sweep
+renders as one process with one track per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .clock import Clock, WallClock
+
+#: Track id used for spans opened on the tracer itself (the main thread).
+MAIN_TRACK = 0
+
+
+class Span:
+    """One named interval; use as a context manager or close explicitly."""
+
+    __slots__ = ("name", "category", "start", "end", "depth", "tid", "args", "_tracer")
+
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        name: str,
+        category: str,
+        start: float,
+        depth: int,
+        tid: int = MAIN_TRACK,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.depth = depth
+        self.tid = tid
+        self.args: Dict[str, object] = dict(args or {})
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def annotate(self, **args: object) -> "Span":
+        """Attach key/value detail shown in the trace viewer; chains."""
+        self.args.update(args)
+        return self
+
+    def close(self) -> None:
+        if self.end is None and self._tracer is not None:
+            self._tracer._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Tracer:
+    """Records spans; the host-side phase profiler.
+
+    Spans opened through :meth:`span` nest via an explicit stack (the
+    innermost open span is the parent), which maps directly onto the
+    trace viewer's flame layout.  All recorded spans — including merged
+    worker spans — live in one flat list in completion order.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else WallClock()
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(
+        self, name: str, category: str = "phase", **args: object
+    ) -> Span:
+        """Open a nested span; close it via ``with`` or :meth:`Span.close`."""
+        opened = Span(
+            self, name, category, self.clock.now(), depth=len(self._stack), args=args
+        )
+        self._stack.append(opened)
+        return opened
+
+    def _close(self, span: Span) -> None:
+        span.end = self.clock.now()
+        # Close any nested spans left open (exception unwound past them).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+                self.spans.append(dangling)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self.spans.append(span)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        category: str = "phase",
+        tid: int = MAIN_TRACK,
+        **args: object,
+    ) -> Span:
+        """Record an already-measured interval (e.g. reported by a worker)."""
+        span = Span(None, name, category, start, depth=0, tid=tid, args=args)
+        span.end = start + duration
+        self.spans.append(span)
+        return span
+
+    # -- queries -------------------------------------------------------
+    def find(self, name: str) -> Iterator[Span]:
+        return (span for span in self.spans if span.name == name)
+
+    def total(self, name: str) -> float:
+        """Summed duration of every closed span with ``name``."""
+        return sum(span.duration for span in self.find(name))
+
+    # -- export --------------------------------------------------------
+    def to_chrome_trace(self, process_name: str = "repro") -> Dict[str, object]:
+        """The spans as a Chrome trace-event JSON object.
+
+        Complete events (``ph: "X"``) with microsecond timestamps
+        rebased to the earliest span, one ``pid`` for the whole run and
+        ``tid`` per track, plus metadata events naming the process and
+        tracks — the exact shape Perfetto / ``chrome://tracing`` load.
+        """
+        origin = min((span.start for span in self.spans), default=0.0)
+        events: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": MAIN_TRACK,
+                "args": {"name": process_name},
+            }
+        ]
+        for tid in sorted({span.tid for span in self.spans}):
+            track = "main" if tid == MAIN_TRACK else f"worker-{tid}"
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        for span in self.spans:
+            if span.end is None:
+                continue
+            event: Dict[str, object] = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round((span.start - origin) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 0,
+                "tid": span.tid,
+            }
+            if span.args:
+                event["args"] = {key: span.args[key] for key in sorted(span.args)}
+            events.append(event)
+        # Deterministic order: by track, then start time, then name.
+        events.sort(
+            key=lambda ev: (
+                ev["ph"] != "M",
+                ev["tid"],
+                ev.get("ts", -1.0),
+                ev["name"],
+            )
+        )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -482,3 +482,107 @@ class TestParallelTraceLocality:
         serial = SweepEngine(jobs=1).run(spec)
         parallel = SweepEngine(jobs=2).run(spec)
         assert rows_of(parallel) == rows_of(serial)
+
+
+class TestWorkerCacheAggregation:
+    """Worker-side cache traffic must reach the parent's counters.
+
+    Parallel cells load/store the persistent cache inside the pool
+    workers; the per-cell meta they report is folded back into the
+    parent ResultCache counters and the SweepOutcome, so 'repro sweep'
+    summary lines see the whole sweep's cache traffic.
+    """
+
+    def test_parallel_run_reports_worker_stores_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        outcome = SweepEngine(jobs=2, cache=cache).run(spec)
+        cells = len(spec.cells())
+        assert outcome.simulated == cells
+        assert outcome.cache_hits == 0
+        assert outcome.cache_misses == cells
+        assert outcome.worker_busy > 0
+        # Parent lookups missed every cell, worker lookups missed again,
+        # and the workers stored every fresh result.
+        assert cache.stores == cells
+        assert cache.misses == 2 * cells
+        assert cache.hits == 0
+
+    def test_second_parallel_run_hits_in_parent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = small_spec()
+        first = SweepEngine(jobs=2, cache=cache).run(spec)
+        second = SweepEngine(jobs=2, cache=cache).run(spec)
+        assert second.simulated == 0
+        assert second.cached == len(spec.cells())
+        assert second.cache_hits == len(spec.cells())
+        assert second.cache_misses == 0
+        assert rows_of(second) == rows_of(first)
+
+    def test_worker_cell_hits_cache_directly(self, tmp_path):
+        from repro.experiments.sweep import _simulate_cell
+
+        spec = small_spec()
+        cell = spec.cells()[0]
+        key = cell_cache_key(cell.config, spec.suite, cell.workload, spec.scale)
+        task = (
+            cell.config.to_dict(), spec.suite, spec.scale, cell.workload,
+            None, str(tmp_path), key,
+        )
+        first_result, first_meta = _simulate_cell(task)
+        assert first_meta["cache_hit"] is False
+        assert first_meta["stored"] is True
+        second_result, second_meta = _simulate_cell(task)
+        assert second_meta["cache_hit"] is True
+        assert second_meta["stored"] is False
+        assert second_result.summary_row() == first_result.summary_row()
+
+    def test_legacy_five_field_task_still_works(self):
+        from repro.experiments.sweep import _simulate_cell
+
+        spec = small_spec()
+        cell = spec.cells()[0]
+        task = (cell.config.to_dict(), spec.suite, spec.scale, cell.workload, None)
+        result, meta = _simulate_cell(task)
+        assert result.cycles > 0
+        assert meta["cache_hit"] is False and meta["stored"] is False
+
+
+class TestSweepTelemetry:
+    """Per-cell tracer spans and worker-utilization metrics."""
+
+    def _session(self):
+        from repro.telemetry import TelemetrySession
+
+        return TelemetrySession(timeline=False)
+
+    def test_serial_cell_spans_cover_sweep_wall_clock(self):
+        session = self._session()
+        spec = small_spec()
+        outcome = SweepEngine(jobs=1, telemetry=session).run(spec)
+        tracer = session.tracer
+        cell_spans = [s for s in tracer.spans if s.name.startswith("cell:")]
+        assert len(cell_spans) == len(spec.cells())
+        covered = sum(s.duration for s in cell_spans) + tracer.total("sweep:trace-build")
+        # The per-cell spans (plus trace build) account for the sweep's
+        # measured wall-clock to within 5%.
+        assert covered <= outcome.elapsed
+        assert covered >= 0.95 * outcome.elapsed
+
+    def test_parallel_worker_spans_land_on_worker_tracks(self):
+        session = self._session()
+        spec = small_spec()
+        SweepEngine(jobs=2, telemetry=session).run(spec)
+        cell_spans = [s for s in session.tracer.spans if s.name.startswith("cell:")]
+        assert len(cell_spans) == len(spec.cells())
+        assert all(s.tid > 0 for s in cell_spans)
+        metrics = session.metrics.to_dict()
+        assert metrics["sweep.workers"]["value"] == 2.0
+        assert 0.0 < metrics["sweep.worker_utilization"]["value"] <= 1.5
+        assert metrics["sweep.cells_simulated"]["value"] == len(spec.cells())
+
+    def test_telemetry_does_not_change_results(self):
+        spec = small_spec()
+        bare = SweepEngine(jobs=1).run(spec)
+        observed = SweepEngine(jobs=1, telemetry=self._session()).run(spec)
+        assert rows_of(observed) == rows_of(bare)

@@ -1,0 +1,476 @@
+"""Tests for the opt-in telemetry layer (metrics, tracer, probes, CLI).
+
+The two load-bearing guarantees:
+
+* **Zero observable effect** — simulation results with a telemetry
+  session attached are bit-identical to results without one, and the
+  skip-aware probes never force the event-driven kernel per-cycle.
+* **Exact accounting** — the CPI stall attribution sums to the run's
+  total cycles exactly (on both shipped machines, under both kernels),
+  and deterministic-clock exports are byte-identical across runs.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.common.config import SamplingPlan, cooo_config, scaled_baseline
+from repro.telemetry import (
+    CATEGORIES,
+    ManualClock,
+    MetricsRegistry,
+    StallAttributionProbe,
+    TelemetrySession,
+    TickClock,
+    TimelineProbe,
+    Tracer,
+    chrome_trace_json,
+    render_stall_table,
+    render_timeline,
+    resolve_level,
+    setup_cli_logging,
+    validate_chrome_trace,
+)
+from repro.workloads import dense_branches, numerical
+
+BASELINE = scaled_baseline(window=64, memory_latency=100)
+COOO = cooo_config(iq_size=32, sliq_size=512, memory_latency=100)
+
+
+def small_trace():
+    return numerical.daxpy(elements=150)
+
+
+def branchy_trace():
+    return dense_branches(iterations=300)
+
+
+# ---------------------------------------------------------------------------
+# Clocks and metrics
+# ---------------------------------------------------------------------------
+
+
+class TestClocks:
+    def test_tick_clock_is_deterministic(self):
+        a, b = TickClock(), TickClock()
+        assert [a.now() for _ in range(4)] == [b.now() for _ in range(4)]
+
+    def test_tick_clock_rejects_non_positive_tick(self):
+        with pytest.raises(ValueError):
+            TickClock(tick=0)
+
+    def test_manual_clock_advances_explicitly(self):
+        clock = ManualClock(10.0)
+        assert clock.now() == 10.0
+        clock.advance(2.5)
+        assert clock.now() == 12.5
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").add(3)
+        registry.counter("cells").add(2)
+        registry.gauge("util").set(0.75)
+        data = registry.to_dict()
+        assert data["cells"]["value"] == 5
+        assert data["util"]["value"] == 0.75
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").add(-1)
+
+    def test_name_cannot_be_two_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (0, 1, 3, 9):
+            histogram.observe(value)
+        data = registry.to_dict()["lat"]
+        assert data["count"] == 4
+        assert data["min"] == 0 and data["max"] == 9
+        assert data["buckets"] == {"0": 1, "1": 1, "4": 1, "16": 1}
+        assert histogram.mean == pytest.approx(3.25)
+
+    def test_json_export_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.gauge("b").set(1.0)
+            registry.counter("a").add(2)
+            registry.histogram("c").observe(7)
+            return registry.to_json()
+
+        assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# Tracer and Chrome export
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_nest_by_depth(self):
+        tracer = Tracer(TickClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_dangling_nested_spans_closed_with_parent(self):
+        tracer = Tracer(TickClock())
+        outer = tracer.span("outer")
+        tracer.span("inner")  # never closed explicitly
+        outer.close()
+        assert {span.name for span in tracer.spans} == {"outer", "inner"}
+        assert all(span.end is not None for span in tracer.spans)
+
+    def test_total_sums_same_named_spans(self):
+        tracer = Tracer(ManualClock())
+        for _ in range(2):
+            span = tracer.span("work")
+            tracer.clock.advance(1.0)
+            span.close()
+        assert tracer.total("work") == pytest.approx(2.0)
+
+    def test_chrome_trace_is_valid_and_deterministic(self):
+        def build():
+            tracer = Tracer(TickClock())
+            with tracer.span("phase", category="test", detail=1):
+                pass
+            tracer.add_span("cell", 0.5, 0.25, tid=2, cached=False)
+            return chrome_trace_json(tracer)
+
+        first, second = build(), build()
+        assert first == second
+        data = json.loads(first)
+        assert validate_chrome_trace(data) == []
+        tracks = {
+            event["args"]["name"]
+            for event in data["traceEvents"]
+            if event["name"] == "thread_name"
+        }
+        assert tracks == {"main", "worker-2"}
+
+    def test_validator_flags_broken_events(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": -1, "dur": 1}]}
+        )
+        assert any("ts" in problem for problem in problems)
+
+
+# ---------------------------------------------------------------------------
+# Timeline probe
+# ---------------------------------------------------------------------------
+
+
+class TestTimelineProbe:
+    def test_records_every_committed_instruction(self):
+        probe = TimelineProbe()
+        result = api.run(BASELINE, small_trace(), probes=[probe])
+        committed = [event for event in probe.events() if event.committed]
+        assert len(committed) == result.committed_instructions
+        assert probe.dropped == 0
+
+    def test_ring_bounds_memory_and_counts_drops(self):
+        probe = TimelineProbe(capacity=16)
+        result = api.run(BASELINE, small_trace(), probes=[probe])
+        assert len(probe.events()) == 16
+        assert probe.recorded >= result.committed_instructions
+        assert probe.dropped == probe.recorded - 16
+        # The ring keeps the most recent events, in order.
+        seqs = [event.seq for event in probe.events() if event.committed]
+        assert seqs == sorted(seqs)
+
+    def test_window_filters_by_trace_index(self):
+        probe = TimelineProbe()
+        api.run(BASELINE, small_trace(), probes=[probe])
+        events = probe.window(10, 20)
+        assert events
+        assert all(10 <= event.trace_index < 20 for event in events)
+        with pytest.raises(ValueError):
+            probe.window(5, 1)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            TimelineProbe(capacity=0)
+
+    def test_render_timeline_draws_lanes(self):
+        probe = TimelineProbe()
+        api.run(BASELINE, small_trace(), probes=[probe])
+        text = render_timeline(probe.window(0, 12))
+        assert "cycles" in text.splitlines()[0]
+        assert "R" in text  # at least one commit mark
+        assert render_timeline([]) == "(no timeline events)"
+
+
+class TestProbeEventOrdering:
+    """The skip-aware path must not reorder or drop lifecycle events.
+
+    The event-driven kernel skips idle spans; the per-cycle kernel steps
+    every cycle.  A probe observing dispatch/commit/squash must see the
+    identical event sequence either way — this is the differential
+    contract the timeline rests on.
+    """
+
+    @pytest.mark.parametrize("config", [BASELINE, COOO], ids=["baseline", "cooo"])
+    @pytest.mark.parametrize(
+        "trace_factory", [small_trace, branchy_trace], ids=["daxpy", "branches"]
+    )
+    def test_event_driven_matches_per_cycle(self, config, trace_factory):
+        def lifecycle(force_per_cycle):
+            probe = TimelineProbe()
+            api.run(
+                config,
+                trace_factory(),
+                probes=[probe],
+                force_per_cycle=force_per_cycle,
+            )
+            return [
+                (
+                    event.seq,
+                    event.trace_index,
+                    event.dispatch_cycle,
+                    event.issue_cycle,
+                    event.complete_cycle,
+                    event.commit_cycle,
+                    event.squashed,
+                )
+                for event in probe.events()
+            ]
+
+        assert lifecycle(False) == lifecycle(True)
+
+
+# ---------------------------------------------------------------------------
+# CPI stall attribution
+# ---------------------------------------------------------------------------
+
+
+class TestStallAttribution:
+    @pytest.mark.parametrize("config", [BASELINE, COOO], ids=["baseline", "cooo"])
+    def test_buckets_sum_exactly_to_total_cycles(self, config):
+        probe = StallAttributionProbe()
+        result = api.run(config, small_trace(), probes=[probe])
+        assert probe.total == result.cycles
+        assert sum(probe.breakdown().values()) == result.cycles
+
+    @pytest.mark.parametrize("config", [BASELINE, COOO], ids=["baseline", "cooo"])
+    @pytest.mark.parametrize(
+        "trace_factory", [small_trace, branchy_trace], ids=["daxpy", "branches"]
+    )
+    def test_event_driven_breakdown_matches_per_cycle(self, config, trace_factory):
+        def breakdown(force_per_cycle):
+            probe = StallAttributionProbe()
+            api.run(
+                config,
+                trace_factory(),
+                probes=[probe],
+                force_per_cycle=force_per_cycle,
+            )
+            return probe.breakdown()
+
+        assert breakdown(False) == breakdown(True)
+
+    def test_fractions_sum_to_one(self):
+        probe = StallAttributionProbe()
+        api.run(BASELINE, small_trace(), probes=[probe])
+        assert sum(probe.fractions().values()) == pytest.approx(1.0)
+
+    def test_accumulates_across_sampled_windows(self):
+        probe = StallAttributionProbe()
+        plan = SamplingPlan(period=2000, window=400, warmup=100)
+        result = api.run(BASELINE, numerical.daxpy(elements=2000), probes=[probe], sampling=plan)
+        assert result.sampled
+        # Detailed cycles from *every* window land in the buckets.
+        assert probe.total > 400  # more than one window's worth
+
+    def test_render_stall_table_shows_categories(self):
+        probe = StallAttributionProbe()
+        api.run(BASELINE, small_trace(), probes=[probe])
+        text = render_stall_table({"daxpy": probe.breakdown()})
+        for category in CATEGORIES:
+            assert category in text
+        assert "%" in text
+
+
+# ---------------------------------------------------------------------------
+# Session integration: results must be bit-identical
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetrySession:
+    @pytest.mark.parametrize("config", [BASELINE, COOO], ids=["baseline", "cooo"])
+    def test_results_identical_with_and_without_telemetry(self, config):
+        bare = api.run(config, small_trace())
+        session = TelemetrySession(deterministic=True)
+        observed = api.run(config, small_trace(), telemetry=session)
+        assert observed.summary_row() == bare.summary_row()
+        assert observed.cycles == bare.cycles
+        assert observed.ipc == bare.ipc
+
+    def test_session_collects_spans_stalls_and_timeline(self):
+        session = TelemetrySession(deterministic=True)
+        result = api.run(BASELINE, small_trace(), telemetry=session)
+        assert session.stalls.total == result.cycles
+        assert session.timeline.recorded >= result.committed_instructions
+        names = [span.name for span in session.tracer.spans]
+        assert any(name.startswith("simulate:") for name in names)
+
+    def test_sampled_run_records_phase_spans(self):
+        session = TelemetrySession(deterministic=True)
+        plan = SamplingPlan(period=2000, window=400, warmup=100)
+        result = api.run(
+            BASELINE, numerical.daxpy(elements=2000), telemetry=session, sampling=plan
+        )
+        assert result.sampled
+        tracer = session.tracer
+        assert tracer.total("sampling:fast-forward") > 0
+        assert tracer.total("sampling:window") > 0
+        assert len(list(tracer.find("sampling:window"))) == len(result.windows)
+
+    def test_stalls_only_session_skips_timeline(self):
+        session = TelemetrySession(timeline=False)
+        assert session.timeline is None
+        assert session.probes() == [session.stalls]
+
+    def test_spans_only_session_attaches_no_probes(self):
+        session = TelemetrySession(timeline=False, stalls=False)
+        assert session.probes() == []
+
+
+# ---------------------------------------------------------------------------
+# Benchmark rows: sampled wall-clock split
+# ---------------------------------------------------------------------------
+
+
+class TestBenchSampledSplit:
+    def test_sampled_row_reports_fast_forward_vs_window_seconds(self):
+        from repro.perf import BenchmarkSpec, run_benchmark
+
+        spec = BenchmarkSpec(
+            "tiny-sampled",
+            lambda: scaled_baseline(window=64, memory_latency=100),
+            lambda: numerical.daxpy(elements=2000),
+            sampling=SamplingPlan(period=2000, window=400, warmup=100),
+        )
+        row = run_benchmark(spec, repeats=1)
+        assert row["fast_forward_seconds"] >= 0
+        assert row["window_seconds"] > 0
+        # The split cannot exceed the repeat's total wall-clock.
+        assert row["fast_forward_seconds"] + row["window_seconds"] <= row["seconds"] * 1.5
+
+    def test_exact_row_has_no_split(self):
+        from repro.perf import BenchmarkSpec, run_benchmark
+
+        spec = BenchmarkSpec(
+            "tiny-exact",
+            lambda: scaled_baseline(window=64, memory_latency=100),
+            lambda: numerical.daxpy(elements=100),
+        )
+        row = run_benchmark(spec, repeats=1)
+        assert "fast_forward_seconds" not in row
+        assert "window_seconds" not in row
+
+
+# ---------------------------------------------------------------------------
+# Logging
+# ---------------------------------------------------------------------------
+
+
+class TestLogging:
+    def test_resolve_level_mapping(self):
+        import logging
+
+        assert resolve_level(None, 0) == logging.WARNING
+        assert resolve_level(None, 1) == logging.INFO
+        assert resolve_level(None, 2) == logging.DEBUG
+        assert resolve_level("error", 2) == logging.ERROR  # explicit wins
+        with pytest.raises(ValueError):
+            resolve_level("loud")
+
+    def test_setup_is_idempotent(self):
+        logger = setup_cli_logging(log_level="info")
+        logger = setup_cli_logging(log_level="info")
+        assert len(logger.handlers) == 1
+        assert not logger.propagate
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro profile / repro timeline / --log-level
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryCli:
+    def test_profile_emits_report_and_valid_deterministic_trace(self, tmp_path, capsys):
+        out_first = tmp_path / "first.json"
+        out_second = tmp_path / "second.json"
+        argv_tail = [
+            "profile",
+            "baseline:daxpy:200",
+            "--window", "64",
+            "--memory-latency", "100",
+            "--deterministic",
+        ]
+        assert main(argv_tail + ["--trace-out", str(out_first)]) == 0
+        out = capsys.readouterr().out
+        assert "phase spans" in out
+        assert "CPI stall attribution" in out
+        for category in CATEGORIES:
+            assert category in out
+        assert main(argv_tail + ["--trace-out", str(out_second)]) == 0
+        # Byte-identical across runs under the deterministic clock.
+        assert out_first.read_bytes() == out_second.read_bytes()
+        data = json.loads(out_first.read_text())
+        assert validate_chrome_trace(data) == []
+
+    def test_timeline_renders_window(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "baseline:gather:60",
+                "--machine-window", "32",
+                "--memory-latency", "100",
+                "--window", "5:15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "recorded" in out
+
+    def test_profile_rejects_malformed_cell(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "justonepart"])
+        assert "MACHINE:WORKLOAD" in capsys.readouterr().err
+
+    def test_profile_rejects_unknown_machine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "warpdrive:daxpy"])
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_timeline_rejects_bad_window(self, capsys):
+        code = main(
+            [
+                "timeline",
+                "baseline:daxpy:50",
+                "--memory-latency", "100",
+                "--window", "nope",
+            ]
+        )
+        assert code == 2
+        assert "START:STOP" in capsys.readouterr().err
+
+    def test_root_log_level_flag_accepted(self, capsys):
+        assert main(["--log-level", "debug", "list"]) == 0
+        assert main(["-vv", "list"]) == 0
