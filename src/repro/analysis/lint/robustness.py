@@ -1,0 +1,200 @@
+"""Robustness rules (RPR6xx): failure handling in the sweep substrate.
+
+The fault-tolerance work (retry, quarantine, crash-safe caching,
+journals) only holds if failures stay *visible* and writes stay
+*atomic*.  These rules police the two patterns that silently erode
+both, scoped to the packages that own durable sweep state
+(:data:`ROBUST_PACKAGES` — ``experiments`` and ``robustness``):
+
+``RPR601`` (swallowed-exception)
+    ``except Exception: pass`` (or a bare ``except``) turns a failing
+    cell into a missing result with no journal record, no retry
+    accounting, and no quarantine entry.  Narrow handlers
+    (``except OSError: pass``) are fine — they document exactly which
+    failure is acceptable to drop.
+
+``RPR602`` (non-atomic-write)
+    ``open(path, "w")`` + ``json.dump`` without an ``os.replace`` in the
+    same function is a torn-file generator: a crash mid-``dump`` leaves
+    a half-written JSON file at the *final* path, which a later reader
+    must then treat as corruption.  Write to a temp file and
+    ``os.replace`` it into place (see ``ResultCache.store`` and
+    ``save_trace`` for the idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from .context import ModuleContext, qualified_symbols
+from .determinism import _symbol_for
+from .findings import Finding
+from .rules import Rule, register
+
+#: Packages that own durable sweep state: the engine/cache/journal side
+#: of the repo, where a swallowed failure or a torn write corrupts a
+#: *persisted* artifact rather than one in-memory run.
+ROBUST_PACKAGES: Set[str] = {"experiments", "robustness"}
+
+#: Exception names broad enough to hide everything.
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _is_broad(expr: ast.expr) -> bool:
+    """True for ``Exception``/``BaseException`` or a tuple containing one."""
+    if isinstance(expr, ast.Name):
+        return expr.id in BROAD_EXCEPTIONS
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(element) for element in expr.elts)
+    return False
+
+
+def _only_drops(body) -> bool:
+    """True when a handler body does nothing but discard the exception."""
+    return all(isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in body)
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RPR601: broad exception handlers that silently drop the failure."""
+
+    id = "RPR601"
+    name = "swallowed-exception"
+    description = (
+        "`except Exception: pass` (or a bare `except`) inside experiments/"
+        "robustness hides cell failures from the retry/quarantine/journal "
+        "machinery.  Catch the narrow exception you mean, or record the "
+        "failure before moving on."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(ROBUST_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            for handler in node.handlers:
+                broad = handler.type is None or _is_broad(handler.type)
+                if broad and _only_drops(handler.body):
+                    caught = (
+                        "bare except"
+                        if handler.type is None
+                        else f"except {ast.unparse(handler.type)}"
+                    )
+                    yield self.finding(
+                        ctx,
+                        handler.lineno,
+                        _symbol_for(ctx, handler, symbols),
+                        f"{caught}: pass swallows every failure silently; "
+                        f"catch the specific exception or record the failure "
+                        f"(journal/quarantine/log) before continuing",
+                    )
+
+
+def _open_write_call(node: ast.AST):
+    """The ``open(..., \"w...\")`` call of a with-item, or None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if not (isinstance(func, ast.Name) and func.id == "open"):
+        return None
+    mode = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and mode.value.startswith("w")
+        and "b" not in mode.value
+    ):
+        return node
+    return None
+
+
+def _contains_json_dump(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "dump"
+            and isinstance(child.func.value, ast.Name)
+            and child.func.value.id == "json"
+        ):
+            return True
+    return False
+
+
+def _contains_os_replace(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "replace"
+            and isinstance(child.func.value, ast.Name)
+            and child.func.value.id == "os"
+        ):
+            return True
+    return False
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    """RPR602: ``open(..., "w")`` + ``json.dump`` without ``os.replace``."""
+
+    id = "RPR602"
+    name = "non-atomic-write"
+    description = (
+        "`open(path, \"w\")` + `json.dump` without an `os.replace` in the "
+        "same function leaves a torn JSON file at the final path if the "
+        "process dies mid-write.  Inside experiments/robustness, write to a "
+        "temp file and os.replace() it into place (the ResultCache.store / "
+        "save_trace idiom)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(ROBUST_PACKAGES):
+            return
+        symbols = qualified_symbols(ctx.tree)
+        # Scopes that can host the compensating os.replace: the enclosing
+        # function if any, else the module.
+        scopes = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                call = _open_write_call(item.context_expr)
+                if call is None:
+                    continue
+                if not _contains_json_dump(node):
+                    continue
+                enclosing = None
+                for scope in scopes:
+                    start = scope.lineno
+                    end = getattr(scope, "end_lineno", start)
+                    if start <= node.lineno <= end:
+                        if enclosing is None or (
+                            end - start
+                            < getattr(enclosing, "end_lineno", enclosing.lineno)
+                            - enclosing.lineno
+                        ):
+                            enclosing = scope
+                host = enclosing if enclosing is not None else ctx.tree
+                if _contains_os_replace(host):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    _symbol_for(ctx, node, symbols),
+                    "json.dump into open(..., \"w\") with no os.replace in the "
+                    "enclosing function; a crash mid-write tears the file at "
+                    "its final path — write a temp file and os.replace it",
+                )

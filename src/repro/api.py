@@ -267,6 +267,11 @@ def run_many(
     name: str = "api-run-many",
     sampling: Optional[SamplingPlan] = None,
     telemetry=None,
+    cell_timeout: Optional[float] = None,
+    retry=None,
+    injector=None,
+    journal=None,
+    resume: bool = False,
 ) -> List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]]:
     """Run every config over every workload; results in config order.
 
@@ -287,6 +292,11 @@ def run_many(
     simulate live, overriding any ``cache`` argument — validation runs
     (the fuzzer, the differential oracles) use it so their results can
     neither poison nor be poisoned by the persistent sweep cache.
+
+    The fault-tolerance knobs (``cell_timeout``, ``retry``, ``injector``,
+    ``journal``, ``resume``) apply to suite mode only and are handed to
+    the :class:`~repro.experiments.sweep.SweepEngine` unchanged; see its
+    docstring.  Explicit-trace mode rejects them, like ``jobs``/``cache``.
 
     * **Explicit-trace mode** (``traces`` given): each config runs the
       given traces serially in-process, with probe/early-stop support
@@ -309,6 +319,17 @@ def run_many(
             raise ValueError(
                 "explicit traces run serially and uncached; use suite mode "
                 "(omit traces) for jobs/cache"
+            )
+        if (
+            cell_timeout is not None
+            or retry is not None
+            or injector is not None
+            or journal is not None
+            or resume
+        ):
+            raise ValueError(
+                "cell_timeout/retry/injector/journal/resume apply to suite "
+                "mode (omit traces); explicit traces run bare"
             )
         out: List[Tuple[ProcessorConfig, Dict[str, SimulationResult]]] = []
         for config in configs:
@@ -344,7 +365,17 @@ def run_many(
         workloads=workloads,
         sampling=sampling,
     )
-    engine = SweepEngine(jobs=jobs, cache=cache, progress=progress, telemetry=telemetry)
+    engine = SweepEngine(
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        telemetry=telemetry,
+        cell_timeout=cell_timeout,
+        retry=retry,
+        injector=injector,
+        journal=journal,
+        resume=resume,
+    )
     return list(engine.run(spec).per_config())
 
 

@@ -234,10 +234,13 @@ def _progress_logger(name: str):
 
 
 def build_engine(args: argparse.Namespace, progress: bool = False) -> SweepEngine:
-    """Translate --jobs/--cache-dir/--no-cache into a SweepEngine.
+    """Translate the engine CLI flags into a SweepEngine.
 
-    Raises SystemExit(2) with a clean message if the cache directory is
-    unusable (e.g. the path exists but is a regular file).
+    Besides --jobs/--cache-dir/--no-cache this wires the robustness
+    knobs: --cell-timeout, --retries, --journal/--resume, and the
+    --inject/--inject-seed fault plan.  Raises SystemExit(2) with a
+    clean message if the cache directory is unusable (e.g. the path
+    exists but is a regular file) or the fault plan does not parse.
     """
     cache: Optional[ResultCache] = None
     if not args.no_cache:
@@ -248,7 +251,44 @@ def build_engine(args: argparse.Namespace, progress: bool = False) -> SweepEngin
             print(f"error: unusable cache directory {cache_dir}: {exc}", file=sys.stderr)
             raise SystemExit(2)
     reporter = _progress_logger("sweep") if progress else None
-    return SweepEngine(jobs=args.jobs, cache=cache, progress=reporter)
+    retry = None
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        from .robustness import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=retries)
+    injector = None
+    plan_spec = getattr(args, "inject", None)
+    if plan_spec:
+        from .common.errors import ConfigurationError
+        from .robustness import FaultInjector, parse_fault_plan
+
+        try:
+            plan = parse_fault_plan(plan_spec, seed=getattr(args, "inject_seed", 0))
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        injector = FaultInjector(plan)
+    journal = None
+    journal_path = getattr(args, "journal", None)
+    if journal_path:
+        from .robustness import SweepJournal
+
+        journal = SweepJournal(journal_path)
+    resume = bool(getattr(args, "resume", False))
+    if resume and journal is None:
+        print("error: --resume requires --journal FILE", file=sys.stderr)
+        raise SystemExit(2)
+    return SweepEngine(
+        jobs=args.jobs,
+        cache=cache,
+        progress=reporter,
+        cell_timeout=getattr(args, "cell_timeout", None),
+        retry=retry,
+        injector=injector,
+        journal=journal,
+        resume=resume,
+    )
 
 
 def _experiment_kwargs(args: argparse.Namespace, runner, engine: SweepEngine) -> Dict[str, object]:
@@ -527,10 +567,15 @@ def cmd_suite_sweep(args: argparse.Namespace) -> int:
     outcome = engine.run(spec)
     rows = []
     for config, results in outcome.per_config():
+        # Quarantined cells are simply absent from ``results`` — the row
+        # shows a hole instead of the whole sweep crashing.
         row: Dict[str, object] = {"config": config.name or config.mode}
         for workload, result in results.items():
             row[workload] = round(result.ipc, 4)
-        row["mean_ipc"] = round(sum(r.ipc for r in results.values()) / len(results), 4)
+        if results:
+            row["mean_ipc"] = round(
+                sum(r.ipc for r in results.values()) / len(results), 4
+            )
         rows.append(row)
     print(f"suite: {args.suite} ({', '.join(suite.names())}) at scale {scale}")
     if sampling is not None:
@@ -546,7 +591,20 @@ def cmd_suite_sweep(args: argparse.Namespace) -> int:
         summary += (
             f" (cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es))"
         )
+    if outcome.resumed:
+        summary += f"; {outcome.resumed} resumed from journal"
+    if outcome.retries:
+        summary += f"; {outcome.retries} retrie(s)"
+    if outcome.quarantined:
+        summary += f"; {outcome.quarantined} quarantined"
     print(summary, file=sys.stderr)
+    for entry in outcome.failed_cells:
+        errors = entry.get("errors") or ["unknown"]
+        print(
+            f"quarantined: {entry['config']} x {entry['workload']} after "
+            f"{entry['attempts']} attempt(s): {errors[-1]}",
+            file=sys.stderr,
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump({"suite": args.suite, "scale": scale, "rows": rows}, handle, indent=2)
@@ -776,6 +834,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"report written to {args.json}")
+    if report.interrupted:
+        # Partial results were printed/written above; exit with the
+        # conventional 128+SIGINT status so callers see the interruption.
+        return 130
     return 0 if report.ok else 1
 
 
@@ -877,6 +939,37 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--no-cache", action="store_true",
             help="disable the persistent result cache",
+        )
+        subparser.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-cell wall-clock watchdog; a cell past this budget is "
+                 "killed, retried, and eventually quarantined",
+        )
+        subparser.add_argument(
+            "--retries", type=positive_int, default=None, metavar="N",
+            help="attempts per cell before quarantine (default 3); the sweep "
+                 "finishes and reports quarantined cells instead of raising",
+        )
+        subparser.add_argument(
+            "--journal", default=None, metavar="FILE",
+            help="append-only JSONL journal of finished cells, enabling "
+                 "--resume after a crash or Ctrl-C",
+        )
+        subparser.add_argument(
+            "--resume", action="store_true",
+            help="skip cells recorded in --journal (loaded from the cache; "
+                 "anything missing is simply re-simulated)",
+        )
+        subparser.add_argument(
+            "--inject", default=None, metavar="PLAN",
+            help="deterministic fault-injection plan for chaos testing, e.g. "
+                 "'worker.crash=0.25,cell.hang=0.1' (sites: "
+                 "worker.crash, cell.hang, simulate.error, cache.store.crash, "
+                 "cache.corrupt, sweep.sigint)",
+        )
+        subparser.add_argument(
+            "--inject-seed", type=int, default=0, metavar="SEED",
+            help="seed for the --inject plan (same seed, same faults)",
         )
 
     experiment = subparsers.add_parser("experiment", help="regenerate one paper figure")
@@ -1138,7 +1231,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         # No subcommand, or a command group ('trace') without an action.
         parser.print_help()
         return 2
-    return args.func(args)
+    from .common.errors import SweepInterrupted
+
+    try:
+        return args.func(args)
+    except SweepInterrupted as exc:
+        # Ctrl-C (or the injected SIGINT site) mid-sweep: one clean line
+        # with the completed/pending tally and the resume hint, then the
+        # conventional 128+SIGINT exit status.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

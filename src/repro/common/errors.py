@@ -46,3 +46,33 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """Raised when no instruction commits for an implausible number of cycles."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by a :class:`repro.robustness.FaultInjector` fault site.
+
+    Deliberately distinguishable from every organic simulator error so
+    recovery tests can assert that an *injected* failure (and nothing
+    else) travelled the retry/quarantine path.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """Raised when one sweep cell exceeds its wall-clock watchdog budget."""
+
+
+class SweepInterrupted(ReproError):
+    """A sweep stopped early on SIGINT after draining in-flight cells.
+
+    Carries enough for a one-line summary: how many cells finished (and
+    were flushed to cache/journal) and how many remain pending.
+    """
+
+    def __init__(self, completed: int, pending: int, journal=None) -> None:
+        self.completed = completed
+        self.pending = pending
+        self.journal = journal
+        message = f"{completed} cell(s) completed, {pending} pending"
+        if journal is not None:
+            message += f" (resume with --resume --journal {journal})"
+        super().__init__(message)

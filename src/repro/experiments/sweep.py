@@ -12,16 +12,36 @@ infrastructure:
 
 :class:`SweepEngine`
     Executes a spec either serially (``jobs=1``, bit-identical to the
-    pre-engine per-figure loops) or on a ``multiprocessing`` pool with a
-    configurable worker count.  Results always come back in declared
-    cell order regardless of which worker finished first.
+    pre-engine per-figure loops) or on a fault-tolerant process pool
+    (:class:`repro.robustness.ResilientPool`) with a configurable worker
+    count.  Results always come back in declared cell order regardless
+    of which worker finished first.
 
 :class:`ResultCache`
     A persistent cache of finished cells, keyed by a stable content hash
     of (config, suite, workload, scale, simulator version).  Re-running
     a figure only simulates the cells whose inputs changed; everything
-    else is loaded from disk.  Corrupt entries are detected, deleted and
-    transparently re-simulated.
+    else is loaded from disk.  Corrupt entries are detected, quarantined
+    into a ``corrupt/`` subdirectory and transparently re-simulated.
+
+The engine is additionally hardened on :mod:`repro.robustness` — all of
+it strictly opt-in (a plain ``SweepEngine(jobs, cache)`` takes none of
+these paths and produces bit-identical results and cache keys):
+
+* ``cell_timeout`` arms a per-cell wall-clock watchdog — SIGALRM in
+  serial runs, parent-side deadline kills in parallel ones;
+* failed cells are retried under a :class:`~repro.robustness.RetryPolicy`
+  and quarantined after the budget: the sweep *finishes*, reporting the
+  holes in :attr:`SweepOutcome.failed_cells` instead of raising;
+* dead workers are detected and respawned, and the pool degrades to
+  serial in-parent execution when workers keep dying;
+* a :class:`~repro.robustness.SweepJournal` records every finished cell
+  durably, enabling ``resume=True`` (journaled cells are loaded from
+  the cache, not re-simulated) and a clean Ctrl-C story: interruption
+  raises :class:`~repro.common.errors.SweepInterrupted` carrying the
+  completed/pending tally;
+* a :class:`~repro.robustness.FaultInjector` drives all of the above
+  deterministically from a seed, for tests and the chaos CI job.
 
 Usage::
 
@@ -38,7 +58,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import os
 import time
 from contextlib import nullcontext
@@ -60,7 +79,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 from ..api import Simulation
 from ..common.config import ProcessorConfig, SamplingPlan
+from ..common.errors import SweepInterrupted
 from ..core.result import SimulationResult
+from ..robustness import FaultInjector, ResilientPool, RetryPolicy, SweepJournal, deadline
 from ..trace.trace import Trace
 from ..workloads.registry import get_suite
 from .runner import DEFAULT_SCALE, suite_traces
@@ -203,8 +224,17 @@ class ResultCache:
 
     Writes are atomic (temp file + ``os.replace``) so a crashed or
     concurrent run can never leave a half-written entry in place; reads
-    treat any unreadable/inconsistent file as corrupt, delete it, and
-    report a miss so the engine re-simulates the cell.
+    treat any unreadable/inconsistent file as corrupt, move it into the
+    ``corrupt/`` quarantine subdirectory (preserving the evidence for
+    post-mortem instead of destroying it), and report a miss so the
+    engine re-simulates the cell.
+
+    The optional ``injector``/``fault_context`` attributes are fault-
+    injection plumbing: when an injector is attached, ``store`` offers
+    it the ``cache.store.crash`` site between the temp write and the
+    atomic replace, and the ``cache.corrupt`` site after a successful
+    store.  Both default to off; a cache without an injector takes the
+    exact pre-robustness write path.
     """
 
     def __init__(self, cache_dir: os.PathLike) -> None:
@@ -214,9 +244,33 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        #: Corrupt entries moved into :attr:`corrupt_dir` (vs unlinked
+        #: when the move itself fails).
+        self.quarantined = 0
+        #: Optional :class:`~repro.robustness.FaultInjector`; see above.
+        self.injector: Optional[FaultInjector] = None
+        #: Decision context for the injector's cache sites.
+        self.fault_context = ""
+
+    @property
+    def corrupt_dir(self) -> Path:
+        """Quarantine directory for corrupt entries (created on demand)."""
+        return self.cache_dir / "corrupt"
 
     def path_for(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the way; fall back to deletion."""
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.corrupt_dir / path.name)
+            self.quarantined += 1
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def load(self, key: str) -> Optional[SimulationResult]:
         """Cached result for ``key``, or None on a miss or corrupt entry."""
@@ -234,19 +288,23 @@ class ResultCache:
             # Everything a truncated, hand-edited or wrong-shaped JSON file
             # can throw — including AttributeError when the top-level value
             # is valid JSON but not an object — counts as a corrupt entry:
-            # remove it and report a miss so the cell is re-simulated.
+            # quarantine it and report a miss so the cell is re-simulated.
             self.corrupt += 1
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
 
     def store(self, key: str, result: SimulationResult) -> None:
-        """Atomically persist ``result`` under ``key``."""
+        """Atomically persist ``result`` under ``key``.
+
+        The destination either keeps its previous content or gets the
+        complete new payload — a crash anywhere in here (including the
+        injected ``cache.store.crash``) leaves at most an orphaned temp
+        file, never a torn entry; the temp file is cleaned up on any
+        non-fatal failure.
+        """
         payload = {
             "key": key,
             "simulator_version": current_simulator_version(),
@@ -255,14 +313,32 @@ class ResultCache:
         }
         path = self.path_for(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
+        text = json.dumps(payload)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                if self.injector is not None:
+                    # Simulate the realistic torn write: half the payload
+                    # durably on disk, then die before the atomic replace.
+                    handle.write(text[: len(text) // 2])
+                    handle.flush()
+                    self.injector.store_crash_point(self.fault_context or key[:12])
+                    handle.seek(0)
+                    handle.truncate()
+                handle.write(text)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
         self.stores += 1
+        if self.injector is not None:
+            self.injector.corrupt_point(path, self.fault_context or key[:12])
 
     def clear(self) -> int:
-        """Delete every cache entry (and orphaned temp files); returns the
-        number of entries removed."""
+        """Delete every cache entry (and orphaned temp files plus the
+        corrupt quarantine); returns the number of entries removed."""
         removed = 0
         for path in self.cache_dir.glob("*.json"):
             try:
@@ -270,12 +346,19 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        # Temp files orphaned by a crash between write and os.replace.
+        # Temp files orphaned by a crash between write and os.replace,
+        # and quarantined corpses — neither counts as a cache entry.
         for path in self.cache_dir.glob("*.tmp.*"):
             try:
                 path.unlink()
             except OSError:
                 pass
+        if self.corrupt_dir.is_dir():
+            for path in self.corrupt_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed
 
 
@@ -335,39 +418,82 @@ def _simulate_cell(
     """Pool worker entry point: rebuild the config, build the trace, run.
 
     ``task`` is ``(config_data, suite, scale, workload, sampling_data)``
-    optionally extended with ``(cache_dir, cache_key)``.  When the cache
+    optionally extended with ``(cache_dir, cache_key)`` and further with
+    ``(fault_plan_data, fault_context, attempt)``.  When the cache
     fields are present the worker checks the persistent cache itself
     (another process may have finished the cell since the parent's
     lookup) and stores fresh results — keeping the store off the
-    parent's collection loop.  Returns ``(result, meta)`` where ``meta``
-    reports the worker's pid, per-cell wall-clock, and whether the cell
-    was a worker-side cache hit, so the parent can aggregate cache
-    counters and reconstruct per-worker utilization.
+    parent's collection loop.  When a fault plan rides along, an
+    injector is rebuilt from it and offered every worker-side site; the
+    decision context carries the attempt number (``...:aN``), so a cell
+    that crashed on one attempt draws fresh on the next.  Returns
+    ``(result, meta)`` where ``meta`` reports the worker's pid, per-cell
+    wall-clock, whether the cell was a worker-side cache hit, and any
+    faults fired, so the parent can aggregate counters and reconstruct
+    per-worker utilization.
     """
     config_data, suite, scale, workload, sampling_data = task[:5]
     cache_dir = str(task[5]) if len(task) > 5 and task[5] else None
     cache_key = str(task[6]) if len(task) > 6 and task[6] else None
+    plan_data = task[7] if len(task) > 7 else None
+    fault_context = str(task[8]) if len(task) > 8 and task[8] else f"{suite}:{workload}"
+    attempt = int(task[9]) if len(task) > 9 else 0  # type: ignore[arg-type]
+    injector = (
+        FaultInjector.from_dict(plan_data)  # type: ignore[arg-type]
+        if plan_data
+        else None
+    )
+    context = f"{fault_context}:a{attempt}"
     started = time.perf_counter()
     cache = _worker_cache(cache_dir) if cache_dir and cache_key else None
+    if injector is not None:
+        injector.crash_point(context)
     result: Optional[SimulationResult] = None
     cache_hit = False
-    if cache is not None and cache_key is not None:
-        result = cache.load(cache_key)
-        cache_hit = result is not None
-    if result is None:
-        config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
-        sampling = SamplingPlan.from_dict(sampling_data) if sampling_data else None
-        trace = _worker_trace(suite, scale, workload)
-        result = Simulation(config, sampling=sampling).run(trace)
+    try:
+        if cache is not None and injector is not None:
+            cache.injector = injector
+            cache.fault_context = context
         if cache is not None and cache_key is not None:
-            cache.store(cache_key, result)
+            result = cache.load(cache_key)
+            cache_hit = result is not None
+        if result is None:
+            config = ProcessorConfig.from_dict(config_data)  # type: ignore[arg-type]
+            sampling = SamplingPlan.from_dict(sampling_data) if sampling_data else None
+            if injector is not None:
+                injector.hang_point(context)
+            trace = _worker_trace(suite, scale, workload)
+            probes: Tuple[object, ...] = ()
+            if injector is not None:
+                probe = injector.simulate_error_probe(context)
+                if probe is not None:
+                    probes = (probe,)
+            result = Simulation(config, sampling=sampling, probes=probes).run(trace)
+            if cache is not None and cache_key is not None:
+                cache.store(cache_key, result)
+    finally:
+        if cache is not None and injector is not None:
+            cache.injector = None
+            cache.fault_context = ""
     meta: Dict[str, object] = {
         "pid": os.getpid(),
         "elapsed": time.perf_counter() - started,
         "cache_hit": cache_hit,
         "stored": cache is not None and not cache_hit,
     }
+    if injector is not None and injector.fired:
+        meta["faults"] = list(injector.fired)
     return result, meta
+
+
+def _cell_with_attempt(
+    task: Tuple[object, ...], attempt: int
+) -> Tuple[SimulationResult, Dict[str, object]]:
+    """Resilient-pool adapter: pad the task tuple and append the attempt."""
+    padded = tuple(task)
+    if len(padded) < 9:
+        padded = padded + (None,) * (9 - len(padded))
+    return _simulate_cell(padded + (attempt,))
 
 
 def _workload_major(
@@ -411,10 +537,18 @@ def _locality_chunksize(pending: Sequence[SweepCell], workers: int) -> int:
 
 @dataclass
 class SweepOutcome:
-    """Results of one executed spec, in declared cell order."""
+    """Results of one executed spec, in declared cell order.
+
+    ``results`` is full-length — one slot per declared cell — and a
+    slot is ``None`` only for a quarantined cell (impossible without a
+    fault injector or a genuinely poisoned cell; fault-free sweeps are
+    always complete).  Quarantined cells are itemized in
+    ``failed_cells`` so callers report holes instead of crashing on
+    them.
+    """
 
     spec: SweepSpec
-    results: List[SimulationResult]
+    results: List[Optional[SimulationResult]]
     simulated: int = 0
     cached: int = 0
     elapsed: float = 0.0
@@ -425,14 +559,36 @@ class SweepOutcome:
     #: Sum of per-cell worker wall-clock (parallel runs only); divided by
     #: ``elapsed * workers`` this is the pool utilization.
     worker_busy: float = 0.0
+    #: One dict per quarantined cell: ``{"index", "config", "workload",
+    #: "key", "attempts", "errors"}`` — the partial-result report.
+    failed_cells: List[Dict[str, object]] = field(default_factory=list)
+    #: Cell attempts re-run after a failure (any cause).
+    retries: int = 0
+    #: Cells loaded from cache because a resume journal recorded them.
+    resumed: int = 0
+    #: Worker processes that died and were respawned (parallel only).
+    worker_deaths: int = 0
+    #: Cells killed by the per-cell wall-clock watchdog.
+    timeouts: int = 0
+    #: True when the pool gave up on workers and finished serially.
+    degraded: bool = False
     _by_config: Dict[str, Dict[str, SimulationResult]] = field(default_factory=dict)
+
+    @property
+    def quarantined(self) -> int:
+        """Number of cells that exhausted their retry budget."""
+        return len(self.failed_cells)
 
     def __post_init__(self) -> None:
         if not self._by_config:
             workloads = self.spec.workload_names()
             for i, config in enumerate(self.spec.configs):
                 block = self.results[i * len(workloads) : (i + 1) * len(workloads)]
-                self._by_config[config.stable_hash()] = dict(zip(workloads, block))
+                self._by_config[config.stable_hash()] = {
+                    workload: result
+                    for workload, result in zip(workloads, block)
+                    if result is not None
+                }
 
     def config_results(self, config: ProcessorConfig) -> Dict[str, SimulationResult]:
         """Per-workload results of one configuration of the spec."""
@@ -457,9 +613,17 @@ class SweepEngine:
     unified facade).  ``jobs=1`` runs in-process with the same trace
     cache and per-config reuse as the original figure loops, so its
     output is bit-identical to the pre-engine implementation.  ``jobs>1`` fans the
-    uncached cells out over a process pool; because the simulator is
-    deterministic pure Python, parallel results equal serial ones.
-    ``jobs=None`` uses every available CPU.
+    uncached cells out over a fault-tolerant process pool; because the
+    simulator is deterministic pure Python, parallel results equal
+    serial ones.  ``jobs=None`` uses every available CPU.
+
+    The keyword-only robustness knobs live on the engine, not the spec,
+    because none of them may influence a cell's identity (cache keys
+    hash the spec): ``cell_timeout`` arms per-cell watchdogs, ``retry``
+    bounds re-attempts before quarantine, ``journal`` records durable
+    progress for ``resume=True``, ``injector`` drives deterministic
+    chaos, and ``max_worker_deaths`` caps pool rebuilds before the
+    engine degrades to serial execution.  All default to off.
     """
 
     def __init__(
@@ -468,6 +632,13 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
         telemetry: Optional["TelemetrySession"] = None,
+        *,
+        cell_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        journal: Optional[SweepJournal] = None,
+        resume: bool = False,
+        max_worker_deaths: Optional[int] = None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -477,6 +648,12 @@ class SweepEngine:
         self.cache = cache
         self.progress = progress
         self.telemetry = telemetry
+        self.cell_timeout = cell_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
+        self.journal = journal
+        self.resume = resume
+        self.max_worker_deaths = max_worker_deaths
         # Cumulative counters across every run() of this engine.
         self.total_simulated = 0
         self.total_cached = 0
@@ -496,18 +673,70 @@ class SweepEngine:
     def _load_cached(
         self, cells: Sequence[SweepCell], spec: SweepSpec
     ) -> Tuple[List[Optional[SimulationResult]], List[str]]:
-        """Fill cache hits; returns (slots, per-cell cache keys)."""
+        """Fill cache hits; returns (slots, per-cell cache keys).
+
+        Keys are computed whenever the cache *or* the journal needs them
+        (journal records identify cells by key); a bare engine computes
+        none, exactly as before the robustness work.
+        """
         slots: List[Optional[SimulationResult]] = [None] * len(cells)
-        if self.cache is None:
+        if self.cache is None and self.journal is None:
             return slots, [""] * len(cells)
-        keys: List[str] = []
-        for cell in cells:
-            key = cell_cache_key(
+        keys = [
+            cell_cache_key(
                 cell.config, spec.suite, cell.workload, spec.scale, sampling=spec.sampling
             )
-            keys.append(key)
-            slots[cell.index] = self.cache.load(key)
+            for cell in cells
+        ]
+        if self.cache is not None:
+            for cell in cells:
+                slots[cell.index] = self.cache.load(keys[cell.index])
         return slots, keys
+
+    def _journal_append(self, record: Dict[str, object]) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _store_result(self, key: str, result: SimulationResult, context: str) -> None:
+        """Store through the cache, lending it the engine's injector.
+
+        ``context`` carries the attempt number, so an injected store
+        crash is transient — the retry draws fresh and lands the entry.
+        """
+        if self.cache is None:
+            return
+        if self.injector is not None:
+            self.cache.injector = self.injector
+            self.cache.fault_context = context
+        try:
+            self.cache.store(key, result)
+        finally:
+            if self.injector is not None:
+                self.cache.injector = None
+                self.cache.fault_context = ""
+
+    def _quarantine_cell(
+        self, cell: SweepCell, key: str, attempts: int, errors: List[str], rstats: Dict
+    ) -> None:
+        config_name = cell.config.name or cell.config.mode
+        entry: Dict[str, object] = {
+            "index": cell.index,
+            "config": config_name,
+            "workload": cell.workload,
+            "key": key,
+            "attempts": attempts,
+            "errors": list(errors),
+        }
+        rstats["failed"].append(entry)
+        self._journal_append(
+            {
+                "event": "cell-quarantined",
+                "index": cell.index,
+                "key": key,
+                "attempts": attempts,
+                "errors": list(errors),
+            }
+        )
 
     def _run_serial(
         self,
@@ -515,7 +744,10 @@ class SweepEngine:
         cells: Sequence[SweepCell],
         slots: List[Optional[SimulationResult]],
         keys: Sequence[str],
+        rstats: Dict[str, object],
     ) -> None:
+        from ..common.errors import CellTimeoutError
+
         with self._span("sweep:trace-build", category="sweep", suite=spec.suite):
             traces = suite_traces(spec.scale, spec.suite, spec.workloads)
         done = sum(1 for slot in slots if slot is not None)
@@ -528,17 +760,71 @@ class SweepEngine:
                 simulation = Simulation(cell.config, sampling=spec.sampling)
                 simulation_config = cell.config
             config_name = cell.config.name or cell.config.mode
-            with self._span(
-                f"cell:{config_name}x{cell.workload}",
-                category="cell",
-                workload=cell.workload,
-            ):
-                result = simulation.run(traces[cell.workload])
-            slots[cell.index] = result
-            if self.cache is not None:
-                self.cache.store(keys[cell.index], result)
-            done += 1
-            self._report(done, len(cells), cell, f"simulated ipc={result.ipc:.4f}")
+            attempts = 0
+            errors: List[str] = []
+            while True:
+                context = f"{config_name}x{cell.workload}:a{attempts}"
+                active = simulation
+                if self.injector is not None:
+                    probe = self.injector.simulate_error_probe(context)
+                    if probe is not None:
+                        # A probed run needs its own facade; the shared
+                        # per-config one must stay probe-free.
+                        active = Simulation(
+                            cell.config, sampling=spec.sampling, probes=(probe,)
+                        )
+                try:
+                    with self._span(
+                        f"cell:{config_name}x{cell.workload}",
+                        category="cell",
+                        workload=cell.workload,
+                    ):
+                        with deadline(
+                            self.cell_timeout, label=f"cell {config_name}x{cell.workload}"
+                        ):
+                            result = active.run(traces[cell.workload])
+                    self._store_result(keys[cell.index], result, context)
+                except Exception as exc:  # noqa: BLE001 - retried/quarantined
+                    attempts += 1
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                    if isinstance(exc, CellTimeoutError):
+                        rstats["timeouts"] += 1  # type: ignore[operator]
+                    self._journal_append(
+                        {
+                            "event": "cell-failed",
+                            "index": cell.index,
+                            "key": keys[cell.index],
+                            "attempt": attempts,
+                            "error": errors[-1],
+                        }
+                    )
+                    if self.retry.allows(attempts):
+                        rstats["retries"] += 1  # type: ignore[operator]
+                        time.sleep(self.retry.backoff(attempts))
+                        continue
+                    self._quarantine_cell(
+                        cell, keys[cell.index], attempts, errors, rstats
+                    )
+                    self._report(
+                        done, len(cells), cell, f"quarantined after {attempts} attempt(s)"
+                    )
+                    break
+                slots[cell.index] = result
+                done += 1
+                self._journal_append(
+                    {
+                        "event": "cell-done",
+                        "index": cell.index,
+                        "key": keys[cell.index],
+                        "workload": cell.workload,
+                        "config": config_name,
+                        "source": "simulated",
+                    }
+                )
+                self._report(done, len(cells), cell, f"simulated ipc={result.ipc:.4f}")
+                if self.injector is not None:
+                    self.injector.sigint_point(f"collect:{done}")
+                break
 
     def _run_parallel(
         self,
@@ -546,12 +832,18 @@ class SweepEngine:
         cells: Sequence[SweepCell],
         slots: List[Optional[SimulationResult]],
         keys: Sequence[str],
+        rstats: Dict[str, object],
     ) -> Dict[str, float]:
         pending = _workload_major(cells, slots, spec)
         sampling_data = spec.sampling.to_dict() if spec.sampling is not None else None
         cache_dir = str(self.cache.cache_dir) if self.cache is not None else None
-        tasks = [
-            (
+        plan_data = self.injector.to_dict() if self.injector is not None else None
+        by_index = {cell.index: cell for cell in pending}
+        tasks = []
+        for cell in pending:
+            config_name = cell.config.name or cell.config.mode
+            fault_context = f"{config_name}x{cell.workload}"
+            payload = (
                 cell.config.to_dict(),
                 spec.suite,
                 spec.scale,
@@ -559,27 +851,25 @@ class SweepEngine:
                 sampling_data,
                 cache_dir,
                 keys[cell.index] if cache_dir is not None else None,
+                plan_data,
+                fault_context,
             )
-            for cell in pending
-        ]
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            context = multiprocessing.get_context("spawn")
+            tasks.append((cell.index, payload, fault_context))
         workers = min(self.jobs, len(pending))
-        done = sum(1 for slot in slots if slot is not None)
         chunksize = _locality_chunksize(pending, workers)
         stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0}
         tracer = self.telemetry.tracer if self.telemetry is not None else None
         base = tracer.clock.now() if tracer is not None else 0.0
         worker_tids: Dict[object, int] = {}
         worker_offsets: Dict[int, float] = {}
-        pool_started = time.perf_counter()
-        with context.Pool(processes=workers) as pool:
-            for cell, (result, meta) in zip(
-                pending, pool.imap(_simulate_cell, tasks, chunksize=chunksize)
-            ):
-                slots[cell.index] = result
+        done_box = {"done": sum(1 for slot in slots if slot is not None)}
+
+        def on_event(kind: str, **info) -> None:
+            if kind == "result":
+                index = info["task_id"]
+                result, meta = info["value"]
+                cell = by_index[index]
+                slots[index] = result
                 hit = bool(meta.get("cache_hit"))
                 elapsed = float(meta.get("elapsed", 0.0))  # type: ignore[arg-type]
                 stats["busy"] += elapsed
@@ -596,11 +886,12 @@ class SweepEngine:
                     if meta.get("stored"):
                         stats["stores"] += 1
                         self.cache.stores += 1
+                rstats["faults"] += len(meta.get("faults") or ())  # type: ignore[operator]
+                config_name = cell.config.name or cell.config.mode
                 if tracer is not None:
                     tid = worker_tids.setdefault(meta.get("pid"), len(worker_tids) + 1)
                     start = base + worker_offsets.get(tid, 0.0)
                     worker_offsets[tid] = worker_offsets.get(tid, 0.0) + elapsed
-                    config_name = cell.config.name or cell.config.mode
                     tracer.add_span(
                         f"cell:{config_name}x{cell.workload}",
                         start,
@@ -610,10 +901,73 @@ class SweepEngine:
                         workload=cell.workload,
                         cached=hit,
                     )
-                done += 1
+                done_box["done"] += 1
+                self._journal_append(
+                    {
+                        "event": "cell-done",
+                        "index": index,
+                        "key": keys[index],
+                        "workload": cell.workload,
+                        "config": config_name,
+                        "source": "cache" if hit else "simulated",
+                    }
+                )
                 source = "cache hit (worker)" if hit else f"simulated ipc={result.ipc:.4f}"
-                self._report(done, len(cells), cell, source)
+                self._report(done_box["done"], len(cells), cell, source)
+                if self.injector is not None and not info.get("drained"):
+                    self.injector.sigint_point(f"collect:{done_box['done']}")
+            elif kind == "task-error":
+                cell = by_index[info["task_id"]]
+                self._journal_append(
+                    {
+                        "event": "cell-failed",
+                        "index": cell.index,
+                        "key": keys[cell.index],
+                        "attempt": info["attempt"],
+                        "error": info["error"],
+                    }
+                )
+            elif kind == "quarantine":
+                cell = by_index[info["task_id"]]
+                self._quarantine_cell(
+                    cell,
+                    keys[cell.index],
+                    int(info["attempts"]),
+                    list(info["errors"]),
+                    rstats,
+                )
+                self._report(
+                    done_box["done"],
+                    len(cells),
+                    cell,
+                    f"quarantined after {info['attempts']} attempt(s)",
+                )
+            elif kind == "worker-death" and self.progress is not None:
+                self.progress(
+                    f"worker pid {info.get('pid')} died "
+                    f"({info.get('deaths')} death(s) so far); respawning"
+                )
+            elif kind == "degrade" and self.progress is not None:
+                self.progress(
+                    f"pool kept dying; finishing {info.get('remaining')} "
+                    "cell(s) serially in-parent"
+                )
+
+        pool = ResilientPool(
+            _cell_with_attempt,
+            workers,
+            cell_timeout=self.cell_timeout,
+            retry=self.retry,
+            max_worker_deaths=self.max_worker_deaths,
+            on_event=on_event,
+        )
+        pool_started = time.perf_counter()
+        pool_outcome = pool.run(tasks, chunksize=chunksize)
         pool_elapsed = time.perf_counter() - pool_started
+        rstats["retries"] += pool_outcome.retries  # type: ignore[operator]
+        rstats["timeouts"] += pool_outcome.timeouts  # type: ignore[operator]
+        rstats["worker_deaths"] += pool_outcome.worker_deaths  # type: ignore[operator]
+        rstats["degraded"] = bool(rstats["degraded"]) or pool_outcome.degraded
         if self.telemetry is not None and workers > 0 and pool_elapsed > 0:
             metrics = self.telemetry.metrics
             metrics.gauge("sweep.workers").set(float(workers))
@@ -626,39 +980,135 @@ class SweepEngine:
                 )
         return stats
 
+    def _apply_resume(
+        self,
+        cells: Sequence[SweepCell],
+        slots: Sequence[Optional[SimulationResult]],
+        keys: Sequence[str],
+    ) -> int:
+        """Count cells recovered via the resume journal.
+
+        A journaled cell is *expected* in the result cache (the journal
+        records intent, the cache holds the bits); one that went missing
+        from the cache is simply re-simulated, so resume verification is
+        the intersection of journaled keys with this spec's keys — a
+        journal from a different sweep can never skip anything.
+        """
+        if not self.resume or self.journal is None or not self.journal.exists():
+            return 0
+        completed = self.journal.completed_keys()
+        if not completed:
+            return 0
+        return sum(
+            1
+            for cell in cells
+            if keys[cell.index]
+            and keys[cell.index] in completed
+            and slots[cell.index] is not None
+        )
+
     # -- public API ---------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepOutcome:
-        """Execute every cell of ``spec``; results in declared order."""
+        """Execute every cell of ``spec``; results in declared order.
+
+        Quarantined cells leave ``None`` holes and are itemized in
+        :attr:`SweepOutcome.failed_cells` — a partial sweep returns, it
+        does not raise.  Interruption (Ctrl-C or the injected SIGINT
+        site) raises :class:`SweepInterrupted` after journaling the
+        completed/pending tally.
+        """
         start = time.perf_counter()
         cells = spec.cells()
+        rstats: Dict[str, object] = {
+            "retries": 0,
+            "timeouts": 0,
+            "worker_deaths": 0,
+            "degraded": False,
+            "failed": [],
+            "faults": 0,
+        }
         with self._span(
             f"sweep:{spec.name}", category="sweep", cells=len(cells), jobs=self.jobs
         ):
             with self._span("cache:lookup", category="cache", cells=len(cells)):
                 slots, keys = self._load_cached(cells, spec)
+            resumed = self._apply_resume(cells, slots, keys)
+            if self.journal is not None:
+                if resumed:
+                    self._journal_append(
+                        {"event": "sweep-resume", "sweep": spec.name, "completed": resumed}
+                    )
+                else:
+                    digest = hashlib.sha256("".join(keys).encode("utf-8")).hexdigest()
+                    self._journal_append(
+                        {
+                            "event": "sweep-start",
+                            "sweep": spec.name,
+                            "suite": spec.suite,
+                            "scale": round(float(spec.scale), 9),
+                            "cells": len(cells),
+                            "keys_digest": digest,
+                        }
+                    )
             cached = 0
             for cell in cells:
                 if slots[cell.index] is not None:
                     cached += 1
                     self._report(cached, len(cells), cell, "cache hit")
+                    config_name = cell.config.name or cell.config.mode
+                    self._journal_append(
+                        {
+                            "event": "cell-done",
+                            "index": cell.index,
+                            "key": keys[cell.index],
+                            "workload": cell.workload,
+                            "config": config_name,
+                            "source": "cache",
+                        }
+                    )
             worker_stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0}
-            if cached < len(cells):
-                if self.jobs > 1:
-                    worker_stats = self._run_parallel(spec, cells, slots, keys)
-                else:
-                    self._run_serial(spec, cells, slots, keys)
-        results = [slot for slot in slots if slot is not None]
-        if len(results) != len(cells):  # pragma: no cover - defensive
-            raise RuntimeError(f"sweep {spec.name!r} lost {len(cells) - len(results)} cells")
+            try:
+                if cached < len(cells):
+                    if self.jobs > 1:
+                        worker_stats = self._run_parallel(spec, cells, slots, keys, rstats)
+                    else:
+                        self._run_serial(spec, cells, slots, keys, rstats)
+            except KeyboardInterrupt:
+                completed = sum(1 for slot in slots if slot is not None)
+                pending = len(cells) - completed
+                self._journal_append(
+                    {
+                        "event": "sweep-interrupted",
+                        "completed": completed,
+                        "pending": pending,
+                    }
+                )
+                raise SweepInterrupted(
+                    completed,
+                    pending,
+                    journal=self.journal.path if self.journal is not None else None,
+                ) from None
+        failed = list(rstats["failed"])  # type: ignore[call-overload]
+        failed_indexes = {int(entry["index"]) for entry in failed}
+        lost = [
+            cell.index
+            for cell in cells
+            if slots[cell.index] is None and cell.index not in failed_indexes
+        ]
+        if lost:  # pragma: no cover - defensive
+            raise RuntimeError(f"sweep {spec.name!r} lost {len(lost)} cells")
         worker_hits = int(worker_stats["hits"])
         cached += worker_hits
-        simulated = len(cells) - cached
+        simulated = len(cells) - cached - len(failed_indexes)
         self.total_simulated += simulated
         self.total_cached += cached
         cache_hits = cached if self.cache is not None else 0
         cache_misses = (
             len(cells) - cache_hits if self.cache is not None else 0
         )
+        fault_count = int(rstats["faults"])  # type: ignore[arg-type]
+        if self.injector is not None:
+            fault_count += len(self.injector.fired)
         if self.telemetry is not None:
             metrics = self.telemetry.metrics
             metrics.counter("sweep.cells_simulated").add(simulated)
@@ -666,15 +1116,42 @@ class SweepEngine:
             if self.cache is not None:
                 metrics.counter("cache.hits").add(cache_hits)
                 metrics.counter("cache.misses").add(cache_misses)
+            # Robustness counters appear only when the machinery engaged,
+            # so fault-free telemetry output is byte-identical.
+            if rstats["retries"]:
+                metrics.counter("sweep.retries").add(int(rstats["retries"]))  # type: ignore[arg-type]
+            if failed:
+                metrics.counter("sweep.quarantined_cells").add(len(failed))
+            if rstats["worker_deaths"]:
+                metrics.counter("sweep.worker_deaths").add(int(rstats["worker_deaths"]))  # type: ignore[arg-type]
+            if rstats["timeouts"]:
+                metrics.counter("sweep.watchdog_timeouts").add(int(rstats["timeouts"]))  # type: ignore[arg-type]
+            if fault_count:
+                metrics.counter("faults.injected").add(fault_count)
+        self._journal_append(
+            {
+                "event": "sweep-end",
+                "sweep": spec.name,
+                "simulated": simulated,
+                "cached": cached,
+                "quarantined": len(failed),
+            }
+        )
         return SweepOutcome(
             spec=spec,
-            results=results,
+            results=list(slots),
             simulated=simulated,
             cached=cached,
             elapsed=time.perf_counter() - start,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             worker_busy=worker_stats["busy"],
+            failed_cells=failed,
+            retries=int(rstats["retries"]),  # type: ignore[arg-type]
+            resumed=resumed,
+            worker_deaths=int(rstats["worker_deaths"]),  # type: ignore[arg-type]
+            timeouts=int(rstats["timeouts"]),  # type: ignore[arg-type]
+            degraded=bool(rstats["degraded"]),
         )
 
     def run_config(

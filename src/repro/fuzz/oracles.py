@@ -41,6 +41,15 @@ Each oracle checks one such agreement on one generated case:
     bit-identical.  Runs once per case (the trace does not depend on the
     machine).
 
+``fault-recovery``
+    An injected mid-simulate fault (a probe raising
+    :class:`~repro.common.errors.InjectedFaultError` halfway through the
+    trace, via :class:`repro.robustness.FaultInjector`) must propagate
+    as exactly that error — not get swallowed, not surface as something
+    else — and a fresh run afterwards must be bit-identical to the
+    memoized exact artifact: an aborted simulation leaves no residue in
+    any process-level state.  Runs once per case.
+
 Oracles are pure functions of a :class:`MachineRun`, which lazily
 executes and memoizes the exact / per-cycle / sampled artifacts so an
 oracle set shares simulations instead of re-running them.
@@ -56,7 +65,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import api
 from ..common.config import ProcessorConfig, SamplingPlan
-from ..common.errors import DeadlockError, ReproError
+from ..common.errors import DeadlockError, InjectedFaultError, ReproError
 from ..core.result import SimulationResult
 from ..trace.trace import Trace
 from .spec import CaseSpec
@@ -334,6 +343,56 @@ def oracle_trace_roundtrip(run: MachineRun) -> OracleVerdict:
         )
 
 
+def oracle_fault_recovery(run: MachineRun) -> OracleVerdict:
+    """Injected faults fail cleanly and leave no residue behind."""
+    from ..robustness import FaultInjector, FaultPlan, FaultRule
+
+    name = "fault-recovery"
+    exact, exact_error = run.exact
+    if exact_error is not None:
+        # The case itself cannot run; no-deadlock reports that.
+        return OracleVerdict(name, run.machine, True, "skipped: exact run failed")
+    assert exact is not None
+    injector = FaultInjector(
+        FaultPlan(seed=0, rules=(FaultRule("simulate.error", rate=1.0),))
+    )
+    probe = injector.simulate_error_probe(
+        f"fuzz:{run.case.name}", after_commits=max(1, len(run.trace) // 2)
+    )
+    assert probe is not None  # rate 1.0 always fires
+    try:
+        api.run(run.config, run.trace, probes=(probe,))
+    except InjectedFaultError:
+        pass
+    except ReproError as exc:
+        return OracleVerdict(
+            name, run.machine, False,
+            f"injected fault surfaced as {type(exc).__name__}: {exc}",
+        )
+    else:
+        return OracleVerdict(
+            name, run.machine, False,
+            "injected mid-simulate fault was swallowed (run completed)",
+        )
+    try:
+        clean = api.run(run.config, run.trace)
+    except ReproError as exc:
+        return OracleVerdict(
+            name, run.machine, False,
+            f"clean rerun after the injected fault raised: {exc}",
+        )
+    if clean.to_dict() == exact.to_dict():
+        return OracleVerdict(
+            name, run.machine, True,
+            "fault propagated cleanly; post-fault rerun bit-identical",
+        )
+    return OracleVerdict(
+        name, run.machine, False,
+        "post-fault rerun diverged: "
+        + _first_difference(clean.to_dict(), exact.to_dict()),
+    )
+
+
 #: name -> (function, scope); "machine" oracles run on every machine,
 #: "case" oracles once per case (on the first machine in the list).
 ORACLES: Dict[str, Tuple[Callable[[MachineRun], OracleVerdict], str]] = {
@@ -341,6 +400,7 @@ ORACLES: Dict[str, Tuple[Callable[[MachineRun], OracleVerdict], str]] = {
     "no-deadlock": (oracle_no_deadlock, "machine"),
     "sampled-ci": (oracle_sampled_ci, "machine"),
     "trace-roundtrip": (oracle_trace_roundtrip, "case"),
+    "fault-recovery": (oracle_fault_recovery, "case"),
 }
 
 

@@ -88,14 +88,23 @@ class FuzzReport:
     #: discovery order; candidates for corpus promotion.
     novel: List[Tuple[CaseSpec, List[str]]] = field(default_factory=list)
     elapsed: float = 0.0
+    #: True when the campaign stopped early on Ctrl-C; ``cases_run`` is
+    #: then how many cases actually completed (== ``cases`` otherwise).
+    interrupted: bool = False
+    cases_run: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def summary(self) -> str:
+        completed = (
+            f"{self.cases_run}/{self.cases} cases (interrupted)"
+            if self.interrupted
+            else f"{self.cases} cases"
+        )
         return (
-            f"fuzz seed={self.seed}: {self.cases} cases x {len(self.machines)} machines, "
+            f"fuzz seed={self.seed}: {completed} x {len(self.machines)} machines, "
             f"{self.verdicts} verdicts, {len(self.failures)} violation(s), "
             f"{len(self.coverage)} coverage signatures (digest {self.coverage.digest()}) "
             f"in {self.elapsed:.1f}s"
@@ -122,6 +131,8 @@ class FuzzReport:
             "coverage_digest": self.coverage.digest(),
             "novel_cases": [case.name for case, _sigs in self.novel],
             "elapsed": round(self.elapsed, 3),
+            "interrupted": self.interrupted,
+            "cases_run": self.cases_run,
         }
 
 
@@ -221,13 +232,31 @@ class FuzzCampaign:
         self._report(failure.describe())
 
     def run(self) -> FuzzReport:
-        """Execute the campaign; deterministic for fixed constructor args."""
+        """Execute the campaign; deterministic for fixed constructor args.
+
+        Ctrl-C does not lose the campaign: the loop stops at the current
+        case boundary and the partial report comes back with
+        ``interrupted=True`` — every verdict, failure and coverage
+        signature gathered so far intact.
+        """
         start = time.perf_counter()
         report = FuzzReport(
             seed=self.seed, cases=self.cases,
             machines=list(self.machines), oracles=list(self.oracles),
         )
         generator = CaseGenerator(self.seed)
+        try:
+            self._run_cases(generator, report)
+        except KeyboardInterrupt:
+            report.interrupted = True
+            self._report(
+                f"interrupted after {report.cases_run}/{self.cases} case(s); "
+                "reporting partial results"
+            )
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    def _run_cases(self, generator: CaseGenerator, report: FuzzReport) -> None:
         for index in range(self.cases):
             case = generator.generate(index)
             try:
@@ -244,6 +273,7 @@ class FuzzCampaign:
                         minimized_verdict=OracleVerdict("generate", "-", False, str(exc)),
                     )
                 )
+                report.cases_run = index + 1
                 continue
             case_signatures: List[str] = []
             for position, machine in enumerate(self.machines):
@@ -266,13 +296,12 @@ class FuzzCampaign:
             if case_signatures:
                 generator.note_novelty(case_workloads(case))
                 report.novel.append((case, case_signatures))
+            report.cases_run = index + 1
             self._report(
                 f"[{index + 1}/{self.cases}] {case.name}: {case.describe()} "
                 f"(+{len(case_signatures)} signatures, "
                 f"{len(report.coverage)} total)"
             )
-        report.elapsed = time.perf_counter() - start
-        return report
 
 
 def run_fuzz(

@@ -1,0 +1,44 @@
+"""Fault-tolerance substrate: injection, retry, watchdogs, journals, pool.
+
+This package is the machinery behind the sweep engine's robustness
+guarantees (see ``docs/architecture.md``, "Fault tolerance and
+recovery").  It is strictly opt-in: nothing here is imported by the
+simulator core, and a sweep configured without an injector, journal or
+watchdog takes none of these code paths.
+"""
+
+from .faults import (
+    DEFAULT_HANG_SECONDS,
+    FAULT_EXIT_CODE,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    in_worker,
+    mark_worker,
+    parse_fault_plan,
+)
+from .journal import SweepJournal
+from .pool import PoolOutcome, ResilientPool, TaskFailure
+from .retry import DEFAULT_MAX_ATTEMPTS, RetryPolicy
+from .watchdog import deadline, watchdog_available
+
+__all__ = [
+    "DEFAULT_HANG_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "FAULT_EXIT_CODE",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "PoolOutcome",
+    "ResilientPool",
+    "RetryPolicy",
+    "SweepJournal",
+    "TaskFailure",
+    "deadline",
+    "in_worker",
+    "mark_worker",
+    "parse_fault_plan",
+    "watchdog_available",
+]

@@ -1,0 +1,116 @@
+"""Append-only JSONL sweep journal: the ground truth for ``--resume``.
+
+One record per line, flushed and fsynced as written, so the journal is
+exactly as durable as the kernel allows at the moment a cell finishes.
+A process killed mid-append leaves at most one torn final line, which
+:meth:`SweepJournal.read` tolerates (every *complete* record survives).
+
+Record shapes (the ``event`` field discriminates)::
+
+    {"event": "sweep-start", "sweep": name, "suite": ..., "scale": ...,
+     "cells": N, "keys_digest": sha256-of-all-keys}
+    {"event": "sweep-resume", "sweep": name, "completed": K}
+    {"event": "cell-done", "index": i, "key": ..., "workload": ...,
+     "config": ..., "source": "simulated" | "cache"}
+    {"event": "cell-failed", "index": i, "key": ..., "attempt": n,
+     "error": "..."}
+    {"event": "cell-quarantined", "index": i, "key": ..., "attempts": n,
+     "errors": [...]}
+    {"event": "sweep-interrupted", "completed": K, "pending": M}
+    {"event": "sweep-end", "sweep": name, "simulated": ..., "cached": ...}
+
+No timestamps by default: two runs of the same sweep under the same
+fault plan write byte-identical journals, which is what lets the chaos
+CI job diff recovery behavior instead of eyeballing it.
+
+Resume semantics (implemented by the engine, verified here): a cell
+whose key has a ``cell-done`` record is *expected* in the result cache;
+the engine loads it from there and skips re-simulation.  A journaled
+key missing from the cache is re-simulated and counted — the journal
+records intent, the cache holds the bits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+
+class SweepJournal:
+    """One journal file; append during a run, read back for resume."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path).expanduser()
+        #: Torn trailing lines skipped by the last :meth:`read`.
+        self.torn_lines = 0
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- writing --------------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Append one record durably (flush + fsync before returning)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- reading --------------------------------------------------------------
+    def read(self) -> List[Dict[str, object]]:
+        """Every complete record, in append order; torn tails are skipped."""
+        self.torn_lines = 0
+        records: List[Dict[str, object]] = []
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A crash mid-append tears at most the final line; any
+                # earlier unparsable line is the same failure repeated.
+                self.torn_lines += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                self.torn_lines += 1
+        return records
+
+    def completed_keys(self) -> Set[str]:
+        """Cache keys of every ``cell-done`` record in the journal."""
+        return {
+            str(record["key"])
+            for record in self.read()
+            if record.get("event") == "cell-done" and record.get("key")
+        }
+
+    def quarantined_keys(self) -> Set[str]:
+        """Keys quarantined in a previous run (retried again on resume)."""
+        return {
+            str(record["key"])
+            for record in self.read()
+            if record.get("event") == "cell-quarantined" and record.get("key")
+        }
+
+    def iter_events(self, event: str) -> Iterator[Dict[str, object]]:
+        for record in self.read():
+            if record.get("event") == event:
+                yield record
+
+    def last_start(self) -> Optional[Dict[str, object]]:
+        """The most recent ``sweep-start`` record, if any."""
+        start: Optional[Dict[str, object]] = None
+        for record in self.read():
+            if record.get("event") == "sweep-start":
+                start = record
+        return start

@@ -1,0 +1,48 @@
+"""Retry policy: bounded attempts with capped, deterministic backoff.
+
+No jitter on purpose: the sweep engine's recovery behavior must replay
+exactly under the fault injector, and a worker pool gets its decorrelation
+from the cells themselves (each failing cell backs off on its own clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+
+#: Default attempt budget: the first try plus two retries — enough to
+#: clear any transient (injected or real) failure whose probability is
+#: per-attempt, while a deterministic poison cell quarantines quickly.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times one cell may run, and how long to wait in between."""
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_base: float = 0.05  #: seconds before the first retry
+    backoff_cap: float = 2.0  #: exponential growth stops here
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+
+    def allows(self, attempts_made: int) -> bool:
+        """True when another attempt fits the budget."""
+        return attempts_made < self.max_attempts
+
+    def backoff(self, attempts_made: int) -> float:
+        """Delay before the next attempt, after ``attempts_made`` failures.
+
+        Deterministic doubling from ``backoff_base``, capped at
+        ``backoff_cap``: 0.05, 0.1, 0.2, ... for the defaults.
+        """
+        if attempts_made <= 0:
+            return 0.0
+        return min(self.backoff_base * (2 ** (attempts_made - 1)), self.backoff_cap)

@@ -132,7 +132,13 @@ def _parse_header(path: Path, line: str) -> Dict[str, Any]:
     if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
         raise TraceError(f"{path}: not a {TRACE_FORMAT} file")
     version = header.get("version")
-    if version != TRACE_FORMAT_VERSION:
+    # The bool check matters: True == 1 in Python, so a hostile header
+    # with "version": true would otherwise slip past an equality test.
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or version != TRACE_FORMAT_VERSION
+    ):
         raise TraceError(
             f"{path}: unsupported trace format version {version!r} "
             f"(this build reads version {TRACE_FORMAT_VERSION})"

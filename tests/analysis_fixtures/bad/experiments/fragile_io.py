@@ -1,0 +1,22 @@
+"""Fixture: fragile failure handling in a sweep-state module.
+
+Fires RPR601 (swallowed-exception) and RPR602 (non-atomic-write).
+"""
+
+import json
+
+
+def run_cells(cells):
+    results = []
+    for cell in cells:
+        try:
+            results.append(cell.simulate())
+        except Exception:  # RPR601: every failure vanishes silently
+            pass
+    return results
+
+
+def persist(path, payload):
+    # RPR602: a crash mid-dump leaves a torn JSON file at the final path.
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)

@@ -1,0 +1,21 @@
+"""Fixture: the sanctioned counterparts of the RPR6xx anti-patterns."""
+
+import json
+import os
+
+
+def run_cells(cells, journal):
+    results = []
+    for cell in cells:
+        try:
+            results.append(cell.simulate())
+        except ValueError as exc:  # narrow, and the failure is recorded
+            journal.append({"cell": cell.name, "error": str(exc)})
+    return results
+
+
+def persist(path, payload):
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)

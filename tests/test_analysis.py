@@ -51,6 +51,8 @@ class TestRuleFixtures:
         "RPR302": "core/missing_slots.py",
         "RPR401": "core/lazy_probe.py",
         "RPR501": "uses_shim.py",
+        "RPR601": "experiments/fragile_io.py",
+        "RPR602": "experiments/fragile_io.py",
     }
 
     @pytest.fixture(scope="class")

@@ -224,6 +224,61 @@ class TestMalformedInput:
                 Trace.from_jsonl(bad)
 
 
+class TestHostileInput:
+    """Byte-level hostility: every case must surface as TraceError naming
+    the path — never a raw EOFError/UnicodeDecodeError/KeyError."""
+
+    def test_truncated_gzip_stream(self, tmp_path, gather_trace):
+        path = save_trace(gather_trace, tmp_path / "whole.trace.gz")
+        blob = path.read_bytes()
+        truncated = tmp_path / "torn.trace.gz"
+        truncated.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceError, match="torn.trace.gz"):
+            load_trace(truncated)
+        with pytest.raises(TraceError, match="torn.trace.gz"):
+            trace_info(truncated)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.trace.gz"
+        path.write_bytes(b"")
+        # A zero-byte file reads as an empty gzip stream: the header line
+        # comes back blank and fails JSON parsing with the path named.
+        with pytest.raises(TraceError, match="empty.trace.gz"):
+            load_trace(path)
+
+    def test_gzip_wrapped_binary_garbage(self, tmp_path):
+        path = tmp_path / "binary.trace.gz"
+        with gzip.open(path, "wb") as handle:
+            handle.write(b"\xff\xfe\x00\x01binary sludge\x80\x81\x82" * 64)
+        with pytest.raises(TraceError, match="binary.trace.gz"):
+            load_trace(path)
+
+    def test_gzip_header_only_no_payload(self, tmp_path):
+        # A valid gzip container holding nothing: both lines read empty.
+        path = tmp_path / "hollow.trace.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("")
+        with pytest.raises(TraceError, match="malformed trace header"):
+            load_trace(path)
+
+    def test_boolean_version_rejected(self, tmp_path):
+        # True == 1 in Python, so a naive `version != 1` check would let
+        # {"version": true} through; the loader must type-check first.
+        header = {"format": TRACE_FORMAT, "version": True,
+                  "name": "x", "instructions": 1}
+        path = _write_gz(tmp_path / "boolver.trace.gz", [json.dumps(header)])
+        with pytest.raises(TraceError, match="unsupported trace format version True"):
+            load_trace(path)
+
+    def test_wrong_type_version_rejected(self, tmp_path):
+        for version in ("1", 1.0, None, [1]):
+            header = {"format": TRACE_FORMAT, "version": version,
+                      "name": "x", "instructions": 1}
+            path = _write_gz(tmp_path / "typever.trace.gz", [json.dumps(header)])
+            with pytest.raises(TraceError, match="unsupported trace format version"):
+                load_trace(path)
+
+
 class TestTraceCli:
     def test_save_info_run(self, tmp_path, capsys):
         from repro.cli import main
