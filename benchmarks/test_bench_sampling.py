@@ -117,3 +117,39 @@ def test_sampled_benchmark_rows_carry_plan_metadata():
     assert row["sampling"] == _SPECS["baseline-daxpy-xl-sampled"].sampling.to_dict()
     assert row["trace_instructions"] == 210_003
     assert "ipc_ci95" in row
+
+
+def test_bench_compare_ci_accuracy_gate(tmp_path, capsys):
+    """--compare also fails when a sampled CI half-width grows past 2x."""
+    import json
+
+    path = tmp_path / "bench.json"
+
+    def record(rows):
+        history = json.loads(path.read_text()) if path.exists() else []
+        history.append(
+            {"timestamp": f"t{len(history)}", "note": "synthetic", "results": rows}
+        )
+        path.write_text(json.dumps(history))
+
+    sampled = {"name": "xl-sampled", "seconds": 1.0, "ipc_ci95": 0.030}
+    exact = {"name": "xl-exact", "seconds": 5.0}
+    record([sampled, exact])
+
+    # CI width below the 2x limit (and wall clock flat): clean.
+    record([dict(sampled, ipc_ci95=0.055), exact])
+    assert compare_latest(str(path)) == 0
+    out = capsys.readouterr().out
+    assert "ACCURACY" not in out
+    assert "CI widths within 2x" in out
+
+    # CI width ballooned past 2x even though the run got *faster*.
+    record([dict(sampled, seconds=0.5, ipc_ci95=0.120), exact])
+    assert compare_latest(str(path)) == 1
+    assert "ACCURACY REGRESSION" in capsys.readouterr().out
+
+    # A zero earlier width has nothing meaningful to ratio: never flagged.
+    record([dict(sampled, ipc_ci95=0.0), exact])
+    record([dict(sampled, ipc_ci95=0.4), exact])
+    assert compare_latest(str(path)) == 0
+    assert "ACCURACY" not in capsys.readouterr().out

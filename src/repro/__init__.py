@@ -83,7 +83,7 @@ from .workloads.suite import get_suite, integer_suite, spec2000fp_like
 from . import api
 from .api import Simulation, run, run_many
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BranchConfig",

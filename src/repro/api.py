@@ -113,6 +113,9 @@ class Simulation:
         stop_when: Optional[StopFn] = None,
         force_per_cycle: bool = False,
         sampling: Optional[SamplingPlan] = None,
+        sample_jobs: Optional[int] = None,
+        checkpoint_dir=None,
+        checkpoint_max_bytes: Optional[int] = None,
         telemetry=None,
     ) -> None:
         self.config = config.validate()
@@ -139,6 +142,23 @@ class Simulation:
                     "is a sequence of window simulations, not one early-stoppable run"
                 )
         self.sampling = sampling
+        #: Opt-in execution knobs for sampled runs (see
+        #: :func:`repro.core.sampling.run_sampled`): fan detailed windows
+        #: out over ``sample_jobs`` worker processes and/or reuse the
+        #: functional warm-up pass via keyed checkpoint files under
+        #: ``checkpoint_dir``.  Pure performance levers — the result is
+        #: bit-identical with or without them — so neither participates
+        #: in any cache key.
+        if sample_jobs is not None and sample_jobs < 1:
+            raise ValueError(f"sample_jobs must be >= 1, got {sample_jobs}")
+        if (sample_jobs is not None or checkpoint_dir is not None) and sampling is None:
+            raise ValueError(
+                "sample_jobs/checkpoint_dir only apply to sampled runs; pass a "
+                "SamplingPlan via sampling="
+            )
+        self.sample_jobs = sample_jobs
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_max_bytes = checkpoint_max_bytes
         #: Opt-in observability (see :mod:`repro.telemetry`): a
         #: :class:`~repro.telemetry.TelemetrySession` whose probes attach
         #: to every run and whose tracer records per-phase spans.  ``None``
@@ -196,6 +216,9 @@ class Simulation:
                     progress=self.progress,
                     progress_interval=self.progress_interval,
                     tracer=tracer,
+                    parallel_windows=self.sample_jobs,
+                    checkpoint_dir=self.checkpoint_dir,
+                    checkpoint_max_bytes=self.checkpoint_max_bytes,
                 )
             pipeline = create_pipeline(
                 self.config,
@@ -233,6 +256,9 @@ def run(
     stop_when: Optional[StopFn] = None,
     force_per_cycle: bool = False,
     sampling: Optional[SamplingPlan] = None,
+    sample_jobs: Optional[int] = None,
+    checkpoint_dir=None,
+    checkpoint_max_bytes: Optional[int] = None,
     telemetry=None,
 ) -> SimulationResult:
     """Run one trace on one configuration — the canonical one-liner."""
@@ -246,6 +272,9 @@ def run(
         stop_when=stop_when,
         force_per_cycle=force_per_cycle,
         sampling=sampling,
+        sample_jobs=sample_jobs,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_max_bytes=checkpoint_max_bytes,
         telemetry=telemetry,
     ).run(trace)
 
@@ -266,6 +295,8 @@ def run_many(
     progress: Optional[Callable[[str], None]] = None,
     name: str = "api-run-many",
     sampling: Optional[SamplingPlan] = None,
+    sample_jobs: Optional[int] = None,
+    checkpoint_dir=None,
     telemetry=None,
     cell_timeout: Optional[float] = None,
     retry=None,
@@ -286,7 +317,11 @@ def run_many(
       unset.
     ``sampling`` applies a :class:`~repro.common.config.SamplingPlan` to
     every cell in either mode; sampled cells get their own cache keys,
-    so sampled and exact results never collide.
+    so sampled and exact results never collide.  ``sample_jobs`` and
+    ``checkpoint_dir`` are the sampled-run performance levers (parallel
+    detailed windows, reusable warm-state checkpoints — see
+    :func:`repro.core.sampling.run_sampled`); results are bit-identical
+    with or without them and cache keys are untouched.
 
     ``use_cache=False`` is a hard guard that forces every cell to
     simulate live, overriding any ``cache`` argument — validation runs
@@ -339,6 +374,8 @@ def run_many(
                 max_cycles=max_cycles,
                 stop_when=stop_when,
                 sampling=sampling,
+                sample_jobs=sample_jobs,
+                checkpoint_dir=checkpoint_dir,
                 telemetry=telemetry,
             )
             results: Dict[str, SimulationResult] = {}
@@ -375,6 +412,8 @@ def run_many(
         injector=injector,
         journal=journal,
         resume=resume,
+        sample_jobs=sample_jobs,
+        checkpoint_dir=checkpoint_dir,
     )
     return list(engine.run(spec).per_config())
 

@@ -49,3 +49,20 @@ class BranchTargetBuffer:
         """Flush the whole buffer (used by tests)."""
         self._tags = [None] * self._entries
         self._targets = [0] * self._entries
+
+    def warm_state(self) -> list:
+        """Valid entries as ``[[index, tag, target], ...]`` (JSON-safe)."""
+        return [
+            [index, tag, self._targets[index]]
+            for index, tag in enumerate(self._tags)
+            if tag is not None
+        ]
+
+    def load_warm_state(self, state: list) -> None:
+        """Restore :meth:`warm_state` output, replacing the whole buffer."""
+        self.invalidate()
+        for index, tag, target in state:
+            if not 0 <= index < self._entries:
+                raise ValueError(f"btb warm state entry {index!r} outside {self._entries} slots")
+            self._tags[index] = int(tag)
+            self._targets[index] = int(target)

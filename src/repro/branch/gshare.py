@@ -99,6 +99,25 @@ class GSharePredictor(BranchPredictor):
         """
         self._history = ((self._history << 1) | int(taken)) & self._history_mask
 
+    def warm_state(self):
+        """History register plus counter table.
+
+        Functional warming only advances ``_history`` (see :meth:`warm`),
+        but the table is captured too so a snapshot restores the
+        predictor to exactly the state it was taken from regardless of
+        how that state was produced.
+        """
+        return {"history": self._history, "counters": list(self._counters)}
+
+    def load_warm_state(self, state) -> None:
+        counters = [int(value) for value in state["counters"]]
+        if len(counters) != self._entries:
+            raise ValueError(
+                f"gshare warm state has {len(counters)} counters, table holds {self._entries}"
+            )
+        self._counters = counters
+        self._history = int(state["history"]) & self._history_mask
+
     def correct_history(self, history_before: int, taken: bool) -> None:
         """Rebuild history after a misprediction of a branch predicted with
         ``history_before``: shift in the *actual* outcome."""

@@ -52,6 +52,18 @@ class BranchPredictor(ABC):
         """
         self.update(pc, taken)
 
+    def warm_state(self):
+        """Serializable warm state, or None for stateless predictors.
+
+        Captures whatever :meth:`warm` evolves so sampled execution can
+        snapshot/restore the predictor at window boundaries; accuracy
+        statistics are deliberately excluded.
+        """
+        return None
+
+    def load_warm_state(self, state) -> None:
+        """Restore :meth:`warm_state` output (no-op for stateless predictors)."""
+
     @property
     def accuracy(self) -> float:
         """Fraction of predictions that were correct so far."""
@@ -124,3 +136,14 @@ class BimodalPredictor(BranchPredictor):
             self._counters[index] = min(3, counter + 1)
         else:
             self._counters[index] = max(0, counter - 1)
+
+    def warm_state(self):
+        return {"counters": list(self._counters)}
+
+    def load_warm_state(self, state) -> None:
+        counters = [int(value) for value in state["counters"]]
+        if len(counters) != self._entries:
+            raise ValueError(
+                f"bimodal warm state has {len(counters)} counters, table holds {self._entries}"
+            )
+        self._counters = counters

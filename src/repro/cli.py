@@ -27,6 +27,15 @@ The subcommands cover the common workflows:
     a workload or suite once with ``trace save``, check headers with
     ``trace info``, and simulate saved files with ``trace run``.
 
+``checkpoint``
+    Save, inspect and prune warm-state checkpoints (versioned
+    gzip-JSON): ``checkpoint save`` runs the sampled driver's functional
+    warm-up pass once and persists it keyed on (trace digest, sampling
+    plan, warm parameters, simulator version); sampled runs pointed at
+    the same directory (``--checkpoint-dir``) adopt it instead of
+    re-warming.  ``checkpoint info`` prints headers and ``checkpoint
+    gc`` LRU-evicts files past a size budget.
+
 ``list``
     Show the available workloads (with behavioral descriptions), suites
     and experiments.
@@ -70,6 +79,12 @@ Examples::
     python -m repro trace save --suite pointer-chase --scale 0.6 --out-dir traces/
     python -m repro trace info traces/chase_cold.trace.gz
     python -m repro trace run gather.trace.gz --machine cooo --iq-size 64
+    python -m repro simulate --suite spec2000fp-xl --scale 1.0 --sample 50000:8000:4000 \
+        --sample-jobs 4 --checkpoint-dir warm-checkpoints   # parallel windows + reuse
+    python -m repro checkpoint save --workload daxpy --size 30000 \
+        --sample 50000:1500:500 --dir warm-checkpoints
+    python -m repro checkpoint info warm-checkpoints/*.warm.gz
+    python -m repro checkpoint gc --dir warm-checkpoints --max-bytes 50000000
     python -m repro fuzz --cases 40 --seed 7 --corpus-dir tests/corpus
     python -m repro fuzz --replay tests/corpus
     python -m repro list
@@ -179,6 +194,14 @@ def parse_sampling(args: argparse.Namespace) -> Optional[SamplingPlan]:
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = build_machine(args)
     sampling = parse_sampling(args)
+    sample_jobs = getattr(args, "sample_jobs", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if sampling is None and (sample_jobs is not None or checkpoint_dir is not None):
+        print(
+            "error: --sample-jobs/--checkpoint-dir require --sample",
+            file=sys.stderr,
+        )
+        return 2
     # Workload and suite names resolve through the registry at run time,
     # so registered plugins are usable without parser edits; unknown
     # names error out listing every registered one (like 'repro modes').
@@ -193,7 +216,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    simulation = Simulation(config, sampling=sampling)
+    simulation = Simulation(
+        config,
+        sampling=sampling,
+        sample_jobs=sample_jobs,
+        checkpoint_dir=checkpoint_dir,
+    )
     rows: List[Dict[str, object]] = []
     results = {}
     for name, trace in traces.items():
@@ -288,6 +316,8 @@ def build_engine(args: argparse.Namespace, progress: bool = False) -> SweepEngin
         injector=injector,
         journal=journal,
         resume=resume,
+        sample_jobs=getattr(args, "sample_jobs", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
     )
 
 
@@ -418,6 +448,101 @@ def cmd_trace_run(args: argparse.Namespace) -> int:
     rows = [_result_row(trace.name, simulation.run(trace)) for trace in traces]
     print(f"machine: {config.name or config.mode}")
     print(format_table(rows))
+    return 0
+
+
+def cmd_checkpoint_save(args: argparse.Namespace) -> int:
+    """Run the functional warm-up pass once and persist its checkpoint."""
+    config = build_machine(args)
+    plan = parse_sampling(args)
+    if plan is None:
+        print(
+            "error: checkpoint save requires --sample PERIOD:WINDOW[:WARMUP[:SEED]]",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload and args.trace:
+        print("error: provide --workload or --trace, not both", file=sys.stderr)
+        return 2
+    try:
+        if args.trace:
+            trace = load_trace(args.trace)
+        elif args.workload:
+            trace = get_workload(args.workload).build(size=args.size)
+        else:
+            print("error: provide --workload or --trace", file=sys.stderr)
+            return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (TraceError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from .core.sampling import warm_checkpoint
+
+    try:
+        path, key, reused = warm_checkpoint(
+            config, trace, plan, args.dir, checkpoint_max_bytes=args.max_bytes
+        )
+    except (ConfigurationError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verb = "reused" if reused else "wrote"
+    print(f"{verb} {path}")
+    print(f"key {key}")
+    print(f"{trace.name}: {len(trace)} instructions, plan {plan.describe()}")
+    return 0
+
+
+def cmd_checkpoint_info(args: argparse.Namespace) -> int:
+    """Print the validated header of warm-checkpoint files."""
+    from .trace.io import checkpoint_info
+
+    status = 0
+    for path in args.paths:
+        try:
+            header = checkpoint_info(path)
+        except (TraceError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        plan = header.get("plan") or {}
+        plan_text = (
+            ":".join(
+                str(plan[field])
+                for field in ("period", "window", "warmup")
+                if field in plan
+            )
+            or "?"
+        )
+        print(
+            f"{path}: {header['trace_name']} @ simulator "
+            f"{header['simulator_version']} — {header['instructions']} "
+            f"instructions, {header['windows']} windows, plan {plan_text}"
+        )
+        print(f"  key {header['key']}")
+        print(f"  trace digest {header['trace_digest']}")
+    return status
+
+
+def cmd_checkpoint_gc(args: argparse.Namespace) -> int:
+    """LRU-evict checkpoint files past a directory size budget."""
+    from .common.eviction import directory_size, evict_lru
+    from .trace.io import CHECKPOINT_SUFFIX
+
+    if args.max_bytes < 0:
+        print("error: --max-bytes must be >= 0", file=sys.stderr)
+        return 2
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    removed, freed = evict_lru(directory, args.max_bytes, CHECKPOINT_SUFFIX)
+    remaining = directory_size(directory, CHECKPOINT_SUFFIX)
+    print(
+        f"{directory}: evicted {removed} checkpoint(s) ({freed} bytes), "
+        f"{remaining} bytes remain under the {args.max_bytes}-byte budget"
+    )
     return 0
 
 
@@ -897,12 +1022,29 @@ def build_parser() -> argparse.ArgumentParser:
                                default=CLI_DEFAULTS["physical_registers"])
         subparser.add_argument("--late-allocation", action="store_true")
 
+    def positive_int(value: str) -> int:
+        number = int(value)
+        if number < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return number
+
     def add_sampling_argument(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
             "--sample", default=None, metavar="PERIOD:WINDOW[:WARMUP[:SEED]]",
             help="sampled execution: functionally fast-forward between detailed "
                  "windows and extrapolate IPC with a 95%% confidence interval "
                  "(e.g. --sample 50000:8000:4000 for XL suites)",
+        )
+        subparser.add_argument(
+            "--sample-jobs", type=positive_int, default=None, metavar="N",
+            help="fan the detailed sample windows across N worker processes "
+                 "(bit-identical to serial; requires --sample)",
+        )
+        subparser.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="persist and reuse the functional warm-up pass as keyed "
+                 "warm-state checkpoint files (requires --sample; see "
+                 "'repro checkpoint')",
         )
 
     simulate = subparsers.add_parser("simulate", help="run one machine over one workload or suite")
@@ -919,12 +1061,6 @@ def build_parser() -> argparse.ArgumentParser:
     add_machine_arguments(simulate)
     simulate.add_argument("--json", default=None, help="write results to this JSON file")
     simulate.set_defaults(func=cmd_simulate)
-
-    def positive_int(value: str) -> int:
-        number = int(value)
-        if number < 1:
-            raise argparse.ArgumentTypeError("must be >= 1")
-        return number
 
     def add_engine_arguments(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -1045,6 +1181,53 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run.add_argument("paths", nargs="+", metavar="trace-file")
     add_machine_arguments(trace_run)
     trace_run.set_defaults(func=cmd_trace_run)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="save, inspect and prune warm-state checkpoints (gzip-JSON)",
+    )
+    checkpoint_actions = checkpoint.add_subparsers(dest="checkpoint_command")
+
+    checkpoint_save = checkpoint_actions.add_parser(
+        "save",
+        help="run the functional warm-up pass once and persist its "
+             "keyed checkpoint (reused automatically by --checkpoint-dir)",
+    )
+    checkpoint_save.add_argument("--workload", default=None,
+                                 help="registered workload (see 'repro workloads')")
+    checkpoint_save.add_argument("--size", type=int, default=1000,
+                                 help="workload size parameter (elements/iterations)")
+    checkpoint_save.add_argument("--trace", default=None, metavar="FILE",
+                                 help="saved trace file instead of --workload")
+    checkpoint_save.add_argument(
+        "--sample", default=None, metavar="PERIOD:WINDOW[:WARMUP[:SEED]]",
+        help="sampling plan the checkpoint is keyed on (required)",
+    )
+    checkpoint_save.add_argument("--dir", default="warm-checkpoints",
+                                 help="checkpoint directory (default warm-checkpoints/)")
+    checkpoint_save.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU-evict checkpoint files past this directory size",
+    )
+    add_machine_arguments(checkpoint_save)
+    checkpoint_save.set_defaults(func=cmd_checkpoint_save)
+
+    checkpoint_info_parser = checkpoint_actions.add_parser(
+        "info", help="print the header of warm-checkpoint files"
+    )
+    checkpoint_info_parser.add_argument("paths", nargs="+", metavar="checkpoint-file")
+    checkpoint_info_parser.set_defaults(func=cmd_checkpoint_info)
+
+    checkpoint_gc = checkpoint_actions.add_parser(
+        "gc", help="LRU-evict checkpoint files past a directory size budget"
+    )
+    checkpoint_gc.add_argument("--dir", default="warm-checkpoints",
+                               help="checkpoint directory (default warm-checkpoints/)")
+    checkpoint_gc.add_argument(
+        "--max-bytes", type=int, required=True, metavar="BYTES",
+        help="directory size budget; oldest-used files past it are deleted",
+    )
+    checkpoint_gc.set_defaults(func=cmd_checkpoint_gc)
 
     profile = subparsers.add_parser(
         "profile",

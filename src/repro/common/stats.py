@@ -14,13 +14,21 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 class Counter:
-    """A monotonically increasing (or explicitly settable) scalar statistic."""
+    """A monotonically increasing (or explicitly settable) scalar statistic.
 
-    __slots__ = ("name", "value")
+    ``kind`` declares the counter's cross-registry merge rule: ``"sum"``
+    counters accumulate, ``"peak"`` counters are high-watermarks that
+    combine by maximum (e.g. register-file peak occupancy).  Declaring
+    the rule at registration keeps per-window worker registries mergeable
+    into a parent bit-exactly.
+    """
 
-    def __init__(self, name: str, value: float = 0) -> None:
+    __slots__ = ("name", "value", "kind")
+
+    def __init__(self, name: str, value: float = 0, kind: str = "sum") -> None:
         self.name = name
         self.value = value
+        self.kind = kind
 
     def add(self, amount: float = 1) -> None:
         """Increment the counter by ``amount`` (default 1)."""
@@ -29,6 +37,11 @@ class Counter:
     def set(self, value: float) -> None:
         """Overwrite the counter value."""
         self.value = value
+
+    def peak(self, value: float) -> None:
+        """Raise the counter to ``value`` if it is a new high-watermark."""
+        if value > self.value:
+            self.value = value
 
     def reset(self) -> None:
         self.value = 0
@@ -198,10 +211,15 @@ class StatsRegistry:
         self._distributions: Dict[str, WeightedDistribution] = {}
 
     # -- creation -----------------------------------------------------
-    def counter(self, name: str) -> Counter:
-        """Return (creating if needed) the counter called ``name``."""
+    def counter(self, name: str, kind: str = "sum") -> Counter:
+        """Return (creating if needed) the counter called ``name``.
+
+        ``kind`` (``"sum"`` or ``"peak"``) only applies on creation; the
+        model that registers a counter declares its merge rule once and
+        every registry — parent or worker — registers it identically.
+        """
         if name not in self._counters:
-            self._counters[name] = Counter(name)
+            self._counters[name] = Counter(name, kind=kind)
         return self._counters[name]
 
     def running_mean(self, name: str) -> RunningMean:
@@ -256,6 +274,61 @@ class StatsRegistry:
         for group in (self._counters, self._means, self._histograms, self._distributions):
             for stat in group.values():
                 stat.reset()
+
+    # -- cross-process merge -------------------------------------------
+    def dump_state(self) -> Dict[str, list]:
+        """Raw internals of every statistic, in registration order.
+
+        Unlike :meth:`snapshot` (which reduces means to ``.mean``/``.max``)
+        this preserves the mergeable internals — counts, totals, bucket
+        weights — so a registry populated in a worker process can be
+        folded into the parent's registry by :meth:`merge_state` with the
+        exact values a single shared registry would have accumulated.
+        """
+        return {
+            "counters": [(name, c.value, c.kind) for name, c in self._counters.items()],
+            "means": [
+                (name, m.count, m.total, m.min, m.max) for name, m in self._means.items()
+            ],
+            "histograms": [
+                (name, list(h.buckets.items())) for name, h in self._histograms.items()
+            ],
+            "distributions": [
+                (name, list(d._weights.items())) for name, d in self._distributions.items()
+            ],
+        }
+
+    def merge_state(self, state: Mapping[str, list]) -> None:
+        """Fold a :meth:`dump_state` dump into this registry.
+
+        Counters/totals/weights add; min/max combine.  Statistics the
+        dump names but this registry lacks are created, in dump order, so
+        merging per-window worker dumps in window order reproduces the
+        registration order (and, for integer-valued statistics, the
+        bit-exact values) of a serial run over the same windows.
+        """
+        for name, value, kind in state.get("counters", ()):
+            counter = self.counter(name, kind)
+            if kind == "peak":
+                counter.peak(value)
+            else:
+                counter.value += value
+        for name, count, total, minimum, maximum in state.get("means", ()):
+            mean = self.running_mean(name)
+            mean.count += count
+            mean.total += total
+            if minimum is not None and (mean.min is None or minimum < mean.min):
+                mean.min = minimum
+            if maximum is not None and (mean.max is None or maximum > mean.max):
+                mean.max = maximum
+        for name, buckets in state.get("histograms", ()):
+            histogram = self.histogram(name)
+            for bucket, amount in buckets:
+                histogram.add(bucket, amount)
+        for name, weights in state.get("distributions", ()):
+            distribution = self.distribution(name)
+            for value, weight in weights:
+                distribution.sample(value, weight)
 
 
 def ratio(numerator: float, denominator: float) -> float:

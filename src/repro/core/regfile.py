@@ -42,7 +42,7 @@ class PhysicalRegisterFile:
         self._ready: List[bool] = [False] * num_regs
         self._allocations = stats.counter(f"{name}.allocations")
         self._frees = stats.counter(f"{name}.frees")
-        self._peak = stats.counter(f"{name}.peak_in_use")
+        self._peak = stats.counter(f"{name}.peak_in_use", kind="peak")
 
     # -- free-list management -------------------------------------------------
     @property
@@ -64,8 +64,7 @@ class PhysicalRegisterFile:
         self._is_free[reg] = False
         self._ready[reg] = False
         self._allocations.add()
-        if self.in_use_count > self._peak.value:
-            self._peak.set(self.in_use_count)
+        self._peak.peak(self.in_use_count)
         return reg
 
     def free(self, reg: int) -> None:
@@ -146,8 +145,8 @@ class PhysicalPool:
         self.capacity = capacity
         self._claimed = initially_claimed
         self._stall_cycles = stats.counter("prf.late_alloc_stalls")
-        self._peak = stats.counter("prf.late_alloc_peak")
-        self._peak.set(initially_claimed)
+        self._peak = stats.counter("prf.late_alloc_peak", kind="peak")
+        self._peak.peak(initially_claimed)
 
     @property
     def claimed(self) -> int:
@@ -163,8 +162,7 @@ class PhysicalPool:
             self._stall_cycles.add()
             return False
         self._claimed += 1
-        if self._claimed > self._peak.value:
-            self._peak.set(self._claimed)
+        self._peak.peak(self._claimed)
         return True
 
     def force_claim(self) -> None:
@@ -176,8 +174,7 @@ class PhysicalPool:
         transient overshoot is recorded in the peak statistic.
         """
         self._claimed += 1
-        if self._claimed > self._peak.value:
-            self._peak.set(self._claimed)
+        self._peak.peak(self._claimed)
 
     def release(self, count: int = 1) -> None:
         if count < 0 or count > self._claimed:

@@ -6,60 +6,86 @@ instructions hiding ~kilocycle memory latencies) only show up on long
 traces.  This module implements the standard way out — statistical
 sampling in the SMARTS tradition:
 
-1. most of the trace is **functionally fast-forwarded**: instructions
-   retire in program order with no pipeline timing, but every one still
-   drives the memory hierarchy (tag/LRU/dirty state, prefetcher
-   training, MSHR-free fills) and the branch predictor/BTB, so
-   long-lived microarchitectural state stays warm;
-2. periodically a **detailed window** runs on the real pipeline: a
-   ``warmup`` span refills the (short-lived) pipeline structures
-   unmeasured, then ``window`` instructions are measured
-   cycle-accurately;
+1. one **functional pass** covers the whole trace: instructions retire
+   in program order with no pipeline timing, but every one still drives
+   the memory hierarchy (tag/LRU/dirty state, prefetcher training,
+   MSHR-free fills) and the branch predictor/BTB, so long-lived
+   microarchitectural state stays warm.  At each detailed-window
+   boundary the pass *snapshots* that warm state;
+2. each **detailed window** runs on the real pipeline over its trace
+   slice, adopting its boundary snapshot
+   (``PipelineBase.adopt_warm_state``): a ``warmup`` span refills the
+   (short-lived) pipeline structures unmeasured, then ``window``
+   instructions are measured cycle-accurately;
 3. per-window IPCs feed a CLT confidence interval and the
    instruction-weighted ratio estimator extrapolates whole-trace IPC.
 
-The orchestration lives in :func:`run_sampled`; the schedule comes from
-:class:`~repro.common.config.SamplingPlan`.  Each detailed window is an
-independent pipeline over a trace slice that *adopts* the shared warm
-hierarchy/predictor state (``PipelineBase.adopt_warm_state``), which
-makes "drain in-flight state at window boundaries" exact by
-construction: a window runs to completion, and the hierarchy's MSHR
-timers are retired between windows (:meth:`CacheHierarchy.drain`).
+Because every window starts from a snapshot of the *functional* pass —
+never from another window's detailed leftovers — the windows are
+independent by construction.  That buys two things on top of PR 5's
+serial driver:
+
+* **Parallel windows** (``parallel_windows=N`` /  ``--sample-jobs N``):
+  the windows fan out across a supervised
+  :class:`~repro.robustness.pool.ResilientPool`, each worker simulating
+  one window and returning its cycle attribution plus a raw statistics
+  dump; the parent reduces the dumps in window order, so the result —
+  windows, IPC, CI, every statistic — is bit-identical to the serial
+  driver.
+* **Reusable warm-state checkpoints** (``checkpoint_dir=``): the
+  snapshots are persisted as a sha256-keyed
+  :class:`~repro.trace.io.WarmCheckpoint` file.  The key covers only
+  what shapes warm state (trace digest, sampling plan, hierarchy and
+  predictor parameters, simulator version — see
+  :mod:`repro.core.warmstate`), so machine configs differing in
+  ROB/checkpoint/SLIQ/latency knobs share one functional pass: an
+  N-machine XL sweep warms up once, not N times.
 
 Sampling is strictly opt-in.  Nothing here runs unless a
 :class:`SamplingPlan` is passed to :class:`repro.api.Simulation` /
 :func:`repro.api.run` / ``run_many`` or ``--sample`` on the CLI, and a
 plan whose period leaves nothing to fast-forward degenerates to one
 continuous detailed run whose result is bit-identical to the unsampled
-simulator.
+simulator.  Parallelism and checkpoint reuse are opt-in on top of that
+and never change the result, only where the time is spent.
 """
 
 from __future__ import annotations
 
 import math
 from contextlib import nullcontext
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..branch import BranchTargetBuffer, build_predictor
+from ..branch import BranchTargetBuffer
 from ..common.config import ProcessorConfig, SamplingPlan
+from ..common.errors import ConfigurationError, SimulationError
+from ..common.eviction import evict_lru
 from ..common.stats import StatsRegistry, ratio
 from ..memory.hierarchy import CacheHierarchy
+from ..trace.io import CHECKPOINT_SUFFIX, WarmCheckpoint
 from ..trace.trace import Trace
+from . import warmstate
 from .registry_machines import create_pipeline, get_machine
 from .result import SimulationResult
+
+#: Functional warm-up passes executed by this process (tests assert that
+#: checkpoint reuse makes an N-machine sweep warm up once, mirroring the
+#: ``TRACE_BUILDS`` counter in :mod:`repro.experiments.sweep`).
+WARM_PASSES = 0
 
 
 class FunctionalWarmer:
     """Retires instructions in program order without modeling timing.
 
-    The warmer owns nothing: it drives the *shared* hierarchy, direction
-    predictor and BTB that the detailed windows adopt.  Per instruction
-    it touches the instruction side, trains the branch structures with
-    the trace outcome (predictors end in exactly the state a detailed
-    front end would leave — see ``GSharePredictor.warm``), and performs
-    the MSHR-free data-access path (fills, recency, prefetcher
-    training).  Only the ``sampling.*`` accounting counters are bumped,
-    so detailed-mode statistics stay uncontaminated.
+    The warmer owns nothing: it drives the hierarchy, direction
+    predictor and BTB whose boundary snapshots the detailed windows
+    adopt.  Per instruction it touches the instruction side, trains the
+    branch structures with the trace outcome (predictors end in exactly
+    the state a detailed front end would leave — see
+    ``GSharePredictor.warm``), and performs the MSHR-free data-access
+    path (fills, recency, prefetcher training).  Only the ``sampling.*``
+    accounting counters are bumped, so detailed-mode statistics stay
+    uncontaminated.
     """
 
     __slots__ = ("hierarchy", "predictor", "btb", "_perfect_branches", "_fast_forwarded")
@@ -78,8 +104,16 @@ class FunctionalWarmer:
         self._perfect_branches = config.branch.perfect
         self._fast_forwarded = stats.counter("sampling.fast_forwarded_instructions")
 
-    def fast_forward(self, trace: Trace, start: int, count: int) -> int:
-        """Functionally retire ``trace[start:start+count]``; returns the new position."""
+    def fast_forward(self, trace: Trace, start: int, count: int, record: bool = True) -> int:
+        """Functionally retire ``trace[start:start+count]``; returns the new position.
+
+        ``record=False`` advances warm state without bumping the
+        fast-forward counter — used when the functional pass walks
+        *through* a detailed region purely for state continuity, so
+        ``sampling.fast_forwarded_instructions`` keeps meaning "skipped,
+        never simulated in detail" and the accounting identity
+        ``detailed + fast_forwarded == len(trace)`` holds.
+        """
         hierarchy = self.hierarchy
         warm_inst = hierarchy.warm_inst
         warm_data = hierarchy.warm_data
@@ -104,7 +138,8 @@ class FunctionalWarmer:
                         btb_update(pc, instr.branch_target or 0)
             elif instr.is_memory:
                 warm_data(instr.mem_addr or 0, instr.is_store, pc=pc)
-        self._fast_forwarded.add(count)
+        if record:
+            self._fast_forwarded.add(count)
         return start + count
 
 
@@ -247,6 +282,327 @@ def _run_continuous(
     )
 
 
+def _functional_pass(
+    effective: ProcessorConfig,
+    trace: Trace,
+    segments: Sequence[Tuple[int, int, int]],
+    stats: StatsRegistry,
+    tracer=None,
+) -> Tuple[List[int], List[Dict[str, Any]]]:
+    """One functional pass over the whole trace, snapshotting at boundaries.
+
+    Returns ``(boundaries, snapshots)``: the trace position where each
+    detailed region starts and the warm state captured there.  The pass
+    walks *through* detailed regions too (uncounted), so window N+1's
+    snapshot never depends on how window N executed in detail — the
+    property that makes windows order-independent and parallelizable.
+    """
+    global WARM_PASSES
+    WARM_PASSES += 1
+    hierarchy, predictor, btb = warmstate.build_warm_structures(effective, stats)
+    warmer = FunctionalWarmer(effective, hierarchy, predictor, btb, stats)
+    boundaries: List[int] = []
+    snapshots: List[Dict[str, Any]] = []
+    position = 0
+    for skip, warmup, measure in segments:
+        detailed = warmup + measure
+        span = (
+            tracer.span(
+                "sampling:fast-forward",
+                category="sampling",
+                instructions=skip + detailed,
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            if skip:
+                position = warmer.fast_forward(trace, position, skip)
+            if detailed:
+                boundaries.append(position)
+                snapshots.append(warmstate.capture_warm_state(hierarchy, predictor, btb))
+                position = warmer.fast_forward(trace, position, detailed, record=False)
+    return boundaries, snapshots
+
+
+def _warm_snapshots(
+    effective: ProcessorConfig,
+    trace: Trace,
+    plan: SamplingPlan,
+    segments: Sequence[Tuple[int, int, int]],
+    tracer=None,
+    checkpoint_dir=None,
+    checkpoint_max_bytes: Optional[int] = None,
+) -> Tuple[List[int], List[Dict[str, Any]], Dict[str, list]]:
+    """Warm snapshots for every detailed region, checkpoint-aware.
+
+    With a ``checkpoint_dir``, a checkpoint matching the sha256 key of
+    ``(trace digest, plan, warm parameters, simulator version)`` is
+    adopted instead of re-running the functional pass; a miss runs the
+    pass and persists it (evicting LRU files past
+    ``checkpoint_max_bytes``).  Returns ``(boundaries, snapshots,
+    warm_stats_dump)`` — the dump carries the pass's statistic
+    contributions so hit and miss runs produce identical results.
+    """
+    expected = []
+    position = 0
+    for skip, warmup, measure in segments:
+        position += skip
+        if warmup + measure:
+            expected.append(position)
+            position += warmup + measure
+    key = None
+    if checkpoint_dir is not None:
+        key = warmstate.checkpoint_key(trace.digest(), plan, effective)
+        span = (
+            tracer.span("sampling:checkpoint-load", category="sampling", key=key)
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            checkpoint = warmstate.load_matching_checkpoint(checkpoint_dir, key)
+        if (
+            checkpoint is not None
+            and checkpoint.instructions == len(trace)
+            and checkpoint.boundaries == expected
+        ):
+            try:
+                # Trial-merge into a scratch registry: a checkpoint whose
+                # stats dump will not fold cleanly is treated as a miss
+                # rather than crashing mid-run.
+                StatsRegistry().merge_state(checkpoint.warm_stats)
+            except (ValueError, TypeError):
+                checkpoint = None
+            else:
+                return checkpoint.boundaries, checkpoint.snapshots, checkpoint.warm_stats
+    warm_stats = StatsRegistry()
+    boundaries, snapshots = _functional_pass(effective, trace, segments, warm_stats, tracer)
+    warm_dump = warm_stats.dump_state()
+    if checkpoint_dir is not None:
+        from .. import __version__
+
+        checkpoint = WarmCheckpoint(
+            key=key,
+            simulator_version=__version__,
+            trace_digest=trace.digest(),
+            trace_name=trace.name,
+            instructions=len(trace),
+            plan=plan.to_dict(),
+            params=warmstate.warm_parameters(effective),
+            boundaries=boundaries,
+            snapshots=snapshots,
+            warm_stats=warm_dump,
+        )
+        span = (
+            tracer.span("sampling:checkpoint-save", category="sampling", key=key)
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            warmstate.store_checkpoint(checkpoint_dir, checkpoint)
+            evict_lru(checkpoint_dir, checkpoint_max_bytes, CHECKPOINT_SUFFIX)
+    return boundaries, snapshots, warm_dump
+
+
+def warm_checkpoint(
+    config: ProcessorConfig,
+    trace: Trace,
+    plan: SamplingPlan,
+    checkpoint_dir,
+    *,
+    checkpoint_max_bytes: Optional[int] = None,
+    tracer=None,
+) -> Tuple["Path", str, bool]:
+    """Build (or reuse) the warm checkpoint for ``(config, trace, plan)``.
+
+    Runs the functional warm pass exactly as :func:`run_sampled` would
+    and persists it under ``checkpoint_dir``, without simulating any
+    detailed windows — the ``repro checkpoint save`` entry point.
+    Returns ``(path, key, reused)`` where ``reused`` is True when a
+    matching checkpoint was already on disk.  Raises
+    :class:`ConfigurationError` for a plan that degenerates to one
+    continuous run (there is no warm state to checkpoint).
+    """
+    config.validate()
+    plan.validate()
+    segments = plan.schedule(len(trace))
+    if plan.fast_forward_per_period == 0 or not any(
+        measure for _skip, _warm, measure in segments
+    ):
+        raise ConfigurationError(
+            f"sampling plan {plan.describe()!r} runs {trace.name} as one "
+            "continuous window; there is no warm state to checkpoint"
+        )
+    effective = get_machine(config.mode).pipeline_class.effective_config(config)
+    key = warmstate.checkpoint_key(trace.digest(), plan, effective)
+    before = WARM_PASSES
+    _warm_snapshots(
+        effective, trace, plan, segments, tracer, checkpoint_dir, checkpoint_max_bytes
+    )
+    return warmstate.checkpoint_path(checkpoint_dir, key), key, WARM_PASSES == before
+
+
+def _execute_window(
+    config: ProcessorConfig,
+    effective: ProcessorConfig,
+    trace: Trace,
+    start: int,
+    warmup: int,
+    measure: int,
+    snapshot: Dict[str, Any],
+    stats: StatsRegistry,
+    *,
+    probes: Sequence = (),
+    default_probes: bool = True,
+    force_per_cycle: bool = False,
+    max_cycles: Optional[int] = None,
+    progress=None,
+    progress_interval: int = 8192,
+) -> Dict[str, Any]:
+    """Simulate one detailed window from its boundary snapshot.
+
+    Builds fresh warm structures against ``stats``, restores the
+    snapshot, and runs the window's pipeline over its trace slice.
+    Returns the scalars the parent needs for commit-watermark cycle
+    attribution; the caller owns how ``stats`` is aggregated (shared
+    registry when serial, per-window dump/merge when parallel).
+    """
+    detailed = warmup + measure
+    segment_trace = trace.slice(start, start + detailed)
+    hierarchy, predictor, btb = warmstate.build_warm_structures(effective, stats)
+    warmstate.restore_warm_state(snapshot, hierarchy, predictor, btb)
+    pipeline = create_pipeline(
+        config, segment_trace, stats, probes=probes, default_probes=default_probes
+    )
+    pipeline.adopt_warm_state(hierarchy, predictor, btb)
+    result = pipeline.run(
+        max_cycles=max_cycles,
+        progress=progress,
+        progress_interval=progress_interval,
+        force_per_cycle=force_per_cycle,
+        commit_marks=[warmup] if warmup else None,
+    )
+    if warmup and pipeline.commit_mark_records:
+        _target, warm_cycle, warm_fetched = pipeline.commit_mark_records[0]
+    else:
+        warm_cycle, warm_fetched = 0, 0
+    return {
+        "cycles": result.cycles,
+        "fetched": result.fetched_instructions,
+        "warm_cycle": warm_cycle,
+        "warm_fetched": warm_fetched,
+    }
+
+
+#: Fork-inherited job description for the window worker pool.  Set by
+#: :func:`_run_windows_parallel` immediately before the pool forks its
+#: workers (the same pattern the sweep engine uses for worker traces),
+#: so task payloads stay a single window index.
+_WINDOW_JOB: Optional[Dict[str, Any]] = None
+
+
+def _window_worker(payload, attempt: int) -> Dict[str, Any]:
+    """Pool worker: simulate window ``payload`` and return its raw results.
+
+    Runs against a worker-local :class:`StatsRegistry` whose
+    ``dump_state()`` travels back with the cycle attribution; the parent
+    merges the dumps in window order, reproducing a shared registry
+    bit-exactly.
+    """
+    job = _WINDOW_JOB
+    if job is None:  # pragma: no cover - guards a mis-wired pool
+        raise SimulationError("window worker started without a job description")
+    index = int(payload)
+    injector = job.get("injector")
+    if injector is not None:
+        injector.crash_point(f"{job['trace'].name}:{index}:a{attempt}")
+    start, warmup, measure = job["windows"][index]
+    stats = StatsRegistry()
+    outcome = _execute_window(
+        job["config"],
+        job["effective"],
+        job["trace"],
+        start,
+        warmup,
+        measure,
+        job["snapshots"][index],
+        stats,
+        default_probes=job["default_probes"],
+        force_per_cycle=job["force_per_cycle"],
+        max_cycles=job["max_cycles"],
+    )
+    outcome["stats"] = stats.dump_state()
+    return outcome
+
+
+def _run_windows_parallel(
+    config: ProcessorConfig,
+    effective: ProcessorConfig,
+    trace: Trace,
+    window_segments: Sequence[Tuple[int, int, int]],
+    snapshots: Sequence[Dict[str, Any]],
+    jobs: int,
+    stats: StatsRegistry,
+    *,
+    default_probes: bool = True,
+    force_per_cycle: bool = False,
+    max_cycles: Optional[int] = None,
+    injector=None,
+    tracer=None,
+) -> List[Dict[str, Any]]:
+    """Fan the detailed windows out across a supervised worker pool.
+
+    Workers are forked after ``_WINDOW_JOB`` is published, inherit the
+    trace and snapshots by memory, and each return one window's scalars
+    plus a statistics dump.  Crashed or hung workers are respawned and
+    their windows retried (windows are deterministic, so a retry
+    reproduces the lost result exactly); a window that keeps failing
+    raises :class:`SimulationError`.  Returns the per-window outcome
+    dicts in window order after merging every dump into ``stats``.
+    """
+    global _WINDOW_JOB
+    from ..robustness.pool import ResilientPool
+
+    indices = list(range(len(window_segments)))
+    _WINDOW_JOB = {
+        "config": config,
+        "effective": effective,
+        "trace": trace,
+        "windows": list(window_segments),
+        "snapshots": list(snapshots),
+        "default_probes": default_probes,
+        "force_per_cycle": force_per_cycle,
+        "max_cycles": max_cycles,
+        "injector": injector,
+    }
+    try:
+        pool = ResilientPool(_window_worker, workers=min(jobs, len(indices)))
+        span = (
+            tracer.span(
+                "sampling:parallel-windows",
+                category="sampling",
+                windows=len(indices),
+                workers=min(jobs, len(indices)),
+            )
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            pool_outcome = pool.run([(index, index, trace.name) for index in indices])
+    finally:
+        _WINDOW_JOB = None
+    if pool_outcome.failures:
+        failure = next(iter(pool_outcome.failures.values()))
+        raise SimulationError(
+            f"{len(pool_outcome.failures)} sampled window(s) failed in the "
+            f"worker pool (first: window {failure.task_id}: {failure.error})"
+        )
+    outcomes = [pool_outcome.results[index] for index in indices]
+    for outcome in outcomes:
+        stats.merge_state(outcome["stats"])
+    return outcomes
+
+
 def run_sampled(
     config: ProcessorConfig,
     trace: Trace,
@@ -259,6 +615,10 @@ def run_sampled(
     progress=None,
     progress_interval: int = 8192,
     tracer=None,
+    parallel_windows: Optional[int] = None,
+    checkpoint_dir=None,
+    checkpoint_max_bytes: Optional[int] = None,
+    injector=None,
 ) -> SimulationResult:
     """Run ``trace`` under ``plan``; returns an extrapolated result.
 
@@ -273,12 +633,27 @@ def run_sampled(
     is one pipeline run); ``probes`` attach to every window's pipeline
     in turn.
 
-    ``tracer`` is an optional :class:`repro.telemetry.Tracer`: each
-    fast-forward stretch opens a ``sampling:fast-forward`` span and each
-    detailed segment a ``sampling:window`` span, splitting the run's
-    wall clock into warm-up vs measurement.  Purely observational — the
-    clock lives behind the tracer (this module never reads time itself)
-    and the simulated result is bit-identical with or without one.
+    ``parallel_windows=N`` (N > 1) fans the detailed windows out across
+    a supervised worker pool; the result is bit-identical to the serial
+    driver.  Window workers cannot carry probes or progress callbacks
+    across the process boundary, so combining them raises
+    :class:`ConfigurationError` rather than silently dropping observers.
+
+    ``checkpoint_dir`` persists (and reuses) the functional pass's
+    boundary snapshots as a keyed :class:`WarmCheckpoint` file; see
+    :mod:`repro.core.warmstate` for the key derivation and the
+    cross-config sharing rule.  ``injector`` is a
+    :class:`~repro.robustness.faults.FaultInjector` exercised by the
+    robustness tests (``worker.crash`` fires inside window workers).
+
+    ``tracer`` is an optional :class:`repro.telemetry.Tracer`: the
+    functional pass opens ``sampling:fast-forward`` spans, each detailed
+    segment a ``sampling:window`` span (or one ``sampling:parallel-windows``
+    span around the fan-out), and checkpoint traffic
+    ``sampling:checkpoint-load``/``-save`` spans.  Purely observational —
+    the clock lives behind the tracer (this module never reads time
+    itself) and the simulated result is bit-identical with or without
+    one.
     """
     config.validate()
     plan.validate()
@@ -303,92 +678,122 @@ def run_sampled(
 
     # Warm state must mirror what the machine actually simulates: variant
     # machines (perfect-l2, unbounded-rob) force config fields at pipeline
-    # construction, and the windows adopt *this* hierarchy/predictor.
+    # construction, and the windows adopt snapshots of *this* state.
     effective = get_machine(config.mode).pipeline_class.effective_config(config)
     stats = StatsRegistry()
-    hierarchy = CacheHierarchy(effective.memory, stats)
-    predictor = build_predictor(effective.branch, stats)
-    btb = BranchTargetBuffer(effective.branch, stats)
-    warmer = FunctionalWarmer(effective, hierarchy, predictor, btb, stats)
     window_counter = stats.counter("sampling.windows")
     detailed_counter = stats.counter("sampling.detailed_instructions")
     degenerate_counter = stats.counter("sampling.degenerate_windows")
     commit_width = config.core.commit_width
 
-    windows: List[Dict[str, object]] = []
-    measured_cycles = 0
-    measured_instructions = 0
-    measured_fetched = 0
-    position = 0
-    for skip, warmup, measure in segments:
-        if skip:
-            ff_span = (
+    boundaries, snapshots, warm_dump = _warm_snapshots(
+        effective,
+        trace,
+        plan,
+        segments,
+        tracer,
+        checkpoint_dir,
+        checkpoint_max_bytes,
+    )
+    stats.merge_state(warm_dump)
+
+    window_segments = [
+        (start, warmup, measure)
+        for start, (_skip, warmup, measure) in zip(
+            boundaries, (seg for seg in segments if seg[1] + seg[2])
+        )
+    ]
+    jobs = int(parallel_windows or 0)
+    use_parallel = jobs > 1 and len(window_segments) > 1
+    if use_parallel and (probes or progress is not None):
+        raise ConfigurationError(
+            "parallel sampled windows cannot carry probes or progress "
+            "callbacks across worker processes; drop them or run with "
+            "parallel_windows=1"
+        )
+
+    if use_parallel:
+        outcomes = _run_windows_parallel(
+            config,
+            effective,
+            trace,
+            window_segments,
+            snapshots,
+            jobs,
+            stats,
+            default_probes=default_probes,
+            force_per_cycle=force_per_cycle,
+            max_cycles=max_cycles,
+            injector=injector,
+            tracer=tracer,
+        )
+    else:
+        outcomes = []
+        for (start, warmup, measure), snapshot in zip(window_segments, snapshots):
+            window_span = (
                 tracer.span(
-                    "sampling:fast-forward", category="sampling", instructions=skip
+                    "sampling:window",
+                    category="sampling",
+                    start=start,
+                    warmup=warmup,
+                    instructions=warmup + measure,
                 )
                 if tracer is not None
                 else nullcontext()
             )
-            with ff_span:
-                position = warmer.fast_forward(trace, position, skip)
+            with window_span:
+                outcomes.append(
+                    _execute_window(
+                        config,
+                        effective,
+                        trace,
+                        start,
+                        warmup,
+                        measure,
+                        snapshot,
+                        stats,
+                        probes=probes,
+                        default_probes=default_probes,
+                        force_per_cycle=force_per_cycle,
+                        max_cycles=max_cycles,
+                        progress=progress,
+                        progress_interval=progress_interval,
+                    )
+                )
+
+    windows: List[Dict[str, object]] = []
+    measured_cycles = 0
+    measured_instructions = 0
+    measured_fetched = 0
+    for (start, warmup, measure), outcome in zip(window_segments, outcomes):
         detailed = warmup + measure
-        if detailed == 0:
-            continue
-        segment_trace = trace.slice(position, position + detailed)
-        pipeline = create_pipeline(
-            config, segment_trace, stats, probes=probes, default_probes=default_probes
-        )
-        pipeline.adopt_warm_state(hierarchy, predictor, btb)
-        hierarchy.drain()
-        window_span = (
-            tracer.span(
-                "sampling:window",
-                category="sampling",
-                start=position,
-                warmup=warmup,
-                instructions=detailed,
-            )
-            if tracer is not None
-            else nullcontext()
-        )
-        with window_span:
-            segment_result = pipeline.run(
-                max_cycles=max_cycles,
-                progress=progress,
-                progress_interval=progress_interval,
-                force_per_cycle=force_per_cycle,
-                commit_marks=[warmup] if warmup else None,
-            )
         detailed_counter.add(detailed)
-        if warmup and pipeline.commit_mark_records:
-            _target, warm_cycle, warm_fetched = pipeline.commit_mark_records[0]
-        else:
-            warm_cycle, warm_fetched = 0, 0
+        warm_cycle = outcome["warm_cycle"]
+        warm_fetched = outcome["warm_fetched"]
         # Both boundaries are commit events (the warmup crossing and the
         # segment's final commit), so the pipeline-depth and memory-latency
         # offset each carries cancels out of the measured span.  On the
         # checkpointed machine the crossing snaps to a checkpoint drain;
         # windows spanning several checkpoint quanta keep that snap small.
-        window_cycles = segment_result.cycles - warm_cycle
-        window_instructions = detailed - warmup
-        window_start = position + warmup
+        window_cycles = outcome["cycles"] - warm_cycle
+        window_instructions = measure
+        window_start = start + warmup
         if window_cycles <= 0 or window_instructions > window_cycles * commit_width:
             # A window thinner than the machine's commit quantum: the whole
             # segment committed in one drain burst and the boundary span
             # implies a physically impossible rate (above commit width).
             # Fall back to whole-segment measurement — biased by fill and
             # drain, but sane — and flag it so callers can widen the plan.
-            window_cycles = segment_result.cycles
+            window_cycles = outcome["cycles"]
             window_instructions = detailed
-            window_start = position
+            window_start = start
             warm_fetched = 0
             degenerate_counter.add()
         windows.append(_window_record(window_start, window_instructions, window_cycles))
         window_counter.add()
         measured_cycles += window_cycles
         measured_instructions += window_instructions
-        measured_fetched += max(0, segment_result.fetched_instructions - warm_fetched)
-        position += detailed
+        measured_fetched += max(0, outcome["fetched"] - warm_fetched)
     ipcs = [float(window["ipc"]) for window in windows]
     return SimulationResult(
         config_name=config.name or config.mode,

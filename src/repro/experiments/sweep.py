@@ -78,6 +78,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..telemetry import TelemetrySession
 
 from ..api import Simulation
+from ..common import eviction
 from ..common.config import ProcessorConfig, SamplingPlan
 from ..common.errors import SweepInterrupted
 from ..core.result import SimulationResult
@@ -235,14 +236,27 @@ class ResultCache:
     atomic replace, and the ``cache.corrupt`` site after a successful
     store.  Both default to off; a cache without an injector takes the
     exact pre-robustness write path.
+
+    ``max_bytes`` caps the store's on-disk size: after every store the
+    least-recently-*used* entries (mtime order, refreshed on load hits —
+    see :mod:`repro.common.eviction`, which warm-state checkpoint
+    directories share) are deleted until the cap holds again.  ``None``
+    (the default) keeps the store unbounded, the pre-cap behavior.
     """
 
-    def __init__(self, cache_dir: os.PathLike) -> None:
+    def __init__(self, cache_dir: os.PathLike, max_bytes: Optional[int] = None) -> None:
         self.cache_dir = Path(cache_dir).expanduser()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries deleted (and bytes freed) by LRU eviction under
+        #: :attr:`max_bytes`.
+        self.evictions = 0
+        self.evicted_bytes = 0
         self.corrupt = 0
         #: Corrupt entries moved into :attr:`corrupt_dir` (vs unlinked
         #: when the move itself fails).
@@ -294,6 +308,7 @@ class ResultCache:
             self._quarantine(path)
             return None
         self.hits += 1
+        eviction.touch(path)
         return result
 
     def store(self, key: str, result: SimulationResult) -> None:
@@ -335,6 +350,10 @@ class ResultCache:
         self.stores += 1
         if self.injector is not None:
             self.injector.corrupt_point(path, self.fault_context or key[:12])
+        if self.max_bytes is not None:
+            removed, freed = eviction.evict_lru(self.cache_dir, self.max_bytes, ".json")
+            self.evictions += removed
+            self.evicted_bytes += freed
 
     def clear(self) -> int:
         """Delete every cache entry (and orphaned temp files plus the
@@ -399,7 +418,7 @@ def _worker_trace(suite: str, scale: float, workload: str) -> Trace:
     return per_suite[workload]
 
 
-def _worker_cache(cache_dir: str) -> ResultCache:
+def _worker_cache(cache_dir: str, max_bytes: Optional[int] = None) -> ResultCache:
     """Per-process handle on the persistent cache at ``cache_dir``.
 
     Workers keep their own :class:`ResultCache` instance (with its own
@@ -408,7 +427,7 @@ def _worker_cache(cache_dir: str) -> ResultCache:
     counter deltas reported back in each task's meta dict.
     """
     if cache_dir not in _WORKER_CACHES:
-        _WORKER_CACHES[cache_dir] = ResultCache(cache_dir)
+        _WORKER_CACHES[cache_dir] = ResultCache(cache_dir, max_bytes=max_bytes)
     return _WORKER_CACHES[cache_dir]
 
 
@@ -418,8 +437,10 @@ def _simulate_cell(
     """Pool worker entry point: rebuild the config, build the trace, run.
 
     ``task`` is ``(config_data, suite, scale, workload, sampling_data)``
-    optionally extended with ``(cache_dir, cache_key)`` and further with
-    ``(fault_plan_data, fault_context, attempt)``.  When the cache
+    optionally extended with ``(cache_dir, cache_key)``, further with
+    ``(fault_plan_data, fault_context)``, further with
+    ``(checkpoint_dir, cache_max_bytes)``, and finally with
+    ``(attempt,)``.  When the cache
     fields are present the worker checks the persistent cache itself
     (another process may have finished the cell since the parent's
     lookup) and stores fresh results — keeping the store off the
@@ -437,7 +458,9 @@ def _simulate_cell(
     cache_key = str(task[6]) if len(task) > 6 and task[6] else None
     plan_data = task[7] if len(task) > 7 else None
     fault_context = str(task[8]) if len(task) > 8 and task[8] else f"{suite}:{workload}"
-    attempt = int(task[9]) if len(task) > 9 else 0  # type: ignore[arg-type]
+    checkpoint_dir = str(task[9]) if len(task) > 9 and task[9] else None
+    cache_max_bytes = int(task[10]) if len(task) > 10 and task[10] is not None else None  # type: ignore[arg-type]
+    attempt = int(task[11]) if len(task) > 11 else 0  # type: ignore[arg-type]
     injector = (
         FaultInjector.from_dict(plan_data)  # type: ignore[arg-type]
         if plan_data
@@ -445,7 +468,8 @@ def _simulate_cell(
     )
     context = f"{fault_context}:a{attempt}"
     started = time.perf_counter()
-    cache = _worker_cache(cache_dir) if cache_dir and cache_key else None
+    cache = _worker_cache(cache_dir, cache_max_bytes) if cache_dir and cache_key else None
+    evictions_before = cache.evictions if cache is not None else 0
     if injector is not None:
         injector.crash_point(context)
     result: Optional[SimulationResult] = None
@@ -468,7 +492,12 @@ def _simulate_cell(
                 probe = injector.simulate_error_probe(context)
                 if probe is not None:
                     probes = (probe,)
-            result = Simulation(config, sampling=sampling, probes=probes).run(trace)
+            result = Simulation(
+                config,
+                sampling=sampling,
+                probes=probes,
+                checkpoint_dir=checkpoint_dir if sampling is not None else None,
+            ).run(trace)
             if cache is not None and cache_key is not None:
                 cache.store(cache_key, result)
     finally:
@@ -480,6 +509,7 @@ def _simulate_cell(
         "elapsed": time.perf_counter() - started,
         "cache_hit": cache_hit,
         "stored": cache is not None and not cache_hit,
+        "evictions": (cache.evictions - evictions_before) if cache is not None else 0,
     }
     if injector is not None and injector.fired:
         meta["faults"] = list(injector.fired)
@@ -491,8 +521,8 @@ def _cell_with_attempt(
 ) -> Tuple[SimulationResult, Dict[str, object]]:
     """Resilient-pool adapter: pad the task tuple and append the attempt."""
     padded = tuple(task)
-    if len(padded) < 9:
-        padded = padded + (None,) * (9 - len(padded))
+    if len(padded) < 11:
+        padded = padded + (None,) * (11 - len(padded))
     return _simulate_cell(padded + (attempt,))
 
 
@@ -556,6 +586,9 @@ class SweepOutcome:
     #: *plus* worker-side lookups (which used to be silently dropped).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Entries LRU-evicted from a size-capped cache during this sweep
+    #: (parent- and worker-side stores combined).
+    cache_evictions: int = 0
     #: Sum of per-cell worker wall-clock (parallel runs only); divided by
     #: ``elapsed * workers`` this is the pool utilization.
     worker_busy: float = 0.0
@@ -639,6 +672,8 @@ class SweepEngine:
         journal: Optional[SweepJournal] = None,
         resume: bool = False,
         max_worker_deaths: Optional[int] = None,
+        sample_jobs: Optional[int] = None,
+        checkpoint_dir=None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -654,6 +689,19 @@ class SweepEngine:
         self.journal = journal
         self.resume = resume
         self.max_worker_deaths = max_worker_deaths
+        #: Sampled-run performance levers (see
+        #: :func:`repro.core.sampling.run_sampled`), engine-side like the
+        #: robustness knobs because they may not influence cell identity
+        #: — cache keys are byte-identical with or without them.
+        #: ``sample_jobs`` fans each sampled cell's detailed windows over
+        #: worker processes (applied on the serial engine path only;
+        #: parallel sweeps already saturate the machine with cells), and
+        #: ``checkpoint_dir`` lets every cell sharing warm-relevant
+        #: parameters reuse one functional warm-up pass.
+        if sample_jobs is not None and sample_jobs < 1:
+            raise ValueError(f"sample_jobs must be >= 1, got {sample_jobs}")
+        self.sample_jobs = sample_jobs
+        self.checkpoint_dir = checkpoint_dir
         # Cumulative counters across every run() of this engine.
         self.total_simulated = 0
         self.total_cached = 0
@@ -757,7 +805,14 @@ class SweepEngine:
             if slots[cell.index] is not None:
                 continue
             if simulation is None or simulation_config is not cell.config:
-                simulation = Simulation(cell.config, sampling=spec.sampling)
+                simulation = Simulation(
+                    cell.config,
+                    sampling=spec.sampling,
+                    sample_jobs=self.sample_jobs if spec.sampling is not None else None,
+                    checkpoint_dir=(
+                        self.checkpoint_dir if spec.sampling is not None else None
+                    ),
+                )
                 simulation_config = cell.config
             config_name = cell.config.name or cell.config.mode
             attempts = 0
@@ -769,9 +824,19 @@ class SweepEngine:
                     probe = self.injector.simulate_error_probe(context)
                     if probe is not None:
                         # A probed run needs its own facade; the shared
-                        # per-config one must stay probe-free.
+                        # per-config one must stay probe-free.  Probes
+                        # cannot cross window-worker processes, so the
+                        # probed facade drops sample_jobs (never the
+                        # checkpoint reuse, which is parent-side).
                         active = Simulation(
-                            cell.config, sampling=spec.sampling, probes=(probe,)
+                            cell.config,
+                            sampling=spec.sampling,
+                            probes=(probe,),
+                            checkpoint_dir=(
+                                self.checkpoint_dir
+                                if spec.sampling is not None
+                                else None
+                            ),
                         )
                 try:
                     with self._span(
@@ -853,11 +918,13 @@ class SweepEngine:
                 keys[cell.index] if cache_dir is not None else None,
                 plan_data,
                 fault_context,
+                str(self.checkpoint_dir) if self.checkpoint_dir is not None else None,
+                self.cache.max_bytes if self.cache is not None else None,
             )
             tasks.append((cell.index, payload, fault_context))
         workers = min(self.jobs, len(pending))
         chunksize = _locality_chunksize(pending, workers)
-        stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0}
+        stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0, "evictions": 0.0}
         tracer = self.telemetry.tracer if self.telemetry is not None else None
         base = tracer.clock.now() if tracer is not None else 0.0
         worker_tids: Dict[object, int] = {}
@@ -886,6 +953,10 @@ class SweepEngine:
                     if meta.get("stored"):
                         stats["stores"] += 1
                         self.cache.stores += 1
+                    evicted = int(meta.get("evictions") or 0)  # type: ignore[arg-type]
+                    if evicted:
+                        stats["evictions"] += evicted
+                        self.cache.evictions += evicted
                 rstats["faults"] += len(meta.get("faults") or ())  # type: ignore[operator]
                 config_name = cell.config.name or cell.config.mode
                 if tracer is not None:
@@ -1066,7 +1137,14 @@ class SweepEngine:
                             "source": "cache",
                         }
                     )
-            worker_stats = {"hits": 0.0, "misses": 0.0, "stores": 0.0, "busy": 0.0}
+            worker_stats = {
+                "hits": 0.0,
+                "misses": 0.0,
+                "stores": 0.0,
+                "busy": 0.0,
+                "evictions": 0.0,
+            }
+            evictions_before = self.cache.evictions if self.cache is not None else 0
             try:
                 if cached < len(cells):
                     if self.jobs > 1:
@@ -1106,6 +1184,9 @@ class SweepEngine:
         cache_misses = (
             len(cells) - cache_hits if self.cache is not None else 0
         )
+        cache_evictions = (
+            self.cache.evictions - evictions_before if self.cache is not None else 0
+        )
         fault_count = int(rstats["faults"])  # type: ignore[arg-type]
         if self.injector is not None:
             fault_count += len(self.injector.fired)
@@ -1116,6 +1197,8 @@ class SweepEngine:
             if self.cache is not None:
                 metrics.counter("cache.hits").add(cache_hits)
                 metrics.counter("cache.misses").add(cache_misses)
+                if cache_evictions:
+                    metrics.counter("cache.evictions").add(cache_evictions)
             # Robustness counters appear only when the machinery engaged,
             # so fault-free telemetry output is byte-identical.
             if rstats["retries"]:
@@ -1145,6 +1228,7 @@ class SweepEngine:
             elapsed=time.perf_counter() - start,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            cache_evictions=cache_evictions,
             worker_busy=worker_stats["busy"],
             failed_cells=failed,
             retries=int(rstats["retries"]),  # type: ignore[arg-type]

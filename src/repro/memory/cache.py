@@ -175,3 +175,36 @@ class Cache:
             for index, cache_set in enumerate(self._sets)
             if cache_set
         }
+
+    # -- warm-state snapshot/restore (sampled execution) ---------------------
+    def warm_state(self) -> List[List[object]]:
+        """Serializable tag/LRU/dirty state: ``[[set, [[tag, dirty], ...]], ...]``.
+
+        Only non-empty sets appear; within a set the pairs are ordered
+        LRU-first, so :meth:`load_warm_state` reproduces recency exactly.
+        The encoding is plain lists of ints/bools so it survives a JSON
+        round trip through a warm-checkpoint file unchanged.
+        """
+        return [
+            [index, [[tag, dirty] for tag, dirty in cache_set.items()]]
+            for index, cache_set in enumerate(self._sets)
+            if cache_set
+        ]
+
+    def load_warm_state(self, state: List[List[object]]) -> None:
+        """Restore the state captured by :meth:`warm_state`.
+
+        Replaces the entire tag store; statistics counters are untouched
+        (warm state is contents, not history).
+        """
+        for cache_set in self._sets:
+            cache_set.clear()
+        for index, pairs in state:
+            if not 0 <= index < self._num_sets or len(pairs) > self.config.assoc:
+                raise ValueError(
+                    f"{self.name}: warm state does not fit geometry "
+                    f"(set {index!r} of {self._num_sets}, {len(pairs)} ways of {self.config.assoc})"
+                )
+            cache_set = self._sets[index]
+            for tag, dirty in pairs:
+                cache_set[int(tag)] = bool(dirty)

@@ -233,6 +233,40 @@ class CacheHierarchy:
                 self._prefetched_lines.add(self.l2.line_address(target))
         return l2_miss
 
+    def warm_state(self) -> dict:
+        """Serializable snapshot of every warm structure in the hierarchy.
+
+        Covers exactly what functional warming evolves: tag/LRU/dirty
+        state of all three caches, the prefetcher training table and the
+        set of prefetched-but-untouched lines.  MSHR timers are excluded
+        by design — window boundaries :meth:`drain` them, so a warm
+        snapshot never carries in-flight fills.
+        """
+        return {
+            "il1": self.il1.warm_state(),
+            "dl1": self.dl1.warm_state(),
+            "l2": self.l2.warm_state(),
+            "prefetcher": self.prefetcher.warm_state() if self.prefetcher else None,
+            "prefetched_lines": sorted(self._prefetched_lines),
+        }
+
+    def load_warm_state(self, state: dict) -> None:
+        """Restore a :meth:`warm_state` snapshot into this hierarchy.
+
+        The hierarchy must have the same geometry the snapshot was taken
+        under (the warm-checkpoint key guarantees this for file-loaded
+        snapshots); a mismatched snapshot raises ``ValueError`` from the
+        cache restore rather than silently mis-adopting state.
+        """
+        self.il1.load_warm_state(state["il1"])
+        self.dl1.load_warm_state(state["dl1"])
+        self.l2.load_warm_state(state["l2"])
+        if self.prefetcher is not None:
+            self.prefetcher.load_warm_state(state.get("prefetcher"))
+        self._prefetched_lines = {int(line) for line in state.get("prefetched_lines", ())}
+        self._dl1_mshr.clear()
+        self._l2_mshr.clear()
+
     def drain(self) -> None:
         """Complete every in-flight fill (cache contents are kept).
 

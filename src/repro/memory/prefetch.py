@@ -51,6 +51,13 @@ class PrefetchEngine:
         """
         raise NotImplementedError
 
+    def warm_state(self) -> Optional[List[List[object]]]:
+        """Serializable training state, or None for stateless prefetchers."""
+        return None
+
+    def load_warm_state(self, state: Optional[List[List[object]]]) -> None:
+        """Restore :meth:`warm_state` output (no-op for stateless prefetchers)."""
+
     def _line(self, addr: int) -> int:
         return (addr // self.line_bytes) * self.line_bytes
 
@@ -124,6 +131,16 @@ class StridePrefetcher(PrefetchEngine):
         else:
             self._table[region] = (addr, stride, False)
         return addresses
+
+    def warm_state(self) -> Optional[List[List[object]]]:
+        """Reference-prediction table as ``[[key, [last, stride, confirmed]], ...]``."""
+        return [[key, list(entry)] for key, entry in self._table.items()]
+
+    def load_warm_state(self, state: Optional[List[List[object]]]) -> None:
+        self._table.clear()
+        for key, entry in state or []:
+            last_addr, stride, confirmed = entry
+            self._table[int(key)] = (int(last_addr), int(stride), bool(confirmed))
 
 
 def build_prefetcher(

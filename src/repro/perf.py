@@ -107,13 +107,17 @@ class BenchmarkSpec:
 
     ``sampling`` makes the benchmark a sampled-execution run (the
     wall-clock then measures fast-forward + detailed windows, and the
-    recorded IPC is the extrapolated estimate).
+    recorded IPC is the extrapolated estimate).  ``sample_jobs`` fans the
+    detailed windows over worker processes, with a warm-state checkpoint
+    directory shared across the timing repeats — the parallel-sampling
+    configuration the sweep engine uses, with a bit-identical result.
     """
 
     name: str
     config_factory: Callable[[], ProcessorConfig]
     trace_factory: Callable[[], Trace]
     sampling: Optional[SamplingPlan] = None
+    sample_jobs: Optional[int] = None
 
     def config(self) -> ProcessorConfig:
         return self.config_factory()
@@ -167,6 +171,13 @@ XL_BENCHMARKS: List[BenchmarkSpec] = [
         sampling=BENCH_SAMPLING,
     ),
     BenchmarkSpec(
+        "baseline-daxpy-xl-par4",
+        lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
+        _daxpy_xl_trace,
+        sampling=BENCH_SAMPLING,
+        sample_jobs=4,
+    ),
+    BenchmarkSpec(
         "baseline-branches-xl",
         lambda: scaled_baseline(window=4096, memory_latency=BENCH_MEMORY_LATENCY),
         _dense_branches_xl_trace,
@@ -195,41 +206,60 @@ def run_benchmark(
     force_per_cycle: bool = False,
     repeats: int = 3,
     sampling: Optional[SamplingPlan] = None,
+    sample_jobs: Optional[int] = None,
 ) -> Dict[str, object]:
     """Time one benchmark (best of ``repeats``) and return its result row.
 
-    ``sampling`` overrides the spec's own plan (``--sample`` on the CLI);
-    the spec's plan applies when the override is None.
+    ``sampling``/``sample_jobs`` override the spec's own settings
+    (``--sample``/``--sample-jobs`` on the CLI); the spec's apply when an
+    override is None.  Parallel-sampled timings share one warm-state
+    checkpoint directory across the repeats, so the recorded best-of
+    measures the steady state a sweep sees: warm pass already on disk,
+    wall-clock dominated by the fanned-out detailed windows.
     """
+    import tempfile
+
     from .api import run as simulate
 
     trace = spec.trace()
     config = spec.config()
     plan = sampling if sampling is not None else spec.sampling
+    jobs = sample_jobs if sample_jobs is not None else spec.sample_jobs
+    if plan is None:
+        jobs = None
     best = float("inf")
     result = None
     best_tracer = None
-    for _ in range(max(1, repeats)):
-        # Sampled runs carry a spans-only telemetry session (no probes,
-        # a handful of clock reads per segment) so the recorded row can
-        # split wall-clock into fast-forward vs detailed-window time.
-        session = None
-        if plan is not None:
-            from .telemetry import TelemetrySession
+    checkpoints = (
+        tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") if jobs else None
+    )
+    try:
+        for _ in range(max(1, repeats)):
+            # Sampled runs carry a spans-only telemetry session (no probes,
+            # a handful of clock reads per segment) so the recorded row can
+            # split wall-clock into fast-forward vs detailed-window time.
+            session = None
+            if plan is not None:
+                from .telemetry import TelemetrySession
 
-            session = TelemetrySession(timeline=False, stalls=False)
-        started = time.perf_counter()
-        result = simulate(
-            config,
-            trace,
-            force_per_cycle=force_per_cycle,
-            sampling=plan,
-            telemetry=session,
-        )
-        elapsed = time.perf_counter() - started
-        if elapsed < best:
-            best = elapsed
-            best_tracer = session.tracer if session is not None else None
+                session = TelemetrySession(timeline=False, stalls=False)
+            started = time.perf_counter()
+            result = simulate(
+                config,
+                trace,
+                force_per_cycle=force_per_cycle,
+                sampling=plan,
+                sample_jobs=jobs,
+                checkpoint_dir=checkpoints.name if checkpoints is not None else None,
+                telemetry=session,
+            )
+            elapsed = time.perf_counter() - started
+            if elapsed < best:
+                best = elapsed
+                best_tracer = session.tracer if session is not None else None
+    finally:
+        if checkpoints is not None:
+            checkpoints.cleanup()
     assert result is not None
     row: Dict[str, object] = {
         "name": spec.name,
@@ -247,13 +277,21 @@ def run_benchmark(
         row["sampling"] = plan.to_dict()
         row["trace_instructions"] = len(trace)
         row["ipc_ci95"] = round(result.ipc_ci95, 4)
+        if jobs:
+            row["sample_jobs"] = jobs
         if best_tracer is not None:
             # Where the best repeat's wall-clock went: functional
-            # fast-forward between windows vs detailed window execution.
+            # fast-forward between windows vs detailed window execution
+            # (serial windows each open a span; a parallel fan-out opens
+            # one span around the whole pool run).
             row["fast_forward_seconds"] = round(
                 best_tracer.total("sampling:fast-forward"), 6
             )
-            row["window_seconds"] = round(best_tracer.total("sampling:window"), 6)
+            row["window_seconds"] = round(
+                best_tracer.total("sampling:window")
+                + best_tracer.total("sampling:parallel-windows"),
+                6,
+            )
     return row
 
 
@@ -263,6 +301,7 @@ def run_benchmarks(
     force_per_cycle: bool = False,
     repeats: int = 3,
     sampling: Optional[SamplingPlan] = None,
+    sample_jobs: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Run the named benchmarks (default: the core set) and return their rows.
 
@@ -281,7 +320,11 @@ def run_benchmarks(
         selected = [by_name[name] for name in names]
     return [
         run_benchmark(
-            spec, force_per_cycle=force_per_cycle, repeats=repeats, sampling=sampling
+            spec,
+            force_per_cycle=force_per_cycle,
+            repeats=repeats,
+            sampling=sampling,
+            sample_jobs=sample_jobs,
         )
         for spec in selected
     ]
@@ -328,16 +371,28 @@ def append_record(
 #: ``repro bench --compare`` fails on wall-clock regressions beyond this.
 COMPARE_THRESHOLD = 0.25
 
+#: ``--compare`` also fails when a sampled benchmark's 95% CI half-width
+#: grows past this factor — speed bought by losing accuracy is a
+#: regression, not a win.
+CI_GROWTH_LIMIT = 2.0
 
-def compare_latest(path: str, threshold: float = COMPARE_THRESHOLD) -> int:
+
+def compare_latest(
+    path: str,
+    threshold: float = COMPARE_THRESHOLD,
+    ci_growth_limit: float = CI_GROWTH_LIMIT,
+) -> int:
     """Diff the two newest recordings in ``path``; nonzero on regression.
 
     For every benchmark name present in both of the two most recent
     entries, compares wall-clock seconds; a benchmark that got more than
-    ``threshold`` (default 25%) slower is a regression.  Returns 0 when
-    clean, 1 on any regression, 2 when the file has fewer than two
-    entries or no common benchmarks (nothing to compare is a gate
-    failure, not a pass).
+    ``threshold`` (default 25%) slower is a regression.  Sampled rows
+    (both carrying ``ipc_ci95``) are additionally held to accuracy: a
+    95% CI half-width that grew past ``ci_growth_limit`` (default 2x)
+    times the earlier width is an accuracy regression even if the run
+    got faster.  Returns 0 when clean, 1 on any regression, 2 when the
+    file has fewer than two entries or no common benchmarks (nothing to
+    compare is a gate failure, not a pass).
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -370,6 +425,7 @@ def compare_latest(path: str, threshold: float = COMPARE_THRESHOLD) -> int:
     print(header)
     print("-" * len(header))
     regressions = []
+    accuracy_regressions = []
     for name in common:
         before = float(older_rows[name]["seconds"])
         after = float(newer_rows[name]["seconds"])
@@ -378,6 +434,19 @@ def compare_latest(path: str, threshold: float = COMPARE_THRESHOLD) -> int:
         if before and change > threshold:
             regressions.append(name)
             flag = "  << REGRESSION"
+        ci_before = older_rows[name].get("ipc_ci95")
+        ci_after = newer_rows[name].get("ipc_ci95")
+        if ci_before is not None and ci_after is not None:
+            # A recorded half-width of 0 means a single window or an
+            # exactly repeating kernel — nothing meaningful to ratio.
+            if float(ci_before) > 0 and float(ci_after) > ci_growth_limit * float(
+                ci_before
+            ):
+                accuracy_regressions.append(name)
+                flag += (
+                    f"  << ACCURACY REGRESSION "
+                    f"(ci95 {float(ci_before):.4f} -> {float(ci_after):.4f})"
+                )
         print(f"{name:<28} {before:>10.3f} {after:>10.3f} {change:>+7.1%}{flag}")
     if regressions:
         print(
@@ -385,8 +454,18 @@ def compare_latest(path: str, threshold: float = COMPARE_THRESHOLD) -> int:
             f"{threshold:.0%}: {', '.join(regressions)}",
             file=sys.stderr,
         )
+    if accuracy_regressions:
+        print(
+            f"\n{len(accuracy_regressions)} sampled benchmark(s) widened their 95% "
+            f"CI more than {ci_growth_limit:g}x: {', '.join(accuracy_regressions)}",
+            file=sys.stderr,
+        )
+    if regressions or accuracy_regressions:
         return 1
-    print(f"\nno benchmark regressed more than {threshold:.0%}")
+    print(
+        f"\nno benchmark regressed more than {threshold:.0%} "
+        f"(sampled CI widths within {ci_growth_limit:g}x)"
+    )
     return 0
 
 
@@ -430,10 +509,20 @@ def add_bench_arguments(parser) -> None:
         "(overrides any per-benchmark plan)",
     )
     parser.add_argument(
+        "--sample-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan each sampled benchmark's detailed windows over N worker "
+        "processes (overrides any per-benchmark setting; results are "
+        "bit-identical to serial)",
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
         help="instead of running, diff the two newest recordings in --out and "
-        f"exit nonzero on a >{COMPARE_THRESHOLD:.0%} wall-clock regression",
+        f"exit nonzero on a >{COMPARE_THRESHOLD:.0%} wall-clock regression or a "
+        f">{CI_GROWTH_LIMIT:g}x sampled-CI growth",
     )
 
 
@@ -456,6 +545,7 @@ def run_from_args(args) -> int:
             force_per_cycle=args.per_cycle,
             repeats=args.repeats,
             sampling=sampling,
+            sample_jobs=getattr(args, "sample_jobs", None),
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import gzip
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List
 
@@ -217,3 +218,174 @@ def load_trace(path: os.PathLike) -> Trace:
     if not instructions:
         raise TraceError(f"{source}: trace file contains no instructions")
     return Trace(instructions, name=header["name"])
+
+
+# ---------------------------------------------------------------------------
+# Warm-state checkpoints (sampled execution)
+# ---------------------------------------------------------------------------
+
+#: Format marker of warm-state checkpoint files; never changes.
+CHECKPOINT_FORMAT = "repro-warm-checkpoint"
+
+#: Bumped when the checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Conventional suffix of warm-checkpoint files; checkpoint directories
+#: are keyed stores, ``<key>.warm.gz``.
+CHECKPOINT_SUFFIX = ".warm.gz"
+
+
+@dataclass(frozen=True)
+class WarmCheckpoint:
+    """Warm microarchitectural state at every detailed-window boundary.
+
+    One functional pass over a trace produces one checkpoint: for each
+    detailed region of the sampling schedule, a snapshot of the cache
+    tag/LRU/dirty state, prefetcher table, branch predictor and BTB as
+    they stand when that region begins.  ``key`` is the sha256 derived
+    by :func:`repro.core.warmstate.checkpoint_key` over (trace digest,
+    sampling plan, warm-relevant hierarchy/predictor parameters,
+    simulator version) — everything that shapes the snapshots — so a
+    checkpoint is shared across machine configs that differ only in
+    window/latency knobs, and can never be adopted by a run it does not
+    match.
+    """
+
+    key: str
+    simulator_version: str
+    trace_digest: str
+    trace_name: str
+    instructions: int
+    plan: Dict[str, int]
+    params: Dict[str, Any]
+    boundaries: List[int] = field(default_factory=list)
+    snapshots: List[Dict[str, Any]] = field(default_factory=list)
+    #: Raw ``StatsRegistry.dump_state()`` of the functional pass, so a
+    #: checkpoint-hit run reproduces the warm pass's statistic
+    #: contributions (fast-forward accounting, prefetch issue counts)
+    #: bit-exactly without re-running it.
+    warm_stats: Dict[str, list] = field(default_factory=dict)
+
+
+def save_checkpoint(checkpoint: WarmCheckpoint, path: os.PathLike, compresslevel: int = 6) -> Path:
+    """Write a warm checkpoint using the trace container's gzip-JSON layout.
+
+    Same two-line shape as :func:`save_trace` — a small JSON header line
+    (so ``repro checkpoint info`` never reads the snapshots) followed by
+    the JSON body — and the same atomic temp-file + ``os.replace`` write.
+    """
+    header = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_FORMAT_VERSION,
+        "key": checkpoint.key,
+        "simulator_version": checkpoint.simulator_version,
+        "trace_digest": checkpoint.trace_digest,
+        "trace_name": checkpoint.trace_name,
+        "instructions": checkpoint.instructions,
+        "plan": dict(checkpoint.plan),
+        "windows": len(checkpoint.snapshots),
+    }
+    body = {
+        "params": checkpoint.params,
+        "boundaries": list(checkpoint.boundaries),
+        "snapshots": list(checkpoint.snapshots),
+        "warm_stats": checkpoint.warm_stats,
+    }
+    destination = Path(path).expanduser()
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    tmp = destination.with_name(f"{destination.name}.tmp.{os.getpid()}")
+    try:
+        with gzip.open(tmp, "wt", encoding="utf-8", compresslevel=compresslevel) as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.write(json.dumps(body))
+        os.replace(tmp, destination)
+    finally:
+        if tmp.exists():  # only on failure; os.replace consumed it otherwise
+            tmp.unlink()
+    return destination
+
+
+def _parse_checkpoint_header(path: Path, line: str) -> Dict[str, Any]:
+    try:
+        header = json.loads(line)
+    except ValueError as exc:
+        raise TraceError(f"{path}: malformed checkpoint header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+        raise TraceError(f"{path}: not a {CHECKPOINT_FORMAT} file")
+    version = header.get("version")
+    # Same bool-vs-int hostility check as trace headers: True == 1.
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or version != CHECKPOINT_FORMAT_VERSION
+    ):
+        raise TraceError(
+            f"{path}: unsupported checkpoint format version {version!r} "
+            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    for fname in (
+        "key", "simulator_version", "trace_digest", "trace_name",
+        "instructions", "plan", "windows",
+    ):
+        if fname not in header:
+            raise TraceError(f"{path}: checkpoint header is missing {fname!r}")
+    if not isinstance(header["key"], str) or not header["key"]:
+        raise TraceError(f"{path}: checkpoint key {header['key']!r} is not a non-empty string")
+    windows = header["windows"]
+    if not isinstance(windows, int) or isinstance(windows, bool) or windows < 0:
+        raise TraceError(f"{path}: checkpoint window count {windows!r} is not a non-negative int")
+    return header
+
+
+def checkpoint_info(path: os.PathLike) -> Dict[str, Any]:
+    """The validated header of a warm checkpoint, without its snapshots."""
+    source = Path(path).expanduser()
+    return _parse_checkpoint_header(source, _read_lines(source)[0])
+
+
+def load_checkpoint(path: os.PathLike) -> WarmCheckpoint:
+    """Rebuild a checkpoint saved by :func:`save_checkpoint`.
+
+    Every malformed-input failure mode — bad gzip data, truncation, a
+    foreign or future format, a body that disagrees with the header —
+    raises :class:`TraceError` with the file path in the message, never
+    a bare ``KeyError``; key matching against the *expected* key is the
+    caller's job (see ``repro.core.warmstate.load_matching_checkpoint``).
+    """
+    source = Path(path).expanduser()
+    header_line, body_line = _read_lines(source)
+    header = _parse_checkpoint_header(source, header_line)
+    try:
+        body = json.loads(body_line)
+        params = body["params"]
+        boundaries = body["boundaries"]
+        snapshots = body["snapshots"]
+        warm_stats = body.get("warm_stats", {})
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TraceError(f"{source}: malformed checkpoint body: {exc}") from exc
+    if (
+        not isinstance(boundaries, list)
+        or not isinstance(snapshots, list)
+        or not isinstance(warm_stats, dict)
+    ):
+        raise TraceError(f"{source}: checkpoint body fields have the wrong shape")
+    if len(snapshots) != header["windows"] or len(boundaries) != header["windows"]:
+        raise TraceError(
+            f"{source}: header promises {header['windows']} windows but the body "
+            f"holds {len(snapshots)} snapshots / {len(boundaries)} boundaries"
+        )
+    try:
+        return WarmCheckpoint(
+            key=header["key"],
+            simulator_version=header["simulator_version"],
+            trace_digest=header["trace_digest"],
+            trace_name=header["trace_name"],
+            instructions=int(header["instructions"]),
+            plan={name: int(value) for name, value in header["plan"].items()},
+            params=params,
+            boundaries=[int(b) for b in boundaries],
+            snapshots=snapshots,
+            warm_stats=warm_stats,
+        )
+    except (ValueError, TypeError, AttributeError) as exc:
+        raise TraceError(f"{source}: malformed checkpoint fields: {exc}") from exc

@@ -26,6 +26,7 @@ class Trace:
     def __init__(self, instructions: Sequence[Instruction], name: str = "trace") -> None:
         self._instructions: List[Instruction] = list(instructions)
         self.name = name
+        self._digest: Optional[str] = None
         if not self._instructions:
             raise TraceError("a trace must contain at least one instruction")
 
@@ -115,6 +116,24 @@ class Trace:
             for instr in self._instructions
         ]
         return Trace(relabelled, name=name if name is not None else self.name)
+
+    def digest(self) -> str:
+        """Content-addressed sha256 of the instruction sequence.
+
+        Covers every instruction record but *not* the trace name, so a
+        regenerated, loaded or renamed copy of the same execution hashes
+        equal.  Computed lazily and cached — traces are immutable — so
+        repeated checkpoint-key derivations pay the walk once.
+        """
+        if self._digest is None:
+            import hashlib
+
+            hasher = hashlib.sha256()
+            for instr in self._instructions:
+                hasher.update(json.dumps(instr.to_record(), sort_keys=True).encode("utf-8"))
+                hasher.update(b"\n")
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     # -- serialisation ----------------------------------------------------
     def to_jsonl(self) -> str:

@@ -242,3 +242,89 @@ class TestSampleFlagErrors:
                   "--no-cache", "--quiet", "--sample", "bogus:8000"])
         assert excinfo.value.code == 2
         assert "period" in capsys.readouterr().err
+
+
+class TestCheckpointCommand:
+    """repro checkpoint save|info|gc (mirrors 'repro trace')."""
+
+    SAVE = [
+        "checkpoint", "save", "--workload", "daxpy", "--size", "2000",
+        "--sample", "5000:600:200", "--machine", "baseline",
+        "--window", "1024", "--memory-latency", "300",
+    ]
+
+    def test_save_then_info_then_gc(self, tmp_path, capsys):
+        assert main(self.SAVE + ["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "key " in out
+        files = list(tmp_path.glob("*.warm.gz"))
+        assert len(files) == 1
+
+        assert main(["checkpoint", "info", str(files[0])]) == 0
+        out = capsys.readouterr().out
+        assert "daxpy" in out and "windows" in out and "plan 5000:600:200" in out
+
+        assert main(["checkpoint", "gc", "--dir", str(tmp_path), "--max-bytes", "0"]) == 0
+        assert "evicted 1 checkpoint(s)" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.warm.gz"))
+
+    def test_save_is_reused_second_time(self, tmp_path, capsys):
+        assert main(self.SAVE + ["--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(self.SAVE + ["--dir", str(tmp_path)]) == 0
+        assert "reused" in capsys.readouterr().out
+
+    def test_save_requires_sample(self, tmp_path, capsys):
+        args = [f for f in self.SAVE if f not in ("--sample", "5000:600:200")]
+        assert main(args + ["--dir", str(tmp_path)]) == 2
+        assert "--sample" in capsys.readouterr().err
+
+    def test_save_requires_workload_or_trace(self, tmp_path, capsys):
+        assert main([
+            "checkpoint", "save", "--sample", "5000:600:200",
+            "--dir", str(tmp_path),
+        ]) == 2
+        assert "provide --workload or --trace" in capsys.readouterr().err
+
+    def test_save_from_trace_file(self, tmp_path, capsys):
+        assert main([
+            "trace", "save", "--workload", "daxpy", "--size", "2000",
+            "--out", str(tmp_path / "d.trace.gz"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "checkpoint", "save", "--trace", str(tmp_path / "d.trace.gz"),
+            "--sample", "5000:600:200", "--machine", "baseline",
+            "--window", "1024", "--memory-latency", "300",
+            "--dir", str(tmp_path),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_info_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.warm.gz"
+        bad.write_bytes(b"not a gzip file")
+        assert main(["checkpoint", "info", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_gc_rejects_missing_directory(self, tmp_path, capsys):
+        assert main([
+            "checkpoint", "gc", "--dir", str(tmp_path / "nope"), "--max-bytes", "10",
+        ]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_simulate_sample_jobs_matches_serial(self, tmp_path, capsys):
+        base = [
+            "simulate", "--machine", "baseline", "--window", "1024",
+            "--workload", "daxpy", "--size", "2000",
+            "--memory-latency", "300", "--sample", "5000:600:200",
+        ]
+        assert main(base + ["--json", str(tmp_path / "serial.json")]) == 0
+        capsys.readouterr()
+        assert main(base + [
+            "--sample-jobs", "2", "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--json", str(tmp_path / "parallel.json"),
+        ]) == 0
+        capsys.readouterr()
+        serial = json.loads((tmp_path / "serial.json").read_text())
+        parallel = json.loads((tmp_path / "parallel.json").read_text())
+        assert serial["results"] == parallel["results"]

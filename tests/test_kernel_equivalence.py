@@ -86,7 +86,7 @@ def test_cache_keys_unchanged_by_kernel():
     """
     assert (
         cell_cache_key(machine_config("baseline"), "pointer-chase", "chase_cold", 0.05)
-        == "49e6905820fdb3ba2ff88e13ab31e5ac414371210349c5df25a99b2e95af8430"
+        == "9408aaf668d031f24e53682120e58a8362501689af8cf33388fa5c4527fa0206"
     )
     assert (
         machine_config("cooo").stable_hash()

@@ -287,6 +287,7 @@ class TestCacheKeyStability:
     landed; if either changes, every user's warm sweep cache is silently
     invalidated.  Deliberate invalidation must come from bumping
     ``repro.__version__`` (or the cache schema), not from refactors.
+    (Re-pinned at 1.1.0, when sampled warm-up became purely functional.)
     """
 
     def test_default_suite_keys_are_frozen(self):
@@ -294,10 +295,10 @@ class TestCacheKeyStability:
 
         assert cell_cache_key(
             scaled_baseline(window=128), "spec2000fp_like", "daxpy", 0.6
-        ) == "595d4318fc191d5d48024c1f1410613823e9b212c65299259f85ab8d09a4509b"
+        ) == "bae8b0fd9e6fbb7b7b9389b33b213248dbcf6b69dcc8720b41635ca1930213b0"
         assert cell_cache_key(
             cooo_config(), "spec2000fp_like", "gather", 0.6
-        ) == "adde09f86e93b513cf6600496a83400dddcab6d7c502490cb964961f99b657f1"
+        ) == "68a9d69c06c37a496aab6379e9f32894219fa7195db7220d5b2be62f94db0044"
 
     def test_default_suite_traces_are_frozen(self):
         import hashlib
@@ -586,3 +587,78 @@ class TestSweepTelemetry:
         bare = SweepEngine(jobs=1).run(spec)
         observed = SweepEngine(jobs=1, telemetry=self._session()).run(spec)
         assert rows_of(observed) == rows_of(bare)
+
+
+class TestResultCacheEviction:
+    """The size cap added with the warm-checkpoint PR: LRU by mtime."""
+
+    def _entry_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(jobs=1, cache=cache).run(small_spec())
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == 4
+        return max(path.stat().st_size for path in entries)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SweepEngine(jobs=1, cache=cache).run(small_spec())
+        assert cache.max_bytes is None
+        assert cache.evictions == 0 and cache.evicted_bytes == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_store_evicts_down_to_budget(self, tmp_path):
+        entry = self._entry_bytes(tmp_path / "probe")
+        budget = 2 * entry  # room for at most two of the four entries
+        cache = ResultCache(tmp_path / "capped", max_bytes=budget)
+        outcome = SweepEngine(jobs=1, cache=cache).run(small_spec())
+        remaining = list((tmp_path / "capped").glob("*.json"))
+        assert sum(path.stat().st_size for path in remaining) <= budget
+        assert len(remaining) < 4
+        assert cache.evictions == 4 - len(remaining)
+        assert cache.evicted_bytes > 0
+        assert outcome.cache_evictions == cache.evictions
+
+    def test_outcome_reports_zero_without_cap(self, tmp_path):
+        outcome = SweepEngine(jobs=1, cache=ResultCache(tmp_path)).run(small_spec())
+        assert outcome.cache_evictions == 0
+
+    def test_lru_prefers_recently_loaded(self, tmp_path):
+        """A load hit refreshes recency, so eviction removes the cold key."""
+        import time as _time
+
+        cache = ResultCache(tmp_path)
+        result = SweepEngine(jobs=1, cache=cache).run(small_spec()).results[0]
+        cache.clear()
+        cache.store("cold", result)
+        _time.sleep(0.05)
+        cache.store("warm", result)
+        _time.sleep(0.05)
+        # Touch the older entry: it becomes the most recently used.
+        assert cache.load("cold") is not None
+        entry = cache.path_for("warm").stat().st_size
+        capped = ResultCache(tmp_path, max_bytes=entry)
+        capped.store("new", result)
+        assert capped.evictions >= 1
+        assert cache.path_for("cold").exists() or cache.path_for("new").exists()
+        assert not cache.path_for("warm").exists(), (
+            "the least recently used entry should have been evicted first"
+        )
+
+    def test_parallel_workers_report_evictions(self, tmp_path):
+        entry = self._entry_bytes(tmp_path / "probe")
+        cache = ResultCache(tmp_path / "capped", max_bytes=entry)
+        outcome = SweepEngine(jobs=2, cache=cache).run(small_spec())
+        assert outcome.cache_evictions >= 1
+        remaining = list((tmp_path / "capped").glob("*.json"))
+        assert sum(path.stat().st_size for path in remaining) <= entry
+
+    def test_eviction_keeps_results_correct(self, tmp_path):
+        baseline = SweepEngine(jobs=1).run(small_spec())
+        entry = self._entry_bytes(tmp_path / "probe")
+        capped = SweepEngine(
+            jobs=1, cache=ResultCache(tmp_path / "capped", max_bytes=entry)
+        ).run(small_spec())
+        assert rows_of(capped) == rows_of(baseline)
